@@ -1,0 +1,244 @@
+//! The cycle cost table driving all virtual-time accounting.
+//!
+//! Absolute constants are calibrated from three sources:
+//!
+//! * the paper itself: 1.053 GHz cores, up to 6 GB/s measured PCIe
+//!   bandwidth between host and MIC, a 10 ms accessed-bit scan timer, and
+//!   the qualitative statement that the remote-TLB-invalidation IPI loop
+//!   is serialized per target and "extremely expensive";
+//! * the Knights Corner Software Developer's Guide (TLB geometry, the
+//!   cost of `INVLPG`, interrupt delivery);
+//! * published microbenchmarks of IPI round-trip and page-fault handling
+//!   latencies on KNC-class in-order cores.
+//!
+//! The reproduction's claims are *relative* (policy vs policy, scaling
+//! shapes, crossover locations), so what matters is that each cost grows
+//! with the same variable it grows with on real hardware: shootdown cost
+//! with the number of target cores, transfer cost with the page size,
+//! fault-path serialization with the fault rate. Every constant can be
+//! overridden to run sensitivity studies (see the `ablation_ipi` bench).
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::Cycles;
+use crate::types::PageSize;
+
+/// Cycle costs for every simulated hardware and kernel operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Core clock frequency in kHz (1.053 GHz on the 5110P). Only used to
+    /// convert virtual cycles into seconds for reporting.
+    pub core_khz: u64,
+
+    /// Cost of one coalesced unit of application work (one element-level
+    /// load/store plus its share of arithmetic) when the TLB hits.
+    pub work_unit: Cycles,
+
+    /// Extra cost of an L1 TLB miss that hits in the L2 TLB.
+    pub tlb_l2_hit: Cycles,
+
+    /// Extra cost of a full TLB miss: the hardware page-table walk.
+    /// KNC's in-order cores stall the thread for the whole walk.
+    pub page_walk: Cycles,
+
+    /// Cost of invalidating one local TLB entry (`INVLPG`).
+    pub tlb_invlpg: Cycles,
+
+    /// Cost of a full local TLB flush (CR3 reload).
+    pub tlb_flush: Cycles,
+
+    /// Trap + fault-handler entry/exit: charged to the faulting core for
+    /// every page fault on top of everything the handler does.
+    pub fault_base: Cycles,
+
+    /// Fixed cost of consulting one other core's page table during a PSPT
+    /// fault (the "copy a PTE if any valid mapping exists" step).
+    pub pspt_probe: Cycles,
+
+    /// Cost of writing one PTE (set-up or tear-down).
+    pub pte_update: Cycles,
+
+    /// Requester-side cost of *sending* one TLB-shootdown IPI. The paper
+    /// describes TLB invalidation as "looping through each CPU core and
+    /// sending an Inter-processor Interrupt", i.e. the requester pays this
+    /// once per target, serialized.
+    pub ipi_send: Cycles,
+
+    /// Target-side cost of taking the shootdown interrupt, invalidating
+    /// the TLB entry and acknowledging.
+    pub ipi_handle: Cycles,
+
+    /// Requester-side fixed cost of waiting for the *last* acknowledgement
+    /// once all IPIs are out (the ack fan-in).
+    pub ipi_ack_base: Cycles,
+
+    /// Additional ack-wait cost per target (ring occupancy + cache-line
+    /// ping-pong on the request structure; the paper reports up to 8×
+    /// growth in lock cycles for these structures under LRU).
+    pub ipi_ack_per_target: Cycles,
+
+    /// Hold time of the address-space-wide page-table lock that *regular*
+    /// page tables take on every fault and every unmap. This is the
+    /// serialization that stops regular PT from scaling past ~24 cores.
+    pub regular_pt_lock: Cycles,
+
+    /// Hold time of the per-core fine-grained lock PSPT takes instead.
+    pub pspt_lock: Cycles,
+
+    /// DMA descriptor setup + doorbell + completion interrupt (per
+    /// transfer, independent of size).
+    pub dma_latency: Cycles,
+
+    /// PCIe streaming throughput, expressed as bytes moved per 1024
+    /// cycles. 6 GB/s at 1.053 GHz is ≈ 5.7 bytes/cycle ⇒ 5834 b/kcyc.
+    pub dma_bytes_per_kcycle: u64,
+
+    /// Cost of examining one PTE during an accessed-bit scan pass
+    /// (read + test + conditional clear, excluding the shootdown).
+    pub scan_pte: Cycles,
+
+    /// Virtual-time period of the LRU accessed-bit scan timer. The paper
+    /// uses a 10 ms timer (10 ms × 1.053 GHz ≈ 10.53 M cycles).
+    pub scan_period: Cycles,
+
+    /// Per-hop latency of the bidirectional ring interconnect, used by
+    /// the IPI model for distance-dependent delivery.
+    pub ring_hop: Cycles,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            core_khz: 1_053_000,
+            work_unit: 4,
+            tlb_l2_hit: 8,
+            page_walk: 120,
+            tlb_invlpg: 120,
+            tlb_flush: 500,
+            fault_base: 1_800,
+            pspt_probe: 40,
+            pte_update: 60,
+            ipi_send: 700,
+            ipi_handle: 1_400,
+            ipi_ack_base: 1_800,
+            ipi_ack_per_target: 250,
+            regular_pt_lock: 1_500,
+            pspt_lock: 350,
+            dma_latency: 2_100,
+            dma_bytes_per_kcycle: 5_834,
+            scan_pte: 45,
+            scan_period: 10_530_000,
+            ring_hop: 15,
+        }
+    }
+}
+
+impl CostModel {
+    /// Pure transfer time (no queueing) of moving `bytes` across PCIe.
+    #[inline]
+    pub fn dma_transfer(&self, bytes: u64) -> Cycles {
+        self.dma_latency + bytes * 1024 / self.dma_bytes_per_kcycle
+    }
+
+    /// Pure transfer time of moving one page of `size`.
+    #[inline]
+    pub fn dma_page(&self, size: PageSize) -> Cycles {
+        self.dma_transfer(size.bytes())
+    }
+
+    /// Requester-side cost of a shootdown to `targets` cores: the
+    /// serialized send loop plus the ack fan-in wait. Zero targets cost
+    /// nothing (purely local invalidation is charged separately).
+    #[inline]
+    pub fn shootdown_requester(&self, targets: usize) -> Cycles {
+        if targets == 0 {
+            return 0;
+        }
+        self.ipi_send * targets as u64
+            + self.ipi_ack_base
+            + self.ipi_ack_per_target * targets as u64
+    }
+
+    /// Target-side cost of receiving one shootdown for `entries` TLB
+    /// entries (a 64 kB invalidation is still a single `INVLPG`-visible
+    /// entry on KNC, so `entries` is almost always 1).
+    #[inline]
+    pub fn shootdown_target(&self, entries: usize) -> Cycles {
+        self.ipi_handle + self.tlb_invlpg * entries.max(1) as u64
+    }
+
+    /// Converts cycles into seconds using the configured frequency.
+    #[inline]
+    pub fn cycles_to_secs(&self, cycles: Cycles) -> f64 {
+        cycles as f64 / (self.core_khz as f64 * 1000.0)
+    }
+
+    /// Converts cycles into milliseconds.
+    #[inline]
+    pub fn cycles_to_millis(&self, cycles: Cycles) -> f64 {
+        self.cycles_to_secs(cycles) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_calibrated_to_paper() {
+        let c = CostModel::default();
+        // 1.053 GHz.
+        assert_eq!(c.core_khz, 1_053_000);
+        // 10 ms scan period at 1.053 GHz.
+        assert_eq!(c.scan_period, 10_530_000);
+        // ~6 GB/s: a 4 kB transfer should take on the order of a
+        // microsecond of streaming plus the fixed latency.
+        let t = c.dma_transfer(4096) - c.dma_latency;
+        assert!((600..900).contains(&t), "4kB streaming time {t}");
+    }
+
+    #[test]
+    fn dma_scales_linearly_with_page_size() {
+        let c = CostModel::default();
+        let t4 = c.dma_page(PageSize::K4) - c.dma_latency;
+        let t64 = c.dma_page(PageSize::K64) - c.dma_latency;
+        let t2m = c.dma_page(PageSize::M2) - c.dma_latency;
+        // 16× and 512× the bytes → within rounding of 16× and 512× time.
+        assert!((t64 as f64 / t4 as f64 - 16.0).abs() < 0.1);
+        assert!((t2m as f64 / t4 as f64 - 512.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn shootdown_grows_linearly_with_targets() {
+        let c = CostModel::default();
+        assert_eq!(c.shootdown_requester(0), 0);
+        let one = c.shootdown_requester(1);
+        let fifty = c.shootdown_requester(50);
+        assert!(fifty > one * 15, "50-target shootdown must dwarf 1-target");
+        let diff = c.shootdown_requester(11) - c.shootdown_requester(10);
+        assert_eq!(diff, c.ipi_send + c.ipi_ack_per_target);
+    }
+
+    #[test]
+    fn target_cost_has_interrupt_floor() {
+        let c = CostModel::default();
+        assert_eq!(c.shootdown_target(0), c.ipi_handle + c.tlb_invlpg);
+        assert_eq!(c.shootdown_target(2), c.ipi_handle + 2 * c.tlb_invlpg);
+    }
+
+    #[test]
+    fn time_conversions() {
+        let c = CostModel::default();
+        let secs = c.cycles_to_secs(1_053_000_000);
+        assert!((secs - 1.0).abs() < 1e-9);
+        assert!((c.cycles_to_millis(10_530_000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = CostModel::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CostModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,52 @@
+//! # cmcp-arch — many-core architecture substrate
+//!
+//! This crate models the hardware that the HPDC'14 CMCP paper ran on: an
+//! Intel Xeon Phi "Knights Corner" style many-core co-processor. The real
+//! silicon is discontinued, so every mechanism the paper's evaluation
+//! depends on is reproduced as an explicit, calibrated model:
+//!
+//! * [`types`] — core / page / frame newtypes, page sizes (4 kB, 64 kB,
+//!   2 MB) and the [`types::CoreSet`] bitset used to track which cores map
+//!   a page.
+//! * [`cost`] — the cycle cost table ([`cost::CostModel`]) with constants
+//!   derived from the paper (1.053 GHz cores, ~6 GB/s PCIe) and the
+//!   Knights Corner Software Developer's Guide.
+//! * [`tlb`] — per-core two-level set-associative TLBs with separate
+//!   4 kB / 64 kB / 2 MB entry classes and per-core miss statistics.
+//! * [`ring`] — the bidirectional ring interconnect and the IPI cost
+//!   model: a *serialized* send loop on the requester plus an interrupt
+//!   handler charge on every target, which is exactly the cost structure
+//!   the paper blames for LRU's accessed-bit scanning overhead.
+//! * [`dma`] — the PCIe DMA engine transfer-time model used for page
+//!   movement between device RAM and the host backing store.
+//! * [`ikc`] — the IHK Inter-Kernel Communication channel used for
+//!   host-offloaded system calls (paper §2.1–2.2).
+//! * [`resource`] — virtual-time reservation resources (`start =
+//!   max(now, free); free = start + service`) used to model queueing on
+//!   shared hardware (the DMA engine) and software (page-table locks).
+//! * [`clock`] — per-core virtual cycle clocks with an interrupt-debt
+//!   mechanism for cross-core charges.
+//!
+//! Everything is deterministic: no wall-clock time, no global state, and
+//! all randomness lives in the workload crates behind explicit seeds.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod cost;
+pub mod dma;
+pub mod ikc;
+pub mod resource;
+pub mod ring;
+pub mod tlb;
+pub mod types;
+
+pub use clock::{CoreClock, Cycles};
+pub use cost::CostModel;
+pub use dma::DmaModel;
+pub use ikc::{IkcChannel, IkcMessage};
+pub use resource::VirtualResource;
+pub use ring::RingModel;
+pub use tlb::{Tlb, TlbConfig, TlbLookup, TlbStats};
+pub use types::{CoreId, CoreSet, PageSize, PhysFrame, VirtAddr, VirtPage, MAX_CORES};

@@ -1,0 +1,460 @@
+//! Per-core two-level data TLB model.
+//!
+//! Geometry follows the Knights Corner data TLB: separate L1 entry arrays
+//! per page size (64 × 4 kB, 32 × 64 kB, 8 × 2 MB) backed by a unified
+//! 64-entry L2. Like the hardware, a lookup probes all size classes —
+//! the effective page size of a mapping is a property of the PTE, not of
+//! the access.
+//!
+//! The `misses` counter is the "dTLB misses" column of the paper's
+//! Table 1: every miss triggers a hardware page-table walk, and on KNC's
+//! in-order cores the thread stalls for the entire walk.
+
+use crate::clock::Cycles;
+use crate::types::{PageSize, VirtPage};
+
+/// Geometry of one core's TLB hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// (entries, associativity) of the L1 4 kB array.
+    pub l1_4k: (usize, usize),
+    /// (entries, associativity) of the L1 64 kB array.
+    pub l1_64k: (usize, usize),
+    /// (entries, associativity) of the L1 2 MB array.
+    pub l1_2m: (usize, usize),
+    /// (entries, associativity) of the unified L2.
+    pub l2: (usize, usize),
+}
+
+impl Default for TlbConfig {
+    /// Knights Corner data-TLB geometry.
+    fn default() -> TlbConfig {
+        TlbConfig {
+            l1_4k: (64, 4),
+            l1_64k: (32, 4),
+            l1_2m: (8, 8),
+            l2: (64, 4),
+        }
+    }
+}
+
+/// Where a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbLookup {
+    /// Hit in the L1 array of the mapping's size class.
+    L1,
+    /// Missed L1, hit the unified L2 (entry is promoted back to L1).
+    L2,
+    /// Full miss: the hardware must walk the page tables.
+    Miss,
+}
+
+/// Hit/miss counters for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Total translated accesses.
+    pub accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Full misses (page walks) — Table 1's "dTLB misses".
+    pub misses: u64,
+    /// Entries removed by (local or remote) invalidations.
+    pub invalidations: u64,
+    /// Full flushes.
+    pub flushes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Page number in units of the array's size class.
+    tag: u64,
+    stamp: u64,
+}
+
+#[derive(Debug)]
+struct SetAssocArray {
+    sets: usize,
+    ways: usize,
+    /// Bits of the tag to drop before set indexing. The unified L2 keys
+    /// entries by `(vpn << 2) | class` for uniqueness but indexes sets by
+    /// the vpn alone, so class bits don't shrink its effective capacity.
+    index_shift: u32,
+    /// `sets × ways` slots, row-major by set.
+    slots: Vec<Option<Entry>>,
+}
+
+impl SetAssocArray {
+    fn new((entries, ways): (usize, usize), index_shift: u32) -> SetAssocArray {
+        assert!(entries > 0 && ways > 0 && entries % ways == 0, "bad TLB geometry");
+        let sets = entries / ways;
+        SetAssocArray { sets, ways, index_shift, slots: vec![None; entries] }
+    }
+
+    #[inline]
+    fn set_range(&self, tag: u64) -> std::ops::Range<usize> {
+        let set = ((tag >> self.index_shift) as usize) % self.sets;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Finds `tag`, refreshing its LRU stamp.
+    fn lookup(&mut self, tag: u64, stamp: u64) -> bool {
+        let range = self.set_range(tag);
+        for e in self.slots[range].iter_mut().flatten() {
+            if e.tag == tag {
+                e.stamp = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `tag`, evicting the LRU way of its set if full. Returns the
+    /// evicted tag, if any.
+    fn insert(&mut self, tag: u64, stamp: u64) -> Option<u64> {
+        let range = self.set_range(tag);
+        // Already present: refresh.
+        for e in self.slots[range.clone()].iter_mut().flatten() {
+            if e.tag == tag {
+                e.stamp = stamp;
+                return None;
+            }
+        }
+        // Free way?
+        for slot in &mut self.slots[range.clone()] {
+            if slot.is_none() {
+                *slot = Some(Entry { tag, stamp });
+                return None;
+            }
+        }
+        // Evict LRU way.
+        let victim_idx = range
+            .clone()
+            .min_by_key(|&i| self.slots[i].as_ref().map(|e| e.stamp).unwrap_or(0))
+            .expect("non-empty set");
+        let old = self.slots[victim_idx].replace(Entry { tag, stamp });
+        old.map(|e| e.tag)
+    }
+
+    /// Removes `tag` if present; returns whether it was.
+    fn invalidate(&mut self, tag: u64) -> bool {
+        let range = self.set_range(tag);
+        for slot in &mut self.slots[range] {
+            if slot.map(|e| e.tag) == Some(tag) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn clear(&mut self) -> usize {
+        let n = self.slots.iter().filter(|s| s.is_some()).count();
+        self.slots.iter_mut().for_each(|s| *s = None);
+        n
+    }
+
+    fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// One core's data TLB.
+///
+/// Owned exclusively by the simulated core (no interior locking): remote
+/// shootdowns are *charged* by the ring model and *applied* by the owning
+/// core when it processes the invalidation, mirroring how an IPI handler
+/// runs on the target core itself.
+#[derive(Debug)]
+pub struct Tlb {
+    l1_4k: SetAssocArray,
+    l1_64k: SetAssocArray,
+    l1_2m: SetAssocArray,
+    /// Unified second level. Tags are (vpn_in_class << 2) | class so that
+    /// identical numeric pages of different sizes never alias.
+    l2: SetAssocArray,
+    stamp: u64,
+    stats: TlbStats,
+    /// Extra cycles of translation cost accumulated since last drain
+    /// (L2-hit and walk penalties); the engine drains this into the core
+    /// clock.
+    pending_cycles: Cycles,
+    l2_hit_cost: Cycles,
+    walk_cost: Cycles,
+}
+
+impl Tlb {
+    /// Builds a TLB with `config` geometry and the given penalty costs.
+    pub fn new(config: TlbConfig, l2_hit_cost: Cycles, walk_cost: Cycles) -> Tlb {
+        Tlb {
+            l1_4k: SetAssocArray::new(config.l1_4k, 0),
+            l1_64k: SetAssocArray::new(config.l1_64k, 0),
+            l1_2m: SetAssocArray::new(config.l1_2m, 0),
+            l2: SetAssocArray::new(config.l2, 2),
+            stamp: 0,
+            stats: TlbStats::default(),
+            pending_cycles: 0,
+            l2_hit_cost,
+            walk_cost,
+        }
+    }
+
+    /// KNC-geometry TLB with penalties from `cost`.
+    pub fn knc(cost: &crate::cost::CostModel) -> Tlb {
+        Tlb::new(TlbConfig::default(), cost.tlb_l2_hit, cost.page_walk)
+    }
+
+    #[inline]
+    fn class_tag(page: VirtPage, size: PageSize) -> u64 {
+        let vpn = page.0 >> (size.shift() - 12);
+        (vpn << 2)
+            | match size {
+                PageSize::K4 => 0,
+                PageSize::K64 => 1,
+                PageSize::M2 => 2,
+            }
+    }
+
+    #[inline]
+    fn l1_for(&mut self, size: PageSize) -> &mut SetAssocArray {
+        match size {
+            PageSize::K4 => &mut self.l1_4k,
+            PageSize::K64 => &mut self.l1_64k,
+            PageSize::M2 => &mut self.l1_2m,
+        }
+    }
+
+    /// Translates an access to the 4 kB page `page`, which the page tables
+    /// map with a `size`-sized entry. Returns where the translation hit.
+    ///
+    /// On a full miss the caller is expected to walk the page tables and,
+    /// if a valid translation exists, call [`Tlb::fill`].
+    pub fn access(&mut self, page: VirtPage, size: PageSize) -> TlbLookup {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let vpn_in_class = page.0 >> (size.shift() - 12);
+        let stamp = self.stamp;
+        if self.l1_for(size).lookup(vpn_in_class, stamp) {
+            self.stats.l1_hits += 1;
+            return TlbLookup::L1;
+        }
+        let tag = Self::class_tag(page, size);
+        if self.l2.lookup(tag, stamp) {
+            self.stats.l2_hits += 1;
+            self.pending_cycles += self.l2_hit_cost;
+            // Promote back into L1.
+            self.l1_for(size).insert(vpn_in_class, stamp);
+            return TlbLookup::L2;
+        }
+        self.stats.misses += 1;
+        self.pending_cycles += self.walk_cost;
+        TlbLookup::Miss
+    }
+
+    /// Installs a translation after a successful page walk.
+    pub fn fill(&mut self, page: VirtPage, size: PageSize) {
+        self.stamp += 1;
+        let vpn_in_class = page.0 >> (size.shift() - 12);
+        let stamp = self.stamp;
+        self.l1_for(size).insert(vpn_in_class, stamp);
+        self.l2.insert(Self::class_tag(page, size), stamp);
+    }
+
+    /// `INVLPG`: drops any cached translation covering the 4 kB page
+    /// `page`, at every size class. Returns whether anything was dropped.
+    pub fn invalidate(&mut self, page: VirtPage) -> bool {
+        let mut any = false;
+        for size in PageSize::ALL {
+            let vpn_in_class = page.0 >> (size.shift() - 12);
+            any |= self.l1_for(size).invalidate(vpn_in_class);
+            any |= self.l2.invalidate(Self::class_tag(page, size));
+        }
+        if any {
+            self.stats.invalidations += 1;
+        }
+        any
+    }
+
+    /// Full flush (CR3 reload).
+    pub fn flush(&mut self) {
+        self.l1_4k.clear();
+        self.l1_64k.clear();
+        self.l1_2m.clear();
+        self.l2.clear();
+        self.stats.flushes += 1;
+    }
+
+    /// Hit/miss counters so far.
+    #[inline]
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Drains the translation-penalty cycles accumulated since the last
+    /// call; the engine adds them to the core clock.
+    #[inline]
+    pub fn drain_cycles(&mut self) -> Cycles {
+        std::mem::take(&mut self.pending_cycles)
+    }
+
+    /// Number of valid L1 entries across all size classes (testing aid).
+    pub fn l1_occupancy(&self) -> usize {
+        self.l1_4k.occupancy() + self.l1_64k.occupancy() + self.l1_2m.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    fn tlb() -> Tlb {
+        Tlb::knc(&CostModel::default())
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = tlb();
+        assert_eq!(t.access(VirtPage(7), PageSize::K4), TlbLookup::Miss);
+        t.fill(VirtPage(7), PageSize::K4);
+        assert_eq!(t.access(VirtPage(7), PageSize::K4), TlbLookup::L1);
+        let s = t.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.l1_hits, 1);
+    }
+
+    #[test]
+    fn large_entry_covers_all_contained_4k_pages() {
+        let mut t = tlb();
+        t.fill(VirtPage(0x100), PageSize::K64); // covers 0x100..0x110
+        for p in 0x100..0x110u64 {
+            assert_eq!(t.access(VirtPage(p), PageSize::K64), TlbLookup::L1, "page {p:#x}");
+        }
+        assert_eq!(t.access(VirtPage(0x110), PageSize::K64), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn capacity_eviction_in_4k_array() {
+        let mut t = tlb();
+        // 64-entry L1 + 64-entry L2: touching 129 distinct conflicting
+        // pages guarantees re-touching the first misses again.
+        for p in 0..129u64 {
+            t.access(VirtPage(p), PageSize::K4);
+            t.fill(VirtPage(p), PageSize::K4);
+        }
+        let misses_before = t.stats().misses;
+        assert_eq!(t.access(VirtPage(0), PageSize::K4), TlbLookup::Miss);
+        assert_eq!(t.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn l2_backs_up_l1_evictions() {
+        let mut t = tlb();
+        // The 2 MB L1 array has only 8 entries; touching 9 distinct 2 MB
+        // pages evicts the first from L1 while the 64-entry L2 keeps it.
+        for i in 0..9u64 {
+            let p = VirtPage(i * 512);
+            t.access(p, PageSize::M2);
+            t.fill(p, PageSize::M2);
+        }
+        let r = t.access(VirtPage(0), PageSize::M2);
+        assert_eq!(r, TlbLookup::L2);
+        // ...and the hit promoted it back into L1.
+        assert_eq!(t.access(VirtPage(0), PageSize::M2), TlbLookup::L1);
+    }
+
+    #[test]
+    fn l2_index_ignores_class_bits() {
+        // Sequential 4 kB pages must be able to use the whole L2, not just
+        // every fourth set: after filling exactly l2-capacity sequential
+        // pages (which also fit the 4k L1), all of them still hit.
+        let mut t = tlb();
+        for p in 0..64u64 {
+            t.access(VirtPage(p), PageSize::K4);
+            t.fill(VirtPage(p), PageSize::K4);
+        }
+        let before = t.stats().misses;
+        for p in 0..64u64 {
+            assert_ne!(t.access(VirtPage(p), PageSize::K4), TlbLookup::Miss, "page {p}");
+        }
+        assert_eq!(t.stats().misses, before);
+    }
+
+    #[test]
+    fn invalidate_removes_both_levels() {
+        let mut t = tlb();
+        t.fill(VirtPage(42), PageSize::K4);
+        assert!(t.invalidate(VirtPage(42)));
+        assert!(!t.invalidate(VirtPage(42)));
+        assert_eq!(t.access(VirtPage(42), PageSize::K4), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn invalidate_4k_subpage_kills_64k_entry() {
+        let mut t = tlb();
+        t.fill(VirtPage(0x100), PageSize::K64);
+        // INVLPG on any covered 4 kB page must drop the 64 kB entry.
+        assert!(t.invalidate(VirtPage(0x105)));
+        assert_eq!(t.access(VirtPage(0x100), PageSize::K64), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut t = tlb();
+        for p in 0..10u64 {
+            t.fill(VirtPage(p), PageSize::K4);
+        }
+        assert!(t.l1_occupancy() > 0);
+        t.flush();
+        assert_eq!(t.l1_occupancy(), 0);
+        assert_eq!(t.access(VirtPage(3), PageSize::K4), TlbLookup::Miss);
+        assert_eq!(t.stats().flushes, 1);
+    }
+
+    #[test]
+    fn pending_cycles_accumulate_and_drain() {
+        let cost = CostModel::default();
+        let mut t = Tlb::knc(&cost);
+        t.access(VirtPage(1), PageSize::K4); // miss → walk cost
+        assert_eq!(t.drain_cycles(), cost.page_walk);
+        assert_eq!(t.drain_cycles(), 0);
+    }
+
+    #[test]
+    fn same_vpn_different_size_does_not_alias_in_l2() {
+        let mut t = tlb();
+        // 4kB page 0 and 2MB page 0 have the same in-class vpn (0) but
+        // must be distinct L2 entries.
+        t.fill(VirtPage(0), PageSize::K4);
+        t.fill(VirtPage(0), PageSize::M2);
+        assert!(t.invalidate(VirtPage(0)));
+        assert_eq!(t.access(VirtPage(0), PageSize::K4), TlbLookup::Miss);
+        assert_eq!(t.access(VirtPage(0), PageSize::M2), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn larger_pages_reduce_misses_on_streaming_sweep() {
+        // The motivation for 64 kB pages: sweep 4 MB of address space.
+        let sweep = |size: PageSize| {
+            let mut t = tlb();
+            let mut misses = 0;
+            for p in 0..1024u64 {
+                if t.access(VirtPage(p), size) == TlbLookup::Miss {
+                    misses += 1;
+                    t.fill(VirtPage(p), size);
+                }
+            }
+            misses
+        };
+        let m4 = sweep(PageSize::K4);
+        let m64 = sweep(PageSize::K64);
+        let m2m = sweep(PageSize::M2);
+        assert!(m4 > m64, "4k misses {m4} must exceed 64k misses {m64}");
+        assert!(m64 > m2m, "64k misses {m64} must exceed 2M misses {m2m}");
+        assert_eq!(m4, 1024);
+        assert_eq!(m64, 64);
+        assert_eq!(m2m, 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end simulation throughput: one reduced Figure-7-style
+//! configuration per policy, so `cargo bench` tracks regressions in the
+//! whole pipeline (trace generation excluded via pre-built traces).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmcp::workloads::scale::{scale_trace, ScaleConfig};
+use cmcp::{PolicyKind, SchemeChoice, SimulationBuilder, Trace};
+
+fn small_trace() -> Trace {
+    scale_trace(8, &ScaleConfig { nx: 256, ny: 128, fields: 3, steps: 3 })
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut group = c.benchmark_group("simulate_scale_8c");
+    group.sample_size(10);
+    for (name, scheme, policy) in [
+        ("regular+fifo", SchemeChoice::Regular, PolicyKind::Fifo),
+        ("pspt+fifo", SchemeChoice::Pspt, PolicyKind::Fifo),
+        ("pspt+lru", SchemeChoice::Pspt, PolicyKind::Lru),
+        ("pspt+cmcp", SchemeChoice::Pspt, PolicyKind::Cmcp { p: 0.75 }),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let r = SimulationBuilder::trace(trace.clone())
+                    .scheme(scheme)
+                    .policy(policy)
+                    .memory_ratio(0.5)
+                    .run();
+                black_box(r.runtime_cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    group.bench_function("scale_small_8c", |b| {
+        b.iter(|| black_box(small_trace().total_touches()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_trace_generation);
+criterion_main!(benches);

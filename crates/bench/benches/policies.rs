@@ -1,0 +1,82 @@
+//! Microbenchmarks of the replacement-policy data structures: per-event
+//! costs of insert / map-count change / victim selection at a realistic
+//! resident-set size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmcp::arch::VirtPage;
+use cmcp::policies::{NullOracle, PolicyKind, ReplacementPolicy};
+
+const RESIDENT: u64 = 16_384;
+
+fn filled(kind: PolicyKind) -> Box<dyn ReplacementPolicy> {
+    let mut p = kind.build(RESIDENT as usize);
+    for b in 0..RESIDENT {
+        p.on_insert(VirtPage(b), (b % 7 + 1) as usize);
+    }
+    p
+}
+
+fn bench_insert_evict_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_insert_evict");
+    for kind in [
+        PolicyKind::Fifo,
+        PolicyKind::Lru,
+        PolicyKind::Clock,
+        PolicyKind::Lfu,
+        PolicyKind::Random,
+        PolicyKind::Cmcp { p: 0.75 },
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let mut p = filled(kind);
+            let mut next = RESIDENT;
+            b.iter(|| {
+                let v = p.select_victim(&mut NullOracle).unwrap();
+                p.on_evict(v);
+                p.on_insert(VirtPage(next), (next % 7 + 1) as usize);
+                next += 1;
+                black_box(v)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_count_change(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_map_count_change");
+    for kind in [PolicyKind::Fifo, PolicyKind::Cmcp { p: 0.75 }] {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let mut p = filled(kind);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 97) % RESIDENT;
+                p.on_map_count_change(VirtPage(i), ((i % 13) + 1) as usize);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cmcp_placement_rule(c: &mut Criterion) {
+    // The paper's §3 placement decision in isolation: priority group
+    // full, new page displaces the minimum or goes to FIFO.
+    c.bench_function("cmcp_placement_rule", |b| {
+        let mut p = filled(PolicyKind::Cmcp { p: 0.5 });
+        let mut next = RESIDENT;
+        b.iter(|| {
+            let v = p.select_victim(&mut NullOracle).unwrap();
+            p.on_evict(v);
+            // Alternate low/high counts to exercise both branches.
+            p.on_insert(VirtPage(next), if next.is_multiple_of(2) { 1 } else { 56 });
+            next += 1;
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert_evict_cycle,
+    bench_map_count_change,
+    bench_cmcp_placement_rule
+);
+criterion_main!(benches);

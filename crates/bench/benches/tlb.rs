@@ -1,0 +1,77 @@
+//! Microbenchmarks of the per-core TLB model: hit/miss/fill/invalidate
+//! throughput, which bounds overall simulation speed (one TLB access per
+//! page touch).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmcp::arch::{CostModel, PageSize, Tlb, VirtPage};
+
+fn warm_tlb() -> Tlb {
+    let mut t = Tlb::knc(&CostModel::default());
+    for p in 0..64u64 {
+        t.fill(VirtPage(p), PageSize::K4);
+    }
+    t
+}
+
+fn bench_hits(c: &mut Criterion) {
+    c.bench_function("tlb_l1_hit", |b| {
+        let mut t = warm_tlb();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(t.access(VirtPage(i), PageSize::K4))
+        });
+    });
+}
+
+fn bench_miss_fill(c: &mut Criterion) {
+    c.bench_function("tlb_miss_then_fill", |b| {
+        let mut t = Tlb::knc(&CostModel::default());
+        let mut p = 0u64;
+        b.iter(|| {
+            p += 1;
+            let r = t.access(VirtPage(p), PageSize::K4);
+            t.fill(VirtPage(p), PageSize::K4);
+            black_box(r)
+        });
+    });
+}
+
+fn bench_invalidate(c: &mut Criterion) {
+    c.bench_function("tlb_invalidate", |b| {
+        let mut t = warm_tlb();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            // Re-fill so there is always something to invalidate.
+            t.fill(VirtPage(i), PageSize::K4);
+            black_box(t.invalidate(VirtPage(i)))
+        });
+    });
+}
+
+fn bench_sweep_by_page_size(c: &mut Criterion) {
+    // The page-size motivation in microcosm: streaming 4 MB of address
+    // space costs vastly different TLB work per size class.
+    let mut group = c.benchmark_group("tlb_sweep_4mb");
+    for size in PageSize::ALL {
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| {
+                let mut t = Tlb::knc(&CostModel::default());
+                let mut misses = 0u64;
+                for p in 0..1024u64 {
+                    if t.access(VirtPage(p), size) == cmcp::arch::TlbLookup::Miss {
+                        misses += 1;
+                        t.fill(VirtPage(p), size);
+                    }
+                }
+                black_box(misses)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hits, bench_miss_fill, bench_invalidate, bench_sweep_by_page_size);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Beyond the paper: the CMCP aging tradeoff.
+//!
+//! Paper §3 only says prioritized pages "slowly fall back to FIFO". This
+//! ablation sweeps the aging period (insertions between demotions of the
+//! oldest prioritized block) from *off* to *aggressive* and shows the
+//! two failure modes: with no aging, dead prioritized pages are hoarded
+//! (harmful when sharing phases change, e.g. BT's partition flip); with
+//! aggressive aging, genuinely hot shared pages churn through FIFO and
+//! the priority group stops protecting anything.
+
+use serde::Serialize;
+
+use cmcp::policies::CmcpConfig;
+use cmcp::{PolicyKind, SchemeChoice, WorkloadClass};
+use cmcp_bench::{
+    best_p, markdown_table, run_config, save_results, tuned_constraint, workloads, TraceCache,
+};
+
+const CORES: usize = 56;
+const PERIODS: [u64; 5] = [0, 128, 32, 8, 1]; // 0 = aging disabled
+
+#[derive(Serialize)]
+struct AgingRow {
+    workload: String,
+    aging_period: u64,
+    relative_performance: f64,
+    aged_out_fraction_note: String,
+}
+
+fn main() {
+    let mut cache = TraceCache::new();
+    let mut results = Vec::new();
+    println!("# Ablation — CMCP aging period ({CORES} cores, p per Figure 9)\n");
+    let headers: Vec<String> = std::iter::once("aging period".to_string())
+        .chain(workloads(WorkloadClass::B).iter().map(|w| w.label().to_string()))
+        .collect();
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for w in workloads(WorkloadClass::B) {
+        let trace = cache.get(w, CORES).clone();
+        let ratio = tuned_constraint(w);
+        let base = run_config(&trace, SchemeChoice::Pspt, PolicyKind::Fifo, 10.0, cmcp::PageSize::K4);
+        let mut col = Vec::new();
+        for period in PERIODS {
+            let cfg = CmcpConfig { p: best_p(w), aging_period: period, aging_batch: 1 };
+            let r = run_config(
+                &trace,
+                SchemeChoice::Pspt,
+                PolicyKind::CmcpTuned(cfg),
+                ratio,
+                cmcp::PageSize::K4,
+            );
+            let rel = base.runtime_cycles as f64 / r.runtime_cycles as f64;
+            col.push(rel);
+            results.push(AgingRow {
+                workload: w.label().to_string(),
+                aging_period: period,
+                relative_performance: rel,
+                aged_out_fraction_note: if period == 0 {
+                    "aging disabled".to_string()
+                } else {
+                    format!("1 demotion per {period} inserts")
+                },
+            });
+        }
+        columns.push(col);
+    }
+    let mut rows = Vec::new();
+    for (i, period) in PERIODS.iter().enumerate() {
+        let label = if *period == 0 { "off".to_string() } else { period.to_string() };
+        let mut row = vec![label];
+        for col in &columns {
+            row.push(format!("{:.2}", col[i]));
+        }
+        rows.push(row);
+    }
+    println!("{}", markdown_table(&headers, &rows));
+    println!("Reading: each column is relative performance (higher is better);");
+    println!("the default (32) balances hoarding (off) against churn (1).");
+    save_results("ablation_aging", &results);
+}

@@ -1,0 +1,98 @@
+//! Beyond the paper: demonstrating §5.1's workload exclusions.
+//!
+//! The paper leaves EP, FT/MG and IS out of the evaluation: EP "uses
+//! very small amount of memory", FT/MG are "highly memory intensive"
+//! and infeasible out-of-core without algorithmic changes. We implement
+//! EP, MG and FT and run them under the same constraints as the headline
+//! workloads, making both exclusion arguments quantitative.
+
+use cmcp::workloads::ep::{ep_trace, EpConfig};
+use cmcp::workloads::ft::{ft_trace, FtConfig};
+use cmcp::workloads::is::{is_trace, IsConfig};
+use cmcp::workloads::mg::{mg_trace, MgConfig};
+use cmcp::{PolicyKind, SchemeChoice, SimulationBuilder, Trace, Workload, WorkloadClass};
+
+const CORES: usize = 32;
+
+fn run(trace: &Trace, ratio: f64) -> (f64, f64) {
+    let base = SimulationBuilder::trace(trace.clone()).memory_ratio(10.0).run();
+    let r = SimulationBuilder::trace(trace.clone())
+        .scheme(SchemeChoice::Pspt)
+        .policy(PolicyKind::Fifo)
+        .memory_ratio(ratio)
+        .run();
+    (
+        base.runtime_cycles as f64 / r.runtime_cycles as f64,
+        r.avg_page_faults(),
+    )
+}
+
+fn main() {
+    println!("# Ablation — the workloads the paper excludes ({CORES} cores, PSPT+FIFO)\n");
+
+    // EP at a constraint that devastates the others: nothing happens,
+    // because its footprint is a handful of pages per core.
+    let ep = ep_trace(CORES, &EpConfig::class_b());
+    println!(
+        "EP footprint: {} pages ({} kB total) — 'very small amount of memory'",
+        ep.footprint_pages(),
+        ep.footprint_pages() * 4
+    );
+    // Constrain EP in *absolute* terms: a device sized to crush cg.B
+    // (half its declared requirement) still holds all of EP.
+    let cg_for_sizing = Workload::Cg(WorkloadClass::B).trace(CORES);
+    let device = cg_for_sizing.declared_blocks(cmcp::PageSize::K4) / 2;
+    let base = SimulationBuilder::trace(ep.clone()).memory_ratio(10.0).run();
+    let constrained = SimulationBuilder::trace(ep.clone()).device_blocks(device).run();
+    println!(
+        "  device sized at 50% of cg.B's requirement ({device} blocks): relative perf {:.2}, {} evictions",
+        base.runtime_cycles as f64 / constrained.runtime_cycles as f64,
+        constrained.global.evictions
+    );
+    println!();
+
+    // MG vs the included workloads at 50% memory: the hierarchy sweep
+    // has so little reuse that out-of-core execution collapses.
+    let mg = mg_trace(CORES, &MgConfig::class_b());
+    println!(
+        "MG footprint: {} pages — 'highly memory intensive', low reuse ({:.1} touches/page)",
+        mg.footprint_pages(),
+        mg.total_touches() as f64 / mg.footprint_pages() as f64
+    );
+    let (mg_rel, mg_faults) = run(&mg, 0.5);
+    println!("  50% memory: relative perf {mg_rel:.2}, {mg_faults:.0} faults/core");
+    let cg = Workload::Cg(WorkloadClass::B).trace(CORES);
+    let (cg_rel, _) = run(&cg, 0.5);
+    println!("  (cg.B at the same 50%: {cg_rel:.2})");
+    println!();
+
+    // FT: every step transposes the whole complex field — all-to-all
+    // access with no locality between axis passes.
+    let ft = ft_trace(CORES, &FtConfig::class_b());
+    println!(
+        "FT footprint: {} pages — transpose passes touch everything in two orders",
+        ft.footprint_pages()
+    );
+    let (ft_rel, ft_faults) = run(&ft, 0.5);
+    println!("  50% memory: relative perf {ft_rel:.2}, {ft_faults:.0} faults/core");
+    println!();
+
+    // IS: the histogram scatter makes its pages all-core shared — PSPT's
+    // precision buys nothing and CMCP's signal is uniform, so it would
+    // not discriminate between the policies ("doesn't appear to have
+    // high importance for our study").
+    let is = is_trace(CORES, &IsConfig::class_b());
+    let hist = cmcp::workloads::synthetic::sharing_histogram(&is);
+    let total: usize = hist.iter().sum();
+    let all_core: usize = hist[CORES - 1];
+    println!(
+        "IS footprint: {} pages; {all_core}/{total} pages mapped by all {CORES} cores",
+        is.footprint_pages()
+    );
+    let (is_rel, is_faults) = run(&is, 0.5);
+    println!("  50% memory: relative perf {is_rel:.2}, {is_faults:.0} faults/core");
+    println!();
+    println!("Reading: EP is untouched by any constraint (its working set always");
+    println!("fits), while MG loses far more than the included workloads — the");
+    println!("paper's two exclusion arguments, reproduced.");
+}

@@ -1,0 +1,29 @@
+//! Runs every experiment binary's logic in sequence by invoking the
+//! sibling binaries. Useful for regenerating all of `results/` and the
+//! numbers in EXPERIMENTS.md in one command:
+//!
+//! ```text
+//! cargo run --release -p cmcp-bench --bin all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("target dir");
+    let bins = [
+        "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablation_policies",
+        "ablation_aging", "ablation_ipi", "ablation_rebuild", "ablation_excluded",
+    ];
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed; JSON in ./results/");
+}

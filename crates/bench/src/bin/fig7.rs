@@ -1,0 +1,73 @@
+//! Figure 7: runtime of the NAS benchmarks and SCALE (sml) at 8–56
+//! cores under five configurations — no data movement, regular page
+//! tables + FIFO, PSPT + FIFO, PSPT + LRU, PSPT + CMCP — with the memory
+//! constraint tuned so PSPT+FIFO lands at 50–60 % of no-data-movement
+//! performance (paper §5.3/§5.4).
+//!
+//! Shape targets: regular PT stops scaling past ~24 cores; LRU runs
+//! *slower* than FIFO despite fewer faults; CMCP beats FIFO on every
+//! workload (the paper reports +38/25/23/13 % at 56 cores for
+//! BT/LU/CG/SCALE).
+
+use serde::Serialize;
+
+use cmcp::WorkloadClass;
+use cmcp_bench::{
+    fig7_configs, markdown_table, run_config, save_results, workloads, TraceCache, CORE_COUNTS,
+};
+
+#[derive(Serialize)]
+struct Fig7Point {
+    workload: String,
+    config: String,
+    cores: usize,
+    runtime_cycles: u64,
+    runtime_ms: f64,
+}
+
+fn main() {
+    let mut cache = TraceCache::new();
+    let mut results = Vec::new();
+    println!("# Figure 7 — runtime vs cores for five configurations\n");
+    for w in workloads(WorkloadClass::B) {
+        println!("## {w}  (runtime in virtual ms; lower is better)\n");
+        let configs = fig7_configs(w);
+        let headers: Vec<String> = std::iter::once("cores".to_string())
+            .chain(configs.iter().map(|(n, ..)| n.to_string()))
+            .collect();
+        let mut rows = Vec::new();
+        let mut at56: Vec<(String, u64)> = Vec::new();
+        for &cores in &CORE_COUNTS {
+            let trace = cache.get(w, cores).clone();
+            let mut row = vec![cores.to_string()];
+            for (name, scheme, policy, ratio) in &configs {
+                let r = run_config(&trace, *scheme, *policy, *ratio, cmcp::PageSize::K4);
+                row.push(format!("{:.2}", r.runtime_secs * 1e3));
+                if cores == 56 {
+                    at56.push((name.to_string(), r.runtime_cycles));
+                }
+                results.push(Fig7Point {
+                    workload: w.label().to_string(),
+                    config: name.to_string(),
+                    cores,
+                    runtime_cycles: r.runtime_cycles,
+                    runtime_ms: r.runtime_secs * 1e3,
+                });
+            }
+            rows.push(row);
+        }
+        println!("{}", markdown_table(&headers, &rows));
+        // The paper's headline comparison at 56 cores.
+        let find = |n: &str| at56.iter().find(|(name, _)| name == n).map(|&(_, c)| c);
+        if let (Some(fifo), Some(lru), Some(cmcp_rt)) =
+            (find("PSPT + FIFO"), find("PSPT + LRU"), find("PSPT + CMCP"))
+        {
+            println!(
+                "At 56 cores: CMCP vs FIFO: {:+.1}%   LRU vs FIFO: {:+.1}%\n",
+                (fifo as f64 / cmcp_rt as f64 - 1.0) * 100.0,
+                (fifo as f64 / lru as f64 - 1.0) * 100.0,
+            );
+        }
+    }
+    save_results("fig7", &results);
+}

@@ -1,0 +1,258 @@
+//! `cmcp-cli` — command-line front end for the simulator.
+//!
+//! ```text
+//! cmcp-cli --workload cg.B --cores 56 --policy cmcp:0.75 --memory 0.37
+//! cmcp-cli --workload scale.sml --policy lru --scheme regular --page-size 64k --json
+//! cmcp-cli --list
+//! ```
+
+use std::process::ExitCode;
+
+use cmcp::{
+    EngineMode, PageSize, PolicyKind, SchemeChoice, SimulationBuilder, Workload, WorkloadClass,
+};
+
+const USAGE: &str = "\
+cmcp-cli — many-core hierarchical memory management simulator (HPDC'14 CMCP)
+
+USAGE:
+    cmcp-cli [OPTIONS]
+
+OPTIONS:
+    --workload <NAME>    cg.B cg.C lu.B lu.C bt.B bt.C scale.sml scale.big
+                         (default: cg.B)
+    --cores <N>          application cores, 1..=256 (default: 16)
+    --policy <P>         fifo | lru | clock | lfu | random | adaptive |
+                         cmcp[:RATIO]        (default: cmcp:0.75)
+    --scheme <S>         pspt | regular      (default: pspt)
+    --page-size <SZ>     4k | 64k | 2m       (default: 4k)
+    --memory <RATIO>     device RAM as a fraction of the declared
+                         footprint (default: the workload's paper
+                         constraint)
+    --parallel [N]       use the threaded engine (N threads, 0 = auto)
+    --rebuild <MS>       periodic PSPT rebuild every MS virtual ms
+    --json               emit the full report as JSON
+    --list               list workloads and exit
+    --help               this text
+";
+
+struct Args {
+    workload: Workload,
+    cores: usize,
+    policy: PolicyKind,
+    scheme: SchemeChoice,
+    page_size: PageSize,
+    memory: Option<f64>,
+    engine: EngineMode,
+    rebuild_ms: u64,
+    json: bool,
+}
+
+fn parse_workload(s: &str) -> Result<Workload, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "cg.b" => Ok(Workload::Cg(WorkloadClass::B)),
+        "cg.c" => Ok(Workload::Cg(WorkloadClass::C)),
+        "lu.b" => Ok(Workload::Lu(WorkloadClass::B)),
+        "lu.c" => Ok(Workload::Lu(WorkloadClass::C)),
+        "bt.b" => Ok(Workload::Bt(WorkloadClass::B)),
+        "bt.c" => Ok(Workload::Bt(WorkloadClass::C)),
+        "scale.sml" | "scale.b" => Ok(Workload::Scale(WorkloadClass::B)),
+        "scale.big" | "scale.c" => Ok(Workload::Scale(WorkloadClass::C)),
+        _ => Err(format!("unknown workload '{s}' (try --list)")),
+    }
+}
+
+fn parse_policy(s: &str) -> Result<PolicyKind, String> {
+    let lower = s.to_ascii_lowercase();
+    if let Some(ratio) = lower.strip_prefix("cmcp:") {
+        let p: f64 = ratio.parse().map_err(|_| format!("bad CMCP ratio '{ratio}'"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("CMCP ratio {p} outside [0, 1]"));
+        }
+        return Ok(PolicyKind::Cmcp { p });
+    }
+    match lower.as_str() {
+        "fifo" => Ok(PolicyKind::Fifo),
+        "lru" => Ok(PolicyKind::Lru),
+        "clock" => Ok(PolicyKind::Clock),
+        "lfu" => Ok(PolicyKind::Lfu),
+        "random" => Ok(PolicyKind::Random),
+        "adaptive" => Ok(PolicyKind::AdaptiveCmcp),
+        "cmcp" => Ok(PolicyKind::Cmcp { p: 0.75 }),
+        _ => Err(format!("unknown policy '{s}'")),
+    }
+}
+
+fn parse_page_size(s: &str) -> Result<PageSize, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "4k" | "4kb" => Ok(PageSize::K4),
+        "64k" | "64kb" => Ok(PageSize::K64),
+        "2m" | "2mb" => Ok(PageSize::M2),
+        _ => Err(format!("unknown page size '{s}' (4k | 64k | 2m)")),
+    }
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        workload: Workload::Cg(WorkloadClass::B),
+        cores: 16,
+        policy: PolicyKind::Cmcp { p: 0.75 },
+        scheme: SchemeChoice::Pspt,
+        page_size: PageSize::K4,
+        memory: None,
+        engine: EngineMode::Deterministic,
+        rebuild_ms: 0,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list" => {
+                for class in [WorkloadClass::B, WorkloadClass::C] {
+                    for w in Workload::all(class) {
+                        let t = w.trace(2);
+                        println!(
+                            "{:12} footprint {:>7} pages, declared {:>7} pages, paper constraint {:.0}%",
+                            w.label(),
+                            t.footprint_pages(),
+                            t.declared_blocks(PageSize::K4),
+                            w.paper_constraint() * 100.0
+                        );
+                    }
+                }
+                return Ok(None);
+            }
+            "--workload" => args.workload = parse_workload(&value("--workload")?)?,
+            "--cores" => {
+                args.cores = value("--cores")?
+                    .parse()
+                    .map_err(|_| "bad core count".to_string())?;
+                if args.cores == 0 || args.cores > 256 {
+                    return Err("cores must be 1..=256".into());
+                }
+            }
+            "--policy" => args.policy = parse_policy(&value("--policy")?)?,
+            "--scheme" => {
+                args.scheme = match value("--scheme")?.to_ascii_lowercase().as_str() {
+                    "pspt" => SchemeChoice::Pspt,
+                    "regular" => SchemeChoice::Regular,
+                    other => return Err(format!("unknown scheme '{other}'")),
+                }
+            }
+            "--page-size" => args.page_size = parse_page_size(&value("--page-size")?)?,
+            "--memory" => {
+                let m: f64 =
+                    value("--memory")?.parse().map_err(|_| "bad memory ratio".to_string())?;
+                if m <= 0.0 {
+                    return Err("memory ratio must be positive".into());
+                }
+                args.memory = Some(m);
+            }
+            "--parallel" => args.engine = EngineMode::Parallel(0),
+            "--rebuild" => {
+                args.rebuild_ms =
+                    value("--rebuild")?.parse().map_err(|_| "bad rebuild period".to_string())?;
+            }
+            "--json" => args.json = true,
+            other => return Err(format!("unknown flag '{other}' (see --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let memory = args.memory.unwrap_or_else(|| args.workload.paper_constraint());
+    let report = SimulationBuilder::workload(args.workload)
+        .cores(args.cores)
+        .scheme(args.scheme)
+        .policy(args.policy)
+        .page_size(args.page_size)
+        .memory_ratio(memory)
+        .engine(args.engine)
+        .pspt_rebuild_period(args.rebuild_ms * 1_053_000)
+        .run();
+
+    if args.json {
+        let value = serde_json::json!({
+            "workload": report.label,
+            "config": report.config,
+            "runtime_cycles": report.runtime_cycles,
+            "runtime_ms": report.runtime_secs * 1e3,
+            "per_core": report.per_core,
+            "global": report.global,
+            "dma_bytes_in": report.dma_bytes.0,
+            "dma_bytes_out": report.dma_bytes.1,
+            "sharing_histogram": report.sharing_histogram,
+        });
+        println!("{}", serde_json::to_string_pretty(&value).expect("serializable report"));
+    } else {
+        println!("{} | {}", report.label, report.config);
+        println!("  memory ratio        {memory:.2}");
+        println!("  runtime             {:.3} ms ({} cycles)", report.runtime_secs * 1e3, report.runtime_cycles);
+        println!("  page faults/core    {:.0}", report.avg_page_faults());
+        println!("  remote TLB inv/core {:.0}", report.avg_remote_invalidations());
+        println!("  dTLB misses/core    {:.0}", report.avg_dtlb_misses());
+        println!(
+            "  evictions {} (write-backs {}), refaults {}, scan ticks {}, rebuilds {}",
+            report.global.evictions,
+            report.global.writebacks,
+            report.global.refaults,
+            report.global.scan_ticks,
+            report.global.rebuilds
+        );
+        println!(
+            "  DMA: {:.1} MB in, {:.1} MB out",
+            report.dma_bytes.0 as f64 / 1e6,
+            report.dma_bytes.1 as f64 / 1e6
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_parse() {
+        assert!(matches!(parse_workload("cg.B"), Ok(Workload::Cg(WorkloadClass::B))));
+        assert!(matches!(parse_workload("SCALE.BIG"), Ok(Workload::Scale(WorkloadClass::C))));
+        assert!(matches!(parse_workload("scale.sml"), Ok(Workload::Scale(WorkloadClass::B))));
+        assert!(parse_workload("ft.B").is_err());
+    }
+
+    #[test]
+    fn policy_names_parse() {
+        assert!(matches!(parse_policy("fifo"), Ok(PolicyKind::Fifo)));
+        assert!(matches!(parse_policy("CMCP"), Ok(PolicyKind::Cmcp { .. })));
+        match parse_policy("cmcp:0.25") {
+            Ok(PolicyKind::Cmcp { p }) => assert!((p - 0.25).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_policy("cmcp:1.5").is_err());
+        assert!(parse_policy("mru").is_err());
+    }
+
+    #[test]
+    fn page_sizes_parse() {
+        assert!(matches!(parse_page_size("4k"), Ok(PageSize::K4)));
+        assert!(matches!(parse_page_size("64KB"), Ok(PageSize::K64)));
+        assert!(matches!(parse_page_size("2m"), Ok(PageSize::M2)));
+        assert!(parse_page_size("1g").is_err());
+    }
+}

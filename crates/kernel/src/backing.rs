@@ -1,0 +1,78 @@
+//! The host-memory backing store.
+//!
+//! Under the paper's model the application's whole virtual address space
+//! conceptually lives in host memory; the device RAM holds the currently
+//! resident subset. The store tracks which blocks have ever been
+//! materialized so the kernel can distinguish first-touch faults (zero
+//! fill, no transfer needed in from the host) from refaults (a real
+//! host→device DMA), and it counts write-backs for the reports.
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+
+use cmcp_arch::VirtPage;
+
+/// Host-side block store (content-free: the simulator tracks residency
+/// and movement, not data bytes).
+#[derive(Debug, Default)]
+pub struct BackingStore {
+    present: Mutex<HashSet<u64>>,
+}
+
+impl BackingStore {
+    /// An empty store: every first touch is a zero-fill fault.
+    pub fn new() -> BackingStore {
+        BackingStore::default()
+    }
+
+    /// Whether `block` has been written back before (a fault on it needs
+    /// a host→device transfer).
+    pub fn contains(&self, block: VirtPage) -> bool {
+        self.present.lock().contains(&block.0)
+    }
+
+    /// Records a write-back of `block` (device→host).
+    pub fn store(&self, block: VirtPage) {
+        self.present.lock().insert(block.0);
+    }
+
+    /// Number of blocks currently held on the host.
+    pub fn len(&self) -> usize {
+        self.present.lock().len()
+    }
+
+    /// Whether nothing has been written back yet.
+    pub fn is_empty(&self) -> bool {
+        self.present.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_absent() {
+        let b = BackingStore::new();
+        assert!(!b.contains(VirtPage(1)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn store_then_contains() {
+        let b = BackingStore::new();
+        b.store(VirtPage(7));
+        assert!(b.contains(VirtPage(7)));
+        assert!(!b.contains(VirtPage(8)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn store_is_idempotent() {
+        let b = BackingStore::new();
+        b.store(VirtPage(7));
+        b.store(VirtPage(7));
+        assert_eq!(b.len(), 1);
+    }
+}

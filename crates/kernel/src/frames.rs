@@ -1,0 +1,116 @@
+//! The device-RAM frame pool.
+//!
+//! Physical memory on the co-processor is handed out in *blocks*: aligned
+//! runs of 4 kB frames matching the experiment's page size (1, 16 or 512
+//! frames). Each experiment fixes one block size, so the pool is a simple
+//! free stack of block-aligned runs — mirroring how the paper's kernel
+//! dedicates a physically contiguous region to the PSPT computation area.
+
+use parking_lot::Mutex;
+
+use cmcp_arch::{PageSize, PhysFrame};
+
+/// Fixed-block-size frame allocator over the device RAM.
+#[derive(Debug)]
+pub struct FramePool {
+    block_size: PageSize,
+    free: Mutex<Vec<PhysFrame>>,
+    total_blocks: usize,
+}
+
+impl FramePool {
+    /// A pool of `blocks` blocks of `block_size` each, starting at
+    /// physical frame 0.
+    pub fn new(block_size: PageSize, blocks: usize) -> FramePool {
+        let span = block_size.pages_4k() as u32;
+        // Stack is popped from the back; push in reverse so allocation
+        // order is ascending (nicer to debug, irrelevant to correctness).
+        let free = (0..blocks as u32).rev().map(|i| PhysFrame(i * span)).collect();
+        FramePool { block_size, free: Mutex::new(free), total_blocks: blocks }
+    }
+
+    /// Block size served by this pool.
+    pub fn block_size(&self) -> PageSize {
+        self.block_size
+    }
+
+    /// Total capacity in blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// Currently free blocks.
+    pub fn free_blocks(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Takes a block, or `None` when device RAM is exhausted (the caller
+    /// must evict first).
+    pub fn alloc(&self) -> Option<PhysFrame> {
+        self.free.lock().pop()
+    }
+
+    /// Returns a block to the pool.
+    ///
+    /// Panics if the frame is not block-aligned — catching double frees
+    /// of mis-sized runs early.
+    pub fn free(&self, frame: PhysFrame) {
+        let span = self.block_size.pages_4k() as u32;
+        assert!(frame.0.is_multiple_of(span), "freeing unaligned block head {frame}");
+        let mut free = self.free.lock();
+        debug_assert!(!free.contains(&frame), "double free of {frame}");
+        debug_assert!(free.len() < self.total_blocks, "pool overfull");
+        free.push(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_aligned_blocks() {
+        let pool = FramePool::new(PageSize::K64, 4);
+        for _ in 0..4 {
+            let f = pool.alloc().unwrap();
+            assert_eq!(f.0 % 16, 0, "64kB block must be 16-frame aligned");
+        }
+        assert!(pool.alloc().is_none());
+    }
+
+    #[test]
+    fn free_recycles() {
+        let pool = FramePool::new(PageSize::K4, 2);
+        let a = pool.alloc().unwrap();
+        let _b = pool.alloc().unwrap();
+        assert_eq!(pool.free_blocks(), 0);
+        pool.free(a);
+        assert_eq!(pool.free_blocks(), 1);
+        assert_eq!(pool.alloc(), Some(a));
+    }
+
+    #[test]
+    fn distinct_blocks_never_overlap() {
+        let pool = FramePool::new(PageSize::M2, 8);
+        let mut heads: Vec<u32> = (0..8).map(|_| pool.alloc().unwrap().0).collect();
+        heads.sort_unstable();
+        for w in heads.windows(2) {
+            assert!(w[1] - w[0] >= 512, "2MB blocks are 512 frames apart");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_free_is_rejected() {
+        let pool = FramePool::new(PageSize::K64, 2);
+        pool.free(PhysFrame(3));
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let pool = FramePool::new(PageSize::K4, 100);
+        assert_eq!(pool.total_blocks(), 100);
+        assert_eq!(pool.free_blocks(), 100);
+        assert_eq!(pool.block_size(), PageSize::K4);
+    }
+}

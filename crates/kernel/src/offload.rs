@@ -1,0 +1,139 @@
+//! System-call offloading to the host.
+//!
+//! The paper's lightweight kernel keeps only the hot paths on the
+//! co-processor; "heavy system calls are shipped to and executed on the
+//! host" (§2.1) over the IKC channel. File I/O — SCALE writes history
+//! and restart files — is the prime example.
+//!
+//! The offload engine wraps an [`IkcChannel`] and keeps per-core counts;
+//! the engine charges the round trip (queueing included) to the calling
+//! core's clock, so offload-heavy phases serialize visibly, which is
+//! precisely why the kernel design keeps them off the paging fast path.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use cmcp_arch::{CoreClock, CoreId, Cycles, IkcChannel, IkcMessage};
+
+use cmcp_arch::CostModel;
+
+/// Host-side service-time catalogue (cycles of host work at device
+/// clock), loosely calibrated to Linux syscall latencies plus the
+/// host-kernel proxy thread dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Syscall {
+    /// `open`/`close`-class metadata operation.
+    Metadata,
+    /// `read` of `bytes` from a host file.
+    Read(u64),
+    /// `write` of `bytes` to a host file.
+    Write(u64),
+}
+
+impl Syscall {
+    /// IKC message for this call.
+    pub fn message(self) -> IkcMessage {
+        match self {
+            Syscall::Metadata => IkcMessage::Syscall { service: 8_000, payload: 256 },
+            Syscall::Read(bytes) => IkcMessage::Syscall { service: 12_000, payload: bytes },
+            Syscall::Write(bytes) => IkcMessage::Syscall { service: 15_000, payload: bytes },
+        }
+    }
+}
+
+/// The per-address-space offload engine.
+#[derive(Debug)]
+pub struct OffloadEngine {
+    channel: IkcChannel,
+    calls: Vec<AtomicU64>,
+    wait_cycles: Vec<AtomicU64>,
+}
+
+impl OffloadEngine {
+    /// An engine for `cores` cores over a channel with `cost`'s link
+    /// characteristics.
+    pub fn new(cost: &CostModel, cores: usize) -> OffloadEngine {
+        OffloadEngine {
+            channel: IkcChannel::new(cost),
+            calls: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+            wait_cycles: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Executes `call` on behalf of `core`, blocking its clock for the
+    /// full round trip.
+    pub fn syscall(&self, core: CoreId, clock: &CoreClock, call: Syscall) -> Cycles {
+        let now = clock.now();
+        let done = self.channel.round_trip(now, call.message());
+        let wait = done.done_at.saturating_sub(now);
+        clock.advance(wait);
+        self.calls[core.index()].fetch_add(1, Relaxed);
+        self.wait_cycles[core.index()].fetch_add(wait, Relaxed);
+        wait
+    }
+
+    /// Offloaded calls issued by `core`.
+    pub fn calls(&self, core: CoreId) -> u64 {
+        self.calls[core.index()].load(Relaxed)
+    }
+
+    /// Cycles `core` spent blocked on offloads.
+    pub fn wait_cycles(&self, core: CoreId) -> u64 {
+        self.wait_cycles[core.index()].load(Relaxed)
+    }
+
+    /// Total round trips across cores.
+    pub fn total_calls(&self) -> u64 {
+        self.channel.requests()
+    }
+
+    /// Total payload bytes shipped over IKC.
+    pub fn total_payload(&self) -> u64 {
+        self.channel.payload_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(cores: usize) -> OffloadEngine {
+        OffloadEngine::new(&CostModel::default(), cores)
+    }
+
+    #[test]
+    fn syscall_blocks_the_caller() {
+        let e = engine(2);
+        let clock = CoreClock::new();
+        let wait = e.syscall(CoreId(0), &clock, Syscall::Metadata);
+        assert!(wait > 8_000, "at least the host service time: {wait}");
+        assert_eq!(clock.now(), wait);
+        assert_eq!(e.calls(CoreId(0)), 1);
+        assert_eq!(e.calls(CoreId(1)), 0);
+    }
+
+    #[test]
+    fn writes_cost_more_with_more_bytes() {
+        let e = engine(1);
+        let clock = CoreClock::new();
+        let small = e.syscall(CoreId(0), &clock, Syscall::Write(4 << 10));
+        // Leave a gap so the channel is idle again.
+        clock.advance(10_000_000);
+        let big = e.syscall(CoreId(0), &clock, Syscall::Write(4 << 20));
+        assert!(big > 5 * small, "4MB write must dwarf 4kB: {small} vs {big}");
+        assert_eq!(e.total_payload(), (4 << 10) + (4 << 20));
+    }
+
+    #[test]
+    fn concurrent_callers_serialize_on_the_channel() {
+        let e = engine(4);
+        let clocks: Vec<CoreClock> = (0..4).map(|_| CoreClock::new()).collect();
+        let waits: Vec<u64> = (0..4)
+            .map(|c| e.syscall(CoreId(c as u16), &clocks[c], Syscall::Read(1 << 20)))
+            .collect();
+        assert!(
+            waits[3] > waits[0] * 2,
+            "the fourth caller queues behind three 1MB reads: {waits:?}"
+        );
+        assert_eq!(e.total_calls(), 4);
+    }
+}

@@ -1,0 +1,148 @@
+//! Execution statistics, shaped after the paper's Table 1.
+//!
+//! Per-core counters are atomics so the parallel engine can update them
+//! without locks; snapshots are plain serde-able values used by the
+//! experiment harness.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core live counters (atomics).
+#[derive(Debug, Default)]
+pub struct CoreStats {
+    /// Page faults taken by this core.
+    pub page_faults: AtomicU64,
+    /// TLB invalidation requests *received* from other cores — the
+    /// "remote TLB invalidations" column of Table 1.
+    pub remote_inv_received: AtomicU64,
+    /// Shootdown IPIs *sent* by this core (requester side).
+    pub remote_inv_sent: AtomicU64,
+    /// Cycles spent inside the page-fault handler.
+    pub fault_cycles: AtomicU64,
+    /// Cycles spent waiting for DMA transfers (incl. queueing).
+    pub dma_wait_cycles: AtomicU64,
+    /// Cycles spent in the shootdown send loop + ack wait.
+    pub shootdown_cycles: AtomicU64,
+    /// Cycles spent queueing on page-table locks.
+    pub lock_wait_cycles: AtomicU64,
+}
+
+impl CoreStats {
+    /// Immutable copy of the current values.
+    pub fn snapshot(&self) -> CoreStatsSnapshot {
+        CoreStatsSnapshot {
+            page_faults: self.page_faults.load(Relaxed),
+            remote_inv_received: self.remote_inv_received.load(Relaxed),
+            remote_inv_sent: self.remote_inv_sent.load(Relaxed),
+            fault_cycles: self.fault_cycles.load(Relaxed),
+            dma_wait_cycles: self.dma_wait_cycles.load(Relaxed),
+            shootdown_cycles: self.shootdown_cycles.load(Relaxed),
+            lock_wait_cycles: self.lock_wait_cycles.load(Relaxed),
+            dtlb_misses: 0,
+            dtlb_accesses: 0,
+            cycles: 0,
+        }
+    }
+}
+
+/// Frozen per-core statistics; `dtlb_*` and `cycles` are filled in by the
+/// engine, which owns the TLBs and clocks.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CoreStatsSnapshot {
+    /// Page faults taken by this core.
+    pub page_faults: u64,
+    /// Remote TLB invalidation requests received (Table 1).
+    pub remote_inv_received: u64,
+    /// Shootdown IPIs sent.
+    pub remote_inv_sent: u64,
+    /// Cycles inside the fault handler.
+    pub fault_cycles: u64,
+    /// Cycles waiting on DMA.
+    pub dma_wait_cycles: u64,
+    /// Cycles in shootdown send/ack.
+    pub shootdown_cycles: u64,
+    /// Cycles queueing on page-table locks.
+    pub lock_wait_cycles: u64,
+    /// Data TLB misses (page walks) — Table 1.
+    pub dtlb_misses: u64,
+    /// Translated accesses.
+    pub dtlb_accesses: u64,
+    /// Final virtual time of the core.
+    pub cycles: u64,
+}
+
+/// Kernel-global live counters.
+#[derive(Debug, Default)]
+pub struct GlobalStats {
+    /// Blocks evicted.
+    pub evictions: AtomicU64,
+    /// Evictions that required a dirty write-back.
+    pub writebacks: AtomicU64,
+    /// Accessed-bit scan timer ticks executed.
+    pub scan_ticks: AtomicU64,
+    /// PTEs examined by scans (timer + reclaim second chances).
+    pub scan_ptes: AtomicU64,
+    /// Blocks faulted in from the backing store (vs first-touch).
+    pub refaults: AtomicU64,
+    /// PSPT rebuild passes executed.
+    pub rebuilds: AtomicU64,
+}
+
+impl GlobalStats {
+    /// Immutable copy of the current values.
+    pub fn snapshot(&self) -> GlobalStatsSnapshot {
+        GlobalStatsSnapshot {
+            evictions: self.evictions.load(Relaxed),
+            writebacks: self.writebacks.load(Relaxed),
+            scan_ticks: self.scan_ticks.load(Relaxed),
+            scan_ptes: self.scan_ptes.load(Relaxed),
+            refaults: self.refaults.load(Relaxed),
+            rebuilds: self.rebuilds.load(Relaxed),
+        }
+    }
+}
+
+/// Frozen kernel-global statistics.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct GlobalStatsSnapshot {
+    /// Blocks evicted.
+    pub evictions: u64,
+    /// Dirty write-backs.
+    pub writebacks: u64,
+    /// Scan timer ticks.
+    pub scan_ticks: u64,
+    /// PTEs examined by statistics scans.
+    pub scan_ptes: u64,
+    /// Faults on blocks seen before (working-set refaults).
+    pub refaults: u64,
+    /// PSPT rebuild passes executed.
+    pub rebuilds: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = CoreStats::default();
+        s.page_faults.fetch_add(3, Relaxed);
+        s.remote_inv_received.fetch_add(7, Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.page_faults, 3);
+        assert_eq!(snap.remote_inv_received, 7);
+        assert_eq!(snap.dtlb_misses, 0, "engine fills TLB stats later");
+    }
+
+    #[test]
+    fn global_snapshot() {
+        let g = GlobalStats::default();
+        g.evictions.fetch_add(2, Relaxed);
+        g.writebacks.fetch_add(1, Relaxed);
+        let snap = g.snapshot();
+        assert_eq!(snap.evictions, 2);
+        assert_eq!(snap.writebacks, 1);
+        assert_eq!(snap.scan_ticks, 0);
+    }
+}

@@ -1,0 +1,693 @@
+//! The virtual memory manager: demand paging between device RAM and the
+//! host backing store.
+//!
+//! This is the code path the whole paper is about. On a page fault the
+//! kernel:
+//!
+//! 1. serializes on the page-table lock — address-space-wide for regular
+//!    tables, sharded/fine-grained for PSPT (modeled as virtual-time
+//!    reservation resources, so contention costs queueing delay);
+//! 2. if the block is already resident (PSPT minor fault), copies a PTE
+//!    from a sibling core's table and reports the new core-map count to
+//!    the policy — CMCP's signal;
+//! 3. otherwise allocates a block of device frames, evicting a victim
+//!    chosen by the replacement policy when RAM is full: the victim is
+//!    unmapped everywhere, the mapping cores' TLBs are shot down (a
+//!    broadcast under regular tables, the precise set under PSPT), dirty
+//!    blocks are written back over the DMA engine, and the new block is
+//!    DMA'd in if it has real content on the host;
+//! 4. charges every step's cycles to the faulting core, to the DMA and
+//!    lock reservation clocks, and to the interrupted remote cores.
+//!
+//! The accessed-bit scan timer (10 ms of virtual time, dedicated
+//! hyperthreads — paper §5.1) lives here too: policies that want recency
+//! information get it through the kernel's `AccessBitOracle`
+//! implementation, which performs real PTE scans and pays for the remote
+//! TLB invalidations x86 requires.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cmcp_arch::{
+    dma::DmaDirection, CoreClock, CoreId, CoreSet, CostModel, Cycles, DmaModel, PageSize,
+    RingModel, VirtPage, VirtualResource,
+};
+use cmcp_core::{AccessBitOracle, ReplacementPolicy};
+use cmcp_pagetable::{MapOutcome, Pspt, RegularTables, TableScheme, Translation};
+
+use crate::backing::BackingStore;
+use crate::config::{KernelConfig, SchemeChoice};
+use crate::frames::FramePool;
+use crate::offload::{OffloadEngine, Syscall};
+use crate::stats::{CoreStats, GlobalStats};
+
+const LOCK_SHARDS: usize = 64;
+
+/// Classification of a handled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Block was not resident: allocated (and possibly evicted + DMA'd).
+    Major,
+    /// PSPT minor fault: block resident, PTE copied from a sibling.
+    MinorCopy,
+    /// Lost race (parallel engine): the block became mapped for this core
+    /// between the TLB miss and the handler.
+    Spurious,
+}
+
+/// The kernel memory manager for one simulated address space.
+pub struct Vmm {
+    cfg: KernelConfig,
+    scheme: SchemeObj,
+    policy: Mutex<Box<dyn ReplacementPolicy>>,
+    pool: FramePool,
+    backing: BackingStore,
+    dma: DmaModel,
+    ring: RingModel,
+    /// block head → frame head for resident blocks.
+    resident: Mutex<HashMap<u64, cmcp_arch::PhysFrame>>,
+    /// Blocks whose dirty bits were harvested by a PSPT rebuild before
+    /// they could be written back: they still owe a write-back when
+    /// eventually evicted.
+    pending_dirty: Mutex<std::collections::HashSet<u64>>,
+    /// Regular tables: one address-space-wide lock.
+    pt_global_lock: VirtualResource,
+    /// PSPT: sharded fine-grained locks.
+    pt_shard_locks: Vec<VirtualResource>,
+    clocks: Arc<Vec<CoreClock>>,
+    /// Pending TLB invalidations per core, applied by the owning core.
+    mailboxes: Vec<Mutex<Vec<VirtPage>>>,
+    mailbox_flags: Vec<AtomicBool>,
+    core_stats: Vec<CoreStats>,
+    global: GlobalStats,
+    offload: OffloadEngine,
+}
+
+/// Static dispatch over the two schemes (keeps the fault path free of a
+/// per-call vtable and lets `sharing_histogram` stay PSPT-specific).
+enum SchemeObj {
+    Regular(RegularTables),
+    Pspt(Pspt),
+}
+
+impl SchemeObj {
+    fn as_dyn(&self) -> &dyn TableScheme {
+        match self {
+            SchemeObj::Regular(t) => t,
+            SchemeObj::Pspt(t) => t,
+        }
+    }
+}
+
+impl Vmm {
+    /// Builds the memory manager and its per-core clocks.
+    pub fn new(cfg: KernelConfig) -> Vmm {
+        assert!(cfg.cores > 0, "need at least one core");
+        assert!(cfg.device_blocks > 0, "need at least one device block");
+        let scheme = match cfg.scheme {
+            SchemeChoice::Regular => SchemeObj::Regular(RegularTables::new(cfg.cores)),
+            SchemeChoice::Pspt => SchemeObj::Pspt(Pspt::new(cfg.cores)),
+        };
+        Vmm {
+            scheme,
+            policy: Mutex::new(cfg.policy.build(cfg.device_blocks)),
+            pool: FramePool::new(cfg.block_size, cfg.device_blocks),
+            backing: BackingStore::new(),
+            dma: DmaModel::with_clients(&cfg.cost, cfg.cores),
+            ring: RingModel::new(cfg.cores, &cfg.cost),
+            resident: Mutex::new(HashMap::new()),
+            pending_dirty: Mutex::new(std::collections::HashSet::new()),
+            pt_global_lock: VirtualResource::new(),
+            pt_shard_locks: (0..LOCK_SHARDS).map(|_| VirtualResource::new()).collect(),
+            clocks: Arc::new((0..cfg.cores).map(|_| CoreClock::new()).collect()),
+            mailboxes: (0..cfg.cores).map(|_| Mutex::new(Vec::new())).collect(),
+            mailbox_flags: (0..cfg.cores).map(|_| AtomicBool::new(false)).collect(),
+            core_stats: (0..cfg.cores).map(|_| CoreStats::default()).collect(),
+            global: GlobalStats::default(),
+            offload: OffloadEngine::new(&cfg.cost, cfg.cores),
+            cfg,
+        }
+    }
+
+    /// The per-core virtual clocks (shared with the engine).
+    pub fn clocks(&self) -> &Arc<Vec<CoreClock>> {
+        &self.clocks
+    }
+
+    /// This run's configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// Cost table in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cfg.cost
+    }
+
+    /// Per-core statistics.
+    pub fn core_stats(&self) -> &[CoreStats] {
+        &self.core_stats
+    }
+
+    /// Kernel-global statistics.
+    pub fn global_stats(&self) -> &GlobalStats {
+        &self.global
+    }
+
+    /// The DMA engine (for occupancy reporting).
+    pub fn dma(&self) -> &DmaModel {
+        &self.dma
+    }
+
+    /// Total queueing delay observed on page-table locks.
+    pub fn lock_queue_cycles(&self) -> Cycles {
+        self.pt_global_lock.total_queued()
+            + self.pt_shard_locks.iter().map(|l| l.total_queued()).sum::<Cycles>()
+    }
+
+    /// Currently resident blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.resident.lock().len()
+    }
+
+    /// Figure 6's histogram (PSPT only): blocks by mapping-core count.
+    pub fn sharing_histogram(&self) -> Option<Vec<usize>> {
+        match &self.scheme {
+            SchemeObj::Pspt(p) => Some(p.sharing_histogram()),
+            SchemeObj::Regular(_) => None,
+        }
+    }
+
+    /// Hardware page walk on behalf of `core`.
+    pub fn translate(&self, core: CoreId, page: VirtPage) -> Option<Translation> {
+        self.scheme.as_dyn().translate(core, page)
+    }
+
+    /// Hardware accessed/dirty-bit update after a successful walk or a
+    /// first write to a clean TLB entry.
+    pub fn mark_accessed(&self, core: CoreId, page: VirtPage, write: bool) {
+        self.scheme.as_dyn().mark_accessed(core, page, write);
+    }
+
+    /// Whether `core` has pending TLB invalidations (lock-free check).
+    #[inline]
+    pub fn has_pending_invalidations(&self, core: CoreId) -> bool {
+        self.mailbox_flags[core.index()].load(Relaxed)
+    }
+
+    /// Drains `core`'s pending invalidations into `out` (the engine
+    /// applies them to the core's TLB; the interrupt cost was already
+    /// charged by the shootdown).
+    pub fn drain_invalidations(&self, core: CoreId, out: &mut Vec<VirtPage>) {
+        if !self.has_pending_invalidations(core) {
+            return;
+        }
+        let mut mb = self.mailboxes[core.index()].lock();
+        out.append(&mut mb);
+        self.mailbox_flags[core.index()].store(false, Relaxed);
+    }
+
+    /// Virtual-time period of the statistics scan timer.
+    pub fn scan_period(&self) -> Cycles {
+        self.cfg.cost.scan_period
+    }
+
+    /// The syscall-offload engine (IKC to the host).
+    pub fn offload(&self) -> &OffloadEngine {
+        &self.offload
+    }
+
+    /// Executes a host-offloaded system call on behalf of `core`.
+    pub fn offload_syscall(&self, core: CoreId, call: Syscall) -> Cycles {
+        self.offload.syscall(core, &self.clocks[core.index()], call)
+    }
+
+    /// Periodic PSPT rebuild (paper §5.6: "a more dynamic solution with
+    /// periodically rebuilding PSPT"): every resident block is unmapped
+    /// from every core's private table — TLBs included — so the core-map
+    /// counts re-form from the *current* access pattern as cores
+    /// re-fault their PTEs (minor faults: the frames stay resident).
+    ///
+    /// Returns the number of blocks torn down, or `None` under regular
+    /// tables (nothing to rebuild).
+    pub fn rebuild_pspt(&self) -> Option<usize> {
+        if !matches!(self.cfg.scheme, SchemeChoice::Pspt) {
+            return None;
+        }
+        let heads: Vec<u64> = self.resident.lock().keys().copied().collect();
+        let mut torn = 0;
+        for head in &heads {
+            let head = VirtPage(*head);
+            if let Some(out) = self.scheme.as_dyn().unmap_all(head, self.cfg.block_size) {
+                torn += 1;
+                // The rebuild runs on the dedicated maintenance
+                // hyperthreads (like the scan timer); targets still pay
+                // their interrupt cost.
+                self.shootdown(None, head, &out.mappers);
+                // Unmapping discards the PTE dirty bits; remember the
+                // write-back debt for the eventual eviction.
+                if out.dirty {
+                    self.pending_dirty.lock().insert(head.0);
+                }
+            }
+        }
+        self.global.rebuilds.fetch_add(1, Relaxed);
+        Some(torn)
+    }
+
+    /// Virtual-time period for PSPT rebuilding (0 = disabled).
+    pub fn rebuild_period(&self) -> Cycles {
+        self.cfg.pspt_rebuild_period
+    }
+
+    /// Whether the configured policy uses the scan timer at all.
+    pub fn wants_periodic_scan(&self) -> bool {
+        self.policy.lock().wants_periodic_scan()
+    }
+
+    #[inline]
+    fn block_of(&self, page: VirtPage) -> VirtPage {
+        page.align_down(self.cfg.block_size)
+    }
+
+    #[inline]
+    fn block_bytes(&self) -> u64 {
+        self.cfg.block_size.bytes()
+    }
+
+    /// PTE writes needed to (un)map one block on one core.
+    #[inline]
+    fn subentries(&self) -> u64 {
+        match self.cfg.block_size {
+            PageSize::M2 => 1,
+            s => s.pages_4k() as u64,
+        }
+    }
+
+    fn lock_for(&self, head: VirtPage) -> (&VirtualResource, Cycles) {
+        match self.cfg.scheme {
+            SchemeChoice::Regular => (&self.pt_global_lock, self.cfg.cost.regular_pt_lock),
+            SchemeChoice::Pspt => {
+                let h = (head.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize;
+                (&self.pt_shard_locks[h % LOCK_SHARDS], self.cfg.cost.pspt_lock)
+            }
+        }
+    }
+
+    /// Sends TLB shootdowns for `page` to `targets`.
+    ///
+    /// `requester = Some(core)` charges the serialized send loop and ack
+    /// wait to that core (and counts it as sender); `None` models the
+    /// dedicated statistics hyperthreads, whose own time is free but whose
+    /// IPIs still interrupt every target.
+    fn shootdown(&self, requester: Option<CoreId>, page: VirtPage, targets: &CoreSet) {
+        let source = requester.unwrap_or(CoreId(0));
+        let cost = self.ring.shootdown(source, targets);
+        if cost.targets > 0 {
+            if let Some(req) = requester {
+                self.clocks[req.index()].advance(cost.requester);
+                let st = &self.core_stats[req.index()];
+                st.shootdown_cycles.fetch_add(cost.requester, Relaxed);
+                st.remote_inv_sent.fetch_add(cost.targets as u64, Relaxed);
+            }
+            for t in targets.iter() {
+                if Some(t) == requester {
+                    continue;
+                }
+                self.clocks[t.index()].charge_remote(cost.per_target);
+                self.core_stats[t.index()].remote_inv_received.fetch_add(1, Relaxed);
+                self.mailboxes[t.index()].lock().push(page);
+                self.mailbox_flags[t.index()].store(true, Relaxed);
+            }
+        }
+        // Local invalidation on the requester, if it maps the page too.
+        if let Some(req) = requester {
+            if targets.contains(req) {
+                self.clocks[req.index()].advance(self.cfg.cost.tlb_invlpg);
+                self.mailboxes[req.index()].lock().push(page);
+                self.mailbox_flags[req.index()].store(true, Relaxed);
+            }
+        }
+    }
+
+    /// Evicts one victim block to free a frame. Called with the policy
+    /// lock held and device RAM exhausted.
+    fn evict_one(&self, policy: &mut Box<dyn ReplacementPolicy>, requester: CoreId) {
+        let mut oracle = KernelOracle { vmm: self, requester: Some(requester) };
+        let victim = policy
+            .select_victim(&mut oracle)
+            .expect("device RAM exhausted but policy tracks no blocks");
+        // A victim with no mappings is possible right after a PSPT
+        // rebuild: resident, but every PTE already torn down.
+        let out = self.scheme.as_dyn().unmap_all(victim, self.cfg.block_size);
+        let clock = &self.clocks[requester.index()];
+        let mut dirty = self.pending_dirty.lock().remove(&victim.0);
+        if let Some(out) = &out {
+            clock.advance(self.cfg.cost.pte_update * out.ptes_removed as u64);
+            self.shootdown(Some(requester), victim, &out.mappers);
+            dirty |= out.dirty;
+        }
+        if dirty {
+            let r = self.dma.transfer(clock.now(), self.block_bytes(), DmaDirection::DeviceToHost);
+            let wait = r.end.saturating_sub(clock.now());
+            clock.advance(wait);
+            self.core_stats[requester.index()].dma_wait_cycles.fetch_add(wait, Relaxed);
+            self.backing.store(victim);
+            self.global.writebacks.fetch_add(1, Relaxed);
+        }
+        let frame = self
+            .resident
+            .lock()
+            .remove(&victim.0)
+            .expect("victim tracked in resident map");
+        policy.on_evict(victim);
+        self.global.evictions.fetch_add(1, Relaxed);
+        self.pool.free(frame);
+    }
+
+    /// Handles a page fault raised by `core` on the 4 kB page `page`.
+    pub fn handle_fault(&self, core: CoreId, page: VirtPage, _write: bool) -> FaultKind {
+        let head = self.block_of(page);
+        let clock = &self.clocks[core.index()];
+        let st = &self.core_stats[core.index()];
+        st.page_faults.fetch_add(1, Relaxed);
+        let t0 = clock.now();
+        clock.advance(self.cfg.cost.fault_base);
+
+        // Page-table lock (virtual-time serialization). The queue bound
+        // is the genuine worst case — every core convoying on one lock —
+        // with headroom; it only binds against parallel-engine clock skew.
+        let (lock, hold) = self.lock_for(head);
+        let res = lock.acquire_bounded(clock.now(), hold, 4 * self.cfg.cores as u64 * hold);
+        st.lock_wait_cycles.fetch_add(res.queue_delay, Relaxed);
+        clock.advance_to(res.end);
+
+        // The policy mutex both protects policy state and serializes
+        // residency transitions (matching the kernel's LRU-list lock).
+        let mut policy = self.policy.lock();
+        let existing = self.resident.lock().get(&head.0).copied();
+        let kind = if let Some(frame) = existing {
+            // Resident: PSPT minor fault (copy a sibling's PTE).
+            match self.scheme.as_dyn().map(core, head, frame, self.cfg.block_size, true) {
+                Ok(MapOutcome::Copied { probes }) => {
+                    clock.advance(
+                        self.cfg.cost.pspt_probe * probes as u64
+                            + self.cfg.cost.pte_update * self.subentries(),
+                    );
+                    let count = self.scheme.as_dyn().mapping_cores(head).count();
+                    policy.on_map_count_change(head, count);
+                    FaultKind::MinorCopy
+                }
+                Ok(MapOutcome::Fresh) => {
+                    // Resident but unmapped everywhere: the PTEs were torn
+                    // down by a PSPT rebuild; re-establish this core's
+                    // mapping (the frame never moved).
+                    clock.advance(self.cfg.cost.pte_update * self.subentries());
+                    policy.on_map_count_change(head, 1);
+                    FaultKind::MinorCopy
+                }
+                Err(_) => FaultKind::Spurious,
+            }
+        } else {
+            // Not resident: allocate, evicting until a frame is free.
+            let frame = loop {
+                match self.pool.alloc() {
+                    Some(f) => break f,
+                    None => self.evict_one(&mut policy, core),
+                }
+            };
+            if self.backing.contains(head) {
+                // Real content on the host: DMA it in.
+                let r =
+                    self.dma.transfer(clock.now(), self.block_bytes(), DmaDirection::HostToDevice);
+                let wait = r.end.saturating_sub(clock.now());
+                clock.advance(wait);
+                st.dma_wait_cycles.fetch_add(wait, Relaxed);
+                self.global.refaults.fetch_add(1, Relaxed);
+            }
+            self.scheme
+                .as_dyn()
+                .map(core, head, frame, self.cfg.block_size, true)
+                .expect("fresh block maps cleanly");
+            clock.advance(self.cfg.cost.pte_update * self.subentries());
+            self.resident.lock().insert(head.0, frame);
+            policy.on_insert(head, 1);
+            FaultKind::Major
+        };
+        st.fault_cycles.fetch_add(clock.now() - t0, Relaxed);
+        kind
+    }
+
+    /// One statistics-scan timer tick (every `scan_period` cycles of
+    /// virtual time, run by dedicated hyperthreads in the paper's setup).
+    pub fn scan_tick(&self) {
+        let mut policy = self.policy.lock();
+        if !policy.wants_periodic_scan() {
+            return;
+        }
+        let budget = if self.cfg.scan_budget > 0 {
+            self.cfg.scan_budget
+        } else {
+            (policy.resident() / 8).max(32)
+        };
+        let mut oracle = KernelOracle { vmm: self, requester: None };
+        policy.scan_tick(budget, &mut oracle);
+        self.global.scan_ticks.fetch_add(1, Relaxed);
+    }
+}
+
+/// The kernel-side implementation of [`AccessBitOracle`]: every query is
+/// a real PTE scan with real shootdowns.
+struct KernelOracle<'a> {
+    vmm: &'a Vmm,
+    /// `Some(core)`: reclaim path, costs charged to the faulting core.
+    /// `None`: the scan timer's dedicated hyperthreads.
+    requester: Option<CoreId>,
+}
+
+impl AccessBitOracle for KernelOracle<'_> {
+    fn test_and_clear(&mut self, block: VirtPage) -> bool {
+        let scan = self.vmm.scheme.as_dyn().test_and_clear_accessed(block, self.vmm.cfg.block_size);
+        self.vmm.global.scan_ptes.fetch_add(scan.ptes_examined as u64, Relaxed);
+        if let Some(core) = self.requester {
+            self.vmm.clocks[core.index()]
+                .advance(self.vmm.cfg.cost.scan_pte * scan.ptes_examined as u64);
+        }
+        if scan.accessed && !scan.invalidate.is_empty() {
+            // x86 requirement: a cleared accessed bit forces the cached
+            // translation out of every affected TLB (paper §3).
+            self.vmm.shootdown(self.requester, block, &scan.invalidate);
+        }
+        scan.accessed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcp_core::PolicyKind;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    fn vmm(cores: usize, blocks: usize) -> Vmm {
+        Vmm::new(KernelConfig::new(cores, blocks))
+    }
+
+    #[test]
+    fn first_touch_fault_maps_block() {
+        let v = vmm(2, 4);
+        let k = v.handle_fault(CoreId(0), VirtPage(100), false);
+        assert_eq!(k, FaultKind::Major);
+        assert!(v.translate(CoreId(0), VirtPage(100)).is_some());
+        assert_eq!(v.resident_blocks(), 1);
+        assert_eq!(v.core_stats()[0].page_faults.load(Relaxed), 1);
+        // First touch: no DMA (zero-fill), no eviction.
+        assert_eq!(v.dma().bytes_in(), 0);
+        assert_eq!(v.global_stats().snapshot().evictions, 0);
+    }
+
+    #[test]
+    fn pspt_minor_fault_copies_pte() {
+        let v = vmm(2, 4);
+        v.handle_fault(CoreId(0), VirtPage(100), false);
+        let k = v.handle_fault(CoreId(1), VirtPage(100), false);
+        assert_eq!(k, FaultKind::MinorCopy);
+        assert!(v.translate(CoreId(1), VirtPage(100)).is_some());
+        assert_eq!(v.resident_blocks(), 1, "still one resident block");
+        let hist = v.sharing_histogram().unwrap();
+        assert_eq!(hist[1], 1, "one block mapped by exactly 2 cores");
+    }
+
+    #[test]
+    fn eviction_when_pool_exhausted() {
+        let v = vmm(1, 2);
+        v.handle_fault(CoreId(0), VirtPage(0), false);
+        v.handle_fault(CoreId(0), VirtPage(1), false);
+        assert_eq!(v.pool_free(), 0);
+        v.handle_fault(CoreId(0), VirtPage(2), false);
+        assert_eq!(v.resident_blocks(), 2);
+        assert_eq!(v.global_stats().snapshot().evictions, 1);
+        // FIFO: block 0 was evicted.
+        assert!(v.translate(CoreId(0), VirtPage(0)).is_none());
+        assert!(v.translate(CoreId(0), VirtPage(2)).is_some());
+    }
+
+    #[test]
+    fn clean_eviction_skips_writeback_dirty_pays_it() {
+        let v = vmm(1, 1);
+        v.handle_fault(CoreId(0), VirtPage(0), false); // read only
+        v.handle_fault(CoreId(0), VirtPage(1), false); // evicts clean block 0
+        assert_eq!(v.global_stats().snapshot().writebacks, 0);
+        assert_eq!(v.dma().bytes_out(), 0);
+        // Dirty the resident block, then evict it.
+        v.mark_accessed(CoreId(0), VirtPage(1), true);
+        v.handle_fault(CoreId(0), VirtPage(2), false);
+        assert_eq!(v.global_stats().snapshot().writebacks, 1);
+        assert_eq!(v.dma().bytes_out(), 4096);
+    }
+
+    #[test]
+    fn refault_of_written_back_block_costs_dma_in() {
+        let v = vmm(1, 1);
+        v.handle_fault(CoreId(0), VirtPage(0), true);
+        v.mark_accessed(CoreId(0), VirtPage(0), true); // dirty
+        v.handle_fault(CoreId(0), VirtPage(1), false); // evict + write back 0
+        assert_eq!(v.dma().bytes_in(), 0);
+        v.handle_fault(CoreId(0), VirtPage(0), false); // refault 0 from host
+        assert_eq!(v.dma().bytes_in(), 4096);
+        assert_eq!(v.global_stats().snapshot().refaults, 1);
+    }
+
+    #[test]
+    fn eviction_shoots_down_mapping_cores_only_under_pspt() {
+        let v = Vmm::new(KernelConfig::new(8, 2));
+        // Block 0 mapped by cores 0 and 1; block 1 by core 2.
+        v.handle_fault(CoreId(0), VirtPage(0), false);
+        v.handle_fault(CoreId(1), VirtPage(0), false);
+        v.handle_fault(CoreId(2), VirtPage(1), false);
+        // Core 3 faults a new block: FIFO evicts block 0 → shootdown to
+        // cores 0 and 1 only.
+        v.handle_fault(CoreId(3), VirtPage(2), false);
+        let recv: Vec<u64> = (0..8)
+            .map(|c| v.core_stats()[c].remote_inv_received.load(Relaxed))
+            .collect();
+        assert_eq!(recv[0], 1);
+        assert_eq!(recv[1], 1);
+        assert_eq!(recv[2], 0, "core2 does not map block 0");
+        assert_eq!(recv[3..].iter().sum::<u64>(), 0);
+        // Their mailboxes hold the invalidation.
+        let mut out = Vec::new();
+        v.drain_invalidations(CoreId(0), &mut out);
+        assert_eq!(out, vec![VirtPage(0)]);
+    }
+
+    #[test]
+    fn regular_tables_broadcast_on_eviction() {
+        let v = Vmm::new(KernelConfig::new(8, 2).with_scheme(SchemeChoice::Regular));
+        v.handle_fault(CoreId(0), VirtPage(0), false);
+        v.handle_fault(CoreId(0), VirtPage(1), false);
+        v.handle_fault(CoreId(0), VirtPage(2), false); // evicts block 0
+        let recv: u64 =
+            (1..8).map(|c| v.core_stats()[c].remote_inv_received.load(Relaxed)).sum();
+        assert_eq!(recv, 7, "all other cores interrupted");
+        assert!(v.core_stats()[0].remote_inv_sent.load(Relaxed) >= 7);
+    }
+
+    #[test]
+    fn remote_charges_land_on_target_clocks() {
+        let v = Vmm::new(KernelConfig::new(4, 1));
+        v.handle_fault(CoreId(0), VirtPage(0), false);
+        v.handle_fault(CoreId(1), VirtPage(0), false);
+        let before = v.clocks()[1].now();
+        // Core 2 faults; eviction of block 0 interrupts cores 0 and 1.
+        v.handle_fault(CoreId(2), VirtPage(1), false);
+        assert!(v.clocks()[1].now() > before, "target clock charged");
+    }
+
+    #[test]
+    fn lru_scan_tick_causes_remote_invalidations_cmcp_does_not() {
+        let run = |policy: PolicyKind| -> u64 {
+            let v = Vmm::new(KernelConfig::new(4, 8).with_policy(policy));
+            for b in 0..4u64 {
+                v.handle_fault(CoreId(0), VirtPage(b), false);
+                v.handle_fault(CoreId(1), VirtPage(b), false);
+                // Hardware sets the accessed bit when the cores touch the
+                // freshly mapped pages.
+                v.mark_accessed(CoreId(0), VirtPage(b), false);
+                v.mark_accessed(CoreId(1), VirtPage(b), false);
+            }
+            v.scan_tick();
+            (0..4).map(|c| v.core_stats()[c].remote_inv_received.load(Relaxed)).sum()
+        };
+        assert!(run(PolicyKind::Lru) > 0, "LRU scanning must shoot down TLBs");
+        assert_eq!(run(PolicyKind::Cmcp { p: 0.75 }), 0, "CMCP never scans");
+        assert_eq!(run(PolicyKind::Fifo), 0, "FIFO never scans");
+    }
+
+    #[test]
+    fn cmcp_uses_map_counts_from_pspt() {
+        // Three blocks: one private, one mapped by all 4 cores, capacity
+        // 2. With p=0.5 (priority target 1), the shared block must
+        // survive the private ones.
+        let v = Vmm::new(KernelConfig::new(4, 2).with_policy(PolicyKind::Cmcp { p: 0.5 }));
+        v.handle_fault(CoreId(0), VirtPage(0), false); // becomes shared
+        for c in 1..4u16 {
+            v.handle_fault(CoreId(c), VirtPage(0), false);
+        }
+        v.handle_fault(CoreId(0), VirtPage(1), false); // private
+        // Fault a third block: victim must be the private block 1, not
+        // the 4-core block 0.
+        v.handle_fault(CoreId(1), VirtPage(2), false);
+        assert!(v.translate(CoreId(0), VirtPage(0)).is_some(), "shared block survives");
+        assert!(v.translate(CoreId(0), VirtPage(1)).is_none(), "private block evicted");
+    }
+
+    #[test]
+    fn lock_contention_is_recorded_for_regular_tables() {
+        let v = Vmm::new(KernelConfig::new(2, 4).with_scheme(SchemeChoice::Regular));
+        // Two cores fault at the same virtual time: the second queues.
+        v.handle_fault(CoreId(0), VirtPage(0), false);
+        v.handle_fault(CoreId(1), VirtPage(1), false);
+        assert!(v.lock_queue_cycles() > 0, "global PT lock must serialize");
+    }
+
+    #[test]
+    fn spurious_fault_under_regular_tables() {
+        let v = Vmm::new(KernelConfig::new(2, 4).with_scheme(SchemeChoice::Regular));
+        v.handle_fault(CoreId(0), VirtPage(0), false);
+        // Core 1 faults the same (already mapped) block — e.g. a stale
+        // TLB-miss race in the parallel engine.
+        let k = v.handle_fault(CoreId(1), VirtPage(0), false);
+        assert_eq!(k, FaultKind::Spurious);
+        assert_eq!(v.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn block_size_64k_moves_64k_per_transfer() {
+        let v = Vmm::new(KernelConfig::new(1, 1).with_block_size(PageSize::K64));
+        v.handle_fault(CoreId(0), VirtPage(0), false);
+        v.mark_accessed(CoreId(0), VirtPage(3), true); // dirty a sub-page
+        v.handle_fault(CoreId(0), VirtPage(16), false); // evict block 0
+        assert_eq!(v.dma().bytes_out(), 65536);
+        // Any sub-page of block 0 faults again → 64 kB DMA in.
+        v.handle_fault(CoreId(0), VirtPage(5), false);
+        assert_eq!(v.dma().bytes_in(), 65536);
+    }
+
+    #[test]
+    fn fault_on_any_subpage_maps_whole_block() {
+        let v = Vmm::new(KernelConfig::new(1, 2).with_block_size(PageSize::K64));
+        v.handle_fault(CoreId(0), VirtPage(0x4a), false);
+        for p in 0x40..0x50u64 {
+            assert!(v.translate(CoreId(0), VirtPage(p)).is_some(), "page {p:#x}");
+        }
+    }
+
+    impl Vmm {
+        fn pool_free(&self) -> usize {
+            self.pool.free_blocks()
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # cmcp-pagetable — page tables for the CMCP reproduction
+//!
+//! Software reimplementation of the address-translation structures the
+//! paper manipulates:
+//!
+//! * [`pte`] — x86-long-mode-style page table entries, including the Xeon
+//!   Phi's experimental **64 kB page** encoding: a large mapping is built
+//!   from 16 consecutive 4 kB PTEs carrying a hint bit, and the hardware
+//!   sets accessed/dirty in whichever 4 kB sub-entry was touched (so the
+//!   OS must iterate all 16 to collect statistics — paper §4).
+//! * [`table`] — a 4-level radix page table (9+9+9+9 bit indexing over a
+//!   36-bit virtual page number), with 2 MB leaves at the PD level and
+//!   64 kB mappings as hint-bit PTE runs at the PT level.
+//! * [`regular`] — the traditional shared table: every core translates
+//!   through the same tree, so an unmap must broadcast TLB shootdowns to
+//!   *all* cores and every update funnels through one address-space lock.
+//! * [`pspt`] — per-core Partially Separated Page Tables: each core owns
+//!   a private table for the computation area; the kernel therefore knows
+//!   exactly which cores map every page ([`pspt::Pspt::mapping_cores`]) —
+//!   the auxiliary knowledge CMCP's priority is built from.
+//! * [`scheme`] — the [`scheme::TableScheme`] trait that lets the kernel
+//!   switch between regular tables and PSPT per experiment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod pspt;
+pub mod pte;
+pub mod regular;
+pub mod scheme;
+pub mod table;
+
+pub use pspt::Pspt;
+pub use pte::{Pte, PteFlags};
+pub use regular::RegularTables;
+pub use scheme::{MapOutcome, TableScheme, Translation, UnmapOutcome};
+pub use table::PageTable;

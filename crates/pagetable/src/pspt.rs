@@ -1,0 +1,316 @@
+//! Per-core Partially Separated Page Tables (PSPT), the paper's earlier
+//! proposal (CCGrid'13) that CMCP builds on.
+//!
+//! Each core owns a private page table for the computation area. A
+//! faulting core first consults its siblings and copies an existing PTE
+//! if the block is already resident; an unmap must visit exactly the
+//! tables that map the block. The payoffs:
+//!
+//! * **Precise shootdowns** — only cores holding a valid PTE are sent
+//!   invalidation IPIs (most pages are mapped by one or two cores in the
+//!   paper's Figure 6, versus a broadcast for regular tables).
+//! * **Fine-grained locking** — per-core locks instead of one
+//!   address-space lock.
+//! * **Free usage statistics** — the number of mapping cores per page is
+//!   known without touching accessed bits, which is exactly the signal
+//!   the CMCP replacement policy consumes.
+//!
+//! Alongside the per-core radix tables, PSPT keeps a sharded *core-map
+//! directory* from block head page to [`CoreSet`]. The paper derives the
+//! same information by walking per-core tables; the directory is the
+//! constant-time equivalent and is kept strictly consistent with the
+//! tables (asserted in tests and by `debug_assert`s here).
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+
+use cmcp_arch::{CoreId, CoreSet, PageSize, PhysFrame, VirtPage};
+
+use crate::pte::PteFlags;
+use crate::scheme::{MapOutcome, ScanOutcome, SchemeKind, TableScheme, Translation, UnmapOutcome};
+use crate::table::{MapError, PageTable};
+
+const DIR_SHARDS: usize = 64;
+
+/// The per-core partially separated table scheme.
+pub struct Pspt {
+    /// One private table per core, individually locked — the fine
+    /// granularity is the point.
+    tables: Vec<RwLock<PageTable>>,
+    cores: CoreSet,
+    /// Sharded directory: block head page → cores mapping it.
+    directory: Vec<Mutex<HashMap<u64, CoreSet>>>,
+}
+
+impl Pspt {
+    /// PSPT for an address space spanning cores `0..n_cores`.
+    pub fn new(n_cores: usize) -> Pspt {
+        Pspt {
+            tables: (0..n_cores).map(|_| RwLock::new(PageTable::new())).collect(),
+            cores: CoreSet::first_n(n_cores),
+            directory: (0..DIR_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, head: VirtPage) -> &Mutex<HashMap<u64, CoreSet>> {
+        // Multiply-shift hash keeps neighbouring blocks on different
+        // shards without pulling in a hasher crate.
+        let h = (head.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize;
+        &self.directory[h % DIR_SHARDS]
+    }
+
+    /// Number of distinct resident blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.directory.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Histogram of blocks by number of mapping cores: index `k` counts
+    /// blocks mapped by exactly `k+1` cores. This regenerates the paper's
+    /// Figure 6 directly from PSPT bookkeeping.
+    pub fn sharing_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.tables.len()];
+        for shard in &self.directory {
+            for set in shard.lock().values() {
+                let c = set.count();
+                if c > 0 {
+                    hist[c - 1] += 1;
+                }
+            }
+        }
+        hist
+    }
+}
+
+impl TableScheme for Pspt {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Pspt
+    }
+
+    fn active_cores(&self) -> CoreSet {
+        self.cores
+    }
+
+    fn translate(&self, core: CoreId, page: VirtPage) -> Option<Translation> {
+        self.tables[core.index()].read().translate(page).map(|t| Translation {
+            frame: t.frame,
+            size: t.size,
+            writable: t.writable,
+        })
+    }
+
+    fn mark_accessed(&self, core: CoreId, page: VirtPage, write: bool) {
+        self.tables[core.index()].write().mark_accessed(page, write);
+    }
+
+    fn map(
+        &self,
+        core: CoreId,
+        head: VirtPage,
+        frame: PhysFrame,
+        size: PageSize,
+        writable: bool,
+    ) -> Result<MapOutcome, MapError> {
+        let flags = if writable { PteFlags::WRITABLE } else { PteFlags::empty() };
+        // Hold the directory shard across the table update so that a
+        // concurrent unmap_all of the same block cannot interleave.
+        let mut dir = self.shard(head).lock();
+        let entry = dir.entry(head.0).or_insert_with(CoreSet::empty);
+        let existing = *entry;
+        debug_assert!(
+            !existing.contains(core),
+            "{core} faulted on a block it already maps ({head})"
+        );
+        self.tables[core.index()].write().map(head, frame, size, flags)?;
+        entry.insert(core);
+        if existing.is_empty() {
+            Ok(MapOutcome::Fresh)
+        } else {
+            // The faulting core consulted sibling tables to find a valid
+            // PTE to copy; probing stops at the first mapper, so charge
+            // the expected scan length (half the sibling count, min 1).
+            Ok(MapOutcome::Copied { probes: existing.count() })
+        }
+    }
+
+    fn unmap_all(&self, head: VirtPage, size: PageSize) -> Option<UnmapOutcome> {
+        let mut dir = self.shard(head).lock();
+        let mappers = dir.remove(&head.0)?;
+        let mut dirty = false;
+        let mut accessed = false;
+        let mut removed = 0;
+        for core in mappers.iter() {
+            if let Some(pte) = self.tables[core.index()].write().unmap(head, size) {
+                dirty |= pte.dirty();
+                accessed |= pte.accessed();
+                removed += match size {
+                    PageSize::M2 => 1,
+                    _ => size.pages_4k(),
+                };
+            } else {
+                debug_assert!(false, "directory said {core} maps {head} but table disagrees");
+            }
+        }
+        Some(UnmapOutcome { mappers, dirty, accessed, ptes_removed: removed })
+    }
+
+    fn mapping_cores(&self, head: VirtPage) -> CoreSet {
+        self.shard(head).lock().get(&head.0).copied().unwrap_or_else(CoreSet::empty)
+    }
+
+    fn test_and_clear_accessed(&self, head: VirtPage, size: PageSize) -> ScanOutcome {
+        let mappers = self.mapping_cores(head);
+        let mut any = false;
+        let mut examined = 0;
+        let mut invalidate = CoreSet::empty();
+        for core in mappers.iter() {
+            let (acc, n) =
+                self.tables[core.index()].write().test_and_clear_accessed_block(head, size);
+            examined += n;
+            if acc {
+                any = true;
+                // Only the cores whose PTE actually had A set must drop
+                // their cached translation.
+                invalidate.insert(core);
+            }
+        }
+        ScanOutcome { accessed: any, invalidate, ptes_examined: examined }
+    }
+
+    fn block_dirty(&self, head: VirtPage, size: PageSize) -> bool {
+        self.mapping_cores(head)
+            .iter()
+            .any(|core| self.tables[core.index()].write().block_dirty(head, size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_tables_are_really_private() {
+        let p = Pspt::new(4);
+        p.map(CoreId(0), VirtPage(10), PhysFrame(3), PageSize::K4, true).unwrap();
+        assert!(p.translate(CoreId(0), VirtPage(10)).is_some());
+        assert!(p.translate(CoreId(1), VirtPage(10)).is_none(), "core1 has no PTE yet");
+    }
+
+    #[test]
+    fn second_mapper_copies_and_probes() {
+        let p = Pspt::new(4);
+        assert_eq!(
+            p.map(CoreId(0), VirtPage(10), PhysFrame(3), PageSize::K4, true).unwrap(),
+            MapOutcome::Fresh
+        );
+        assert_eq!(
+            p.map(CoreId(2), VirtPage(10), PhysFrame(3), PageSize::K4, true).unwrap(),
+            MapOutcome::Copied { probes: 1 }
+        );
+        assert_eq!(p.mapping_cores(VirtPage(10)).count(), 2);
+    }
+
+    #[test]
+    fn mapping_cores_is_precise() {
+        let p = Pspt::new(8);
+        for c in [0u16, 3, 7] {
+            p.map(CoreId(c), VirtPage(42), PhysFrame(9), PageSize::K4, true).unwrap();
+        }
+        let m = p.mapping_cores(VirtPage(42));
+        assert_eq!(m.count(), 3);
+        assert!(m.contains(CoreId(3)));
+        assert!(!m.contains(CoreId(1)));
+    }
+
+    #[test]
+    fn unmap_all_visits_only_mappers_and_aggregates_dirty() {
+        let p = Pspt::new(8);
+        p.map(CoreId(1), VirtPage(42), PhysFrame(9), PageSize::K4, true).unwrap();
+        p.map(CoreId(5), VirtPage(42), PhysFrame(9), PageSize::K4, true).unwrap();
+        p.mark_accessed(CoreId(5), VirtPage(42), true); // dirty on core5 only
+        let out = p.unmap_all(VirtPage(42), PageSize::K4).unwrap();
+        assert_eq!(out.mappers.count(), 2);
+        assert!(out.dirty, "dirty on any core's PTE forces write-back");
+        assert!(p.translate(CoreId(1), VirtPage(42)).is_none());
+        assert!(p.translate(CoreId(5), VirtPage(42)).is_none());
+        assert_eq!(p.mapping_cores(VirtPage(42)).count(), 0);
+        assert_eq!(p.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn unmap_missing_returns_none() {
+        let p = Pspt::new(2);
+        assert!(p.unmap_all(VirtPage(1), PageSize::K4).is_none());
+    }
+
+    #[test]
+    fn scan_invalidates_only_cores_with_set_bit() {
+        let p = Pspt::new(4);
+        for c in 0..3u16 {
+            p.map(CoreId(c), VirtPage(7), PhysFrame(1), PageSize::K4, true).unwrap();
+        }
+        p.mark_accessed(CoreId(0), VirtPage(7), false);
+        p.mark_accessed(CoreId(2), VirtPage(7), false);
+        let s = p.test_and_clear_accessed(VirtPage(7), PageSize::K4);
+        assert!(s.accessed);
+        assert_eq!(s.ptes_examined, 3);
+        assert!(s.invalidate.contains(CoreId(0)));
+        assert!(!s.invalidate.contains(CoreId(1)), "core1 never touched the page");
+        assert!(s.invalidate.contains(CoreId(2)));
+        // Second scan: bits were cleared.
+        let s2 = p.test_and_clear_accessed(VirtPage(7), PageSize::K4);
+        assert!(!s2.accessed);
+        assert!(s2.invalidate.is_empty());
+    }
+
+    #[test]
+    fn sharing_histogram_matches_figure6_semantics() {
+        let p = Pspt::new(4);
+        // Two private blocks, one shared by two cores, one by all four.
+        p.map(CoreId(0), VirtPage(0), PhysFrame(0), PageSize::K4, true).unwrap();
+        p.map(CoreId(1), VirtPage(1), PhysFrame(1), PageSize::K4, true).unwrap();
+        p.map(CoreId(0), VirtPage(2), PhysFrame(2), PageSize::K4, true).unwrap();
+        p.map(CoreId(1), VirtPage(2), PhysFrame(2), PageSize::K4, true).unwrap();
+        for c in 0..4u16 {
+            p.map(CoreId(c), VirtPage(3), PhysFrame(3), PageSize::K4, true).unwrap();
+        }
+        assert_eq!(p.sharing_histogram(), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn works_with_64k_blocks() {
+        let p = Pspt::new(2);
+        p.map(CoreId(0), VirtPage(0x40), PhysFrame(0x40), PageSize::K64, true).unwrap();
+        p.map(CoreId(1), VirtPage(0x40), PhysFrame(0x40), PageSize::K64, true).unwrap();
+        p.mark_accessed(CoreId(1), VirtPage(0x4a), true);
+        assert!(p.block_dirty(VirtPage(0x40), PageSize::K64));
+        let out = p.unmap_all(VirtPage(0x40), PageSize::K64).unwrap();
+        assert_eq!(out.ptes_removed, 32, "16 sub-entries on each of 2 cores");
+        assert!(out.dirty);
+    }
+
+    #[test]
+    fn concurrent_mappers_stay_consistent() {
+        use std::sync::Arc;
+        let p = Arc::new(Pspt::new(8));
+        let handles: Vec<_> = (0..8u16)
+            .map(|c| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for b in 0..64u64 {
+                        p.map(CoreId(c), VirtPage(b), PhysFrame(b as u32), PageSize::K4, true)
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for b in 0..64u64 {
+            assert_eq!(p.mapping_cores(VirtPage(b)).count(), 8, "block {b}");
+        }
+        assert_eq!(p.resident_blocks(), 64);
+        assert_eq!(p.sharing_histogram()[7], 64);
+    }
+}

@@ -1,0 +1,244 @@
+//! Page table entries, in the x86 long-mode layout the Xeon Phi uses.
+//!
+//! The interesting part is the experimental 64 kB page encoding (paper
+//! §4, Figure 5): there is no separate 64 kB leaf level. Instead the OS
+//! writes 16 ordinary 4 kB PTEs — a naturally aligned, physically
+//! contiguous run — and sets a *hint bit* in each of them. A core's TLB
+//! then caches the whole run as a single 64 kB entry. Hardware-set
+//! attributes behave unusually: the accessed/dirty bit lands in the 4 kB
+//! sub-entry that was actually touched, not in the head entry, so the OS
+//! must iterate all 16 sub-entries when collecting statistics.
+
+use std::fmt;
+
+use cmcp_arch::PhysFrame;
+
+/// Software-visible PTE flag bits (bit positions follow x86 long mode;
+/// the 64 kB hint uses one of the ignored bits, as the real extension
+/// did).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PteFlags(u16);
+
+impl PteFlags {
+    /// P — the translation is valid.
+    pub const PRESENT: PteFlags = PteFlags(1 << 0);
+    /// R/W — writes allowed.
+    pub const WRITABLE: PteFlags = PteFlags(1 << 1);
+    /// A — set by hardware on first access since last clear.
+    pub const ACCESSED: PteFlags = PteFlags(1 << 5);
+    /// D — set by hardware on first write since last clear.
+    pub const DIRTY: PteFlags = PteFlags(1 << 6);
+    /// PS — this PD-level entry maps a 2 MB page.
+    pub const LARGE: PteFlags = PteFlags(1 << 7);
+    /// The Xeon Phi 64 kB hint: cache this PTE as part of a 64 kB run.
+    pub const HINT_64K: PteFlags = PteFlags(1 << 11);
+
+    /// The empty flag set.
+    pub const fn empty() -> PteFlags {
+        PteFlags(0)
+    }
+
+    /// Whether every bit of `other` is set in `self`.
+    #[inline]
+    pub const fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union.
+    #[inline]
+    #[must_use]
+    pub const fn union(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// Difference (`self` minus `other`).
+    #[inline]
+    #[must_use]
+    pub const fn difference(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 & !other.0)
+    }
+}
+
+impl std::ops::BitOr for PteFlags {
+    type Output = PteFlags;
+    fn bitor(self, rhs: PteFlags) -> PteFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        for (bit, ch) in [
+            (PteFlags::PRESENT, 'P'),
+            (PteFlags::WRITABLE, 'W'),
+            (PteFlags::ACCESSED, 'A'),
+            (PteFlags::DIRTY, 'D'),
+            (PteFlags::LARGE, 'L'),
+            (PteFlags::HINT_64K, 'H'),
+        ] {
+            s.push(if self.contains(bit) { ch } else { '-' });
+        }
+        f.write_str(&s)
+    }
+}
+
+/// One page table entry: a frame number plus flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    frame: PhysFrame,
+    flags: PteFlags,
+}
+
+impl Pte {
+    /// A present entry pointing at `frame`.
+    pub fn new(frame: PhysFrame, flags: PteFlags) -> Pte {
+        Pte { frame, flags: flags | PteFlags::PRESENT }
+    }
+
+    /// The referenced physical frame.
+    #[inline]
+    pub fn frame(&self) -> PhysFrame {
+        self.frame
+    }
+
+    /// All flags.
+    #[inline]
+    pub fn flags(&self) -> PteFlags {
+        self.flags
+    }
+
+    /// Whether the translation is valid.
+    #[inline]
+    pub fn present(&self) -> bool {
+        self.flags.contains(PteFlags::PRESENT)
+    }
+
+    /// Whether writes are allowed.
+    #[inline]
+    pub fn writable(&self) -> bool {
+        self.flags.contains(PteFlags::WRITABLE)
+    }
+
+    /// Whether hardware has recorded an access since the last clear.
+    #[inline]
+    pub fn accessed(&self) -> bool {
+        self.flags.contains(PteFlags::ACCESSED)
+    }
+
+    /// Whether hardware has recorded a write since the last clear.
+    #[inline]
+    pub fn dirty(&self) -> bool {
+        self.flags.contains(PteFlags::DIRTY)
+    }
+
+    /// Whether this entry carries the 64 kB hint bit.
+    #[inline]
+    pub fn hint_64k(&self) -> bool {
+        self.flags.contains(PteFlags::HINT_64K)
+    }
+
+    /// Whether this is a 2 MB PD-level leaf.
+    #[inline]
+    pub fn large(&self) -> bool {
+        self.flags.contains(PteFlags::LARGE)
+    }
+
+    /// Hardware behaviour on an access: set A, and D too if a write.
+    #[inline]
+    pub fn mark_accessed(&mut self, write: bool) {
+        self.flags = self.flags | PteFlags::ACCESSED;
+        if write {
+            self.flags = self.flags | PteFlags::DIRTY;
+        }
+    }
+
+    /// OS behaviour during an accessed-bit scan: read-and-clear A.
+    /// Returns whether A was set.
+    #[inline]
+    pub fn test_and_clear_accessed(&mut self) -> bool {
+        let was = self.accessed();
+        self.flags = self.flags.difference(PteFlags::ACCESSED);
+        was
+    }
+
+    /// Clears the dirty bit (after write-back). Returns whether D was set.
+    #[inline]
+    pub fn test_and_clear_dirty(&mut self) -> bool {
+        let was = self.dirty();
+        self.flags = self.flags.difference(PteFlags::DIRTY);
+        was
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.frame, self.flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_present() {
+        let p = Pte::new(PhysFrame(9), PteFlags::WRITABLE);
+        assert!(p.present());
+        assert!(p.writable());
+        assert!(!p.accessed());
+        assert!(!p.dirty());
+        assert_eq!(p.frame(), PhysFrame(9));
+    }
+
+    #[test]
+    fn mark_accessed_read_vs_write() {
+        let mut p = Pte::new(PhysFrame(1), PteFlags::WRITABLE);
+        p.mark_accessed(false);
+        assert!(p.accessed());
+        assert!(!p.dirty());
+        p.mark_accessed(true);
+        assert!(p.dirty());
+    }
+
+    #[test]
+    fn test_and_clear_accessed_round_trip() {
+        let mut p = Pte::new(PhysFrame(1), PteFlags::empty());
+        assert!(!p.test_and_clear_accessed());
+        p.mark_accessed(false);
+        assert!(p.test_and_clear_accessed());
+        assert!(!p.accessed());
+        assert!(!p.test_and_clear_accessed());
+    }
+
+    #[test]
+    fn clear_dirty_preserves_accessed() {
+        let mut p = Pte::new(PhysFrame(1), PteFlags::WRITABLE);
+        p.mark_accessed(true);
+        assert!(p.test_and_clear_dirty());
+        assert!(p.accessed());
+        assert!(!p.dirty());
+    }
+
+    #[test]
+    fn hint_bit_is_independent() {
+        let p = Pte::new(PhysFrame(2), PteFlags::HINT_64K | PteFlags::WRITABLE);
+        assert!(p.hint_64k());
+        assert!(!p.large());
+    }
+
+    #[test]
+    fn flags_display() {
+        let p = Pte::new(PhysFrame(0), PteFlags::WRITABLE | PteFlags::HINT_64K);
+        assert_eq!(p.flags().to_string(), "PW---H");
+    }
+
+    #[test]
+    fn flag_set_algebra() {
+        let a = PteFlags::PRESENT | PteFlags::DIRTY;
+        assert!(a.contains(PteFlags::PRESENT));
+        assert!(!a.contains(PteFlags::PRESENT | PteFlags::WRITABLE));
+        assert_eq!(a.difference(PteFlags::DIRTY), PteFlags::PRESENT);
+        assert_eq!(PteFlags::empty().union(a), a);
+    }
+}

@@ -1,0 +1,577 @@
+//! A single 4-level radix page table.
+//!
+//! Structure mirrors x86 long mode on the Xeon Phi: four levels of
+//! 512-entry tables indexed by 9-bit slices of the 36-bit virtual page
+//! number. Mappings come in the three sizes the Phi supports:
+//!
+//! * **4 kB** — one PTE at the bottom (PT) level;
+//! * **64 kB** — sixteen consecutive PT-level PTEs, each carrying the
+//!   [`PteFlags::HINT_64K`] bit, head entry 64 kB-aligned, frames
+//!   physically contiguous (paper §4, Figure 5);
+//! * **2 MB** — a PD-level leaf with [`PteFlags::LARGE`].
+//!
+//! Hardware attribute semantics follow the paper's description: on a
+//! 64 kB mapping, the accessed/dirty bit is set in the 4 kB *sub-entry*
+//! that was touched, so OS-level statistics collection must iterate all
+//! 16 sub-entries ([`PageTable::test_and_clear_accessed_block`]).
+
+use std::fmt;
+
+use cmcp_arch::{PageSize, PhysFrame, VirtPage};
+
+use crate::pte::{Pte, PteFlags};
+
+const FANOUT: usize = 512;
+/// Virtual page numbers are 36 bits (48-bit virtual addresses).
+const VPN_BITS: u32 = 36;
+
+/// Why a `map` call was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The virtual page is not naturally aligned for the requested size.
+    UnalignedVirt,
+    /// The physical frame is not naturally aligned for the requested size.
+    UnalignedPhys,
+    /// Some 4 kB page in the requested range is already mapped.
+    AlreadyMapped,
+    /// The virtual page number exceeds the 36-bit addressable range.
+    OutOfRange,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::UnalignedVirt => write!(f, "virtual page not aligned for page size"),
+            MapError::UnalignedPhys => write!(f, "physical frame not aligned for page size"),
+            MapError::AlreadyMapped => write!(f, "range already mapped"),
+            MapError::OutOfRange => write!(f, "virtual page number out of range"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Result of a translation: the 4 kB frame backing the queried page and
+/// the size class of the mapping it came from (what the TLB caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableTranslation {
+    /// Frame backing the queried 4 kB page.
+    pub frame: PhysFrame,
+    /// Size class of the enclosing mapping.
+    pub size: PageSize,
+    /// Whether the mapping permits writes.
+    pub writable: bool,
+}
+
+/// Bottom-level page table: 512 PTE slots plus a live-entry count.
+struct LeafTable {
+    ptes: Vec<Option<Pte>>,
+    live: usize,
+}
+
+impl LeafTable {
+    fn new() -> LeafTable {
+        LeafTable { ptes: vec![None; FANOUT], live: 0 }
+    }
+}
+
+enum Node {
+    /// Interior directory (PML4, PDPT, or PD).
+    Dir(Vec<Option<Box<Node>>>),
+    /// 2 MB leaf at the PD level.
+    Leaf2M(Pte),
+    /// Bottom-level page table.
+    Pt(Box<LeafTable>),
+}
+
+impl Node {
+    fn dir() -> Node {
+        Node::Dir((0..FANOUT).map(|_| None).collect())
+    }
+}
+
+/// One address space's (or, under PSPT, one core's) page table.
+///
+/// Not internally synchronized: callers wrap it in whatever locking the
+/// table scheme prescribes — that locking *is* part of what the paper
+/// measures (coarse address-space locks for regular tables vs per-core
+/// locks for PSPT).
+pub struct PageTable {
+    root: Node,
+    mapped_4k: usize,
+}
+
+impl Default for PageTable {
+    fn default() -> PageTable {
+        PageTable::new()
+    }
+}
+
+impl PageTable {
+    /// An empty table.
+    pub fn new() -> PageTable {
+        PageTable { root: Node::dir(), mapped_4k: 0 }
+    }
+
+    /// Number of currently mapped 4 kB pages (a 2 MB mapping counts 512).
+    #[inline]
+    pub fn mapped_pages_4k(&self) -> usize {
+        self.mapped_4k
+    }
+
+    #[inline]
+    fn check_range(vpn: u64) -> Result<(), MapError> {
+        if vpn >> VPN_BITS != 0 {
+            Err(MapError::OutOfRange)
+        } else {
+            Ok(())
+        }
+    }
+
+    #[inline]
+    fn indices(vpn: u64) -> [usize; 3] {
+        [
+            ((vpn >> 27) & 0x1ff) as usize,
+            ((vpn >> 18) & 0x1ff) as usize,
+            ((vpn >> 9) & 0x1ff) as usize,
+        ]
+    }
+
+    /// Walks to the PD slot for `vpn`, creating directories on the way if
+    /// `create`.
+    fn pd_slot(&mut self, vpn: u64, create: bool) -> Option<&mut Option<Box<Node>>> {
+        let [i4, i3, i2] = Self::indices(vpn);
+        let mut node = &mut self.root;
+        for idx in [i4, i3] {
+            let slots = match node {
+                Node::Dir(s) => s,
+                _ => return None,
+            };
+            if slots[idx].is_none() {
+                if !create {
+                    return None;
+                }
+                slots[idx] = Some(Box::new(Node::dir()));
+            }
+            node = slots[idx].as_mut().unwrap();
+        }
+        match node {
+            Node::Dir(s) => Some(&mut s[i2]),
+            _ => None,
+        }
+    }
+
+    /// Maps one block of `size` at `vpage` → `frame`.
+    pub fn map(
+        &mut self,
+        vpage: VirtPage,
+        frame: PhysFrame,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<(), MapError> {
+        Self::check_range(vpage.0)?;
+        if !vpage.is_aligned(size) {
+            return Err(MapError::UnalignedVirt);
+        }
+        if !(frame.0 as u64).is_multiple_of(size.pages_4k() as u64) {
+            return Err(MapError::UnalignedPhys);
+        }
+        match size {
+            PageSize::M2 => {
+                let slot = self.pd_slot(vpage.0, true).ok_or(MapError::AlreadyMapped)?;
+                match slot.as_deref() {
+                    // An empty leftover PT is reclaimed, as a kernel does
+                    // before installing a PSE mapping.
+                    Some(Node::Pt(leaf)) if leaf.live == 0 => {}
+                    Some(_) => return Err(MapError::AlreadyMapped),
+                    None => {}
+                }
+                *slot =
+                    Some(Box::new(Node::Leaf2M(Pte::new(frame, flags | PteFlags::LARGE))));
+                self.mapped_4k += PageSize::M2.pages_4k();
+                Ok(())
+            }
+            PageSize::K4 | PageSize::K64 => {
+                let n = size.pages_4k();
+                let extra = if size == PageSize::K64 { PteFlags::HINT_64K } else { PteFlags::empty() };
+                // All sub-pages live in the same PT (64 kB never crosses a
+                // 2 MB boundary thanks to natural alignment).
+                let pt = self.pt_for(vpage.0, true).ok_or(MapError::AlreadyMapped)?;
+                let base = (vpage.0 & 0x1ff) as usize;
+                if pt.ptes[base..base + n].iter().any(|p| p.is_some()) {
+                    return Err(MapError::AlreadyMapped);
+                }
+                for k in 0..n {
+                    pt.ptes[base + k] = Some(Pte::new(frame.add(k as u32), flags | extra));
+                }
+                pt.live += n;
+                self.mapped_4k += n;
+                Ok(())
+            }
+        }
+    }
+
+    /// Walks to the PT containing `vpn`, creating it if needed. Returns
+    /// `None` if the slot is occupied by a 2 MB leaf.
+    fn pt_for(&mut self, vpn: u64, create: bool) -> Option<&mut LeafTable> {
+        let slot = self.pd_slot(vpn, create)?;
+        match slot {
+            Some(node) => match node.as_mut() {
+                Node::Pt(leaf) => Some(leaf),
+                _ => None,
+            },
+            None => {
+                if !create {
+                    return None;
+                }
+                *slot = Some(Box::new(Node::Pt(Box::new(LeafTable::new()))));
+                match slot.as_mut().unwrap().as_mut() {
+                    Node::Pt(leaf) => Some(leaf),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Hardware page walk for the 4 kB page `vpage`.
+    pub fn translate(&self, vpage: VirtPage) -> Option<TableTranslation> {
+        if vpage.0 >> VPN_BITS != 0 {
+            return None;
+        }
+        let [i4, i3, i2] = Self::indices(vpage.0);
+        let mut node = &self.root;
+        for idx in [i4, i3] {
+            node = match node {
+                Node::Dir(s) => s[idx].as_deref()?,
+                _ => return None,
+            };
+        }
+        let pd_slot = match node {
+            Node::Dir(s) => s[i2].as_deref()?,
+            _ => return None,
+        };
+        match pd_slot {
+            Node::Leaf2M(pte) => {
+                let offset = (vpage.0 % PageSize::M2.pages_4k() as u64) as u32;
+                Some(TableTranslation {
+                    frame: pte.frame().add(offset),
+                    size: PageSize::M2,
+                    writable: pte.writable(),
+                })
+            }
+            Node::Pt(leaf) => {
+                let pte = leaf.ptes[(vpage.0 & 0x1ff) as usize].as_ref()?;
+                Some(TableTranslation {
+                    frame: pte.frame(),
+                    size: if pte.hint_64k() { PageSize::K64 } else { PageSize::K4 },
+                    writable: pte.writable(),
+                })
+            }
+            Node::Dir(_) => None,
+        }
+    }
+
+    /// Applies `f` to the PTE covering the 4 kB page `vpage`, if mapped.
+    /// For a 2 MB mapping this is the single PD leaf; for 4 kB/64 kB it is
+    /// the exact sub-entry — which is how the Phi hardware sets A/D bits
+    /// on 64 kB pages.
+    pub fn with_pte<R>(&mut self, vpage: VirtPage, f: impl FnOnce(&mut Pte) -> R) -> Option<R> {
+        if vpage.0 >> VPN_BITS != 0 {
+            return None;
+        }
+        let [i4, i3, i2] = Self::indices(vpage.0);
+        let mut node = &mut self.root;
+        for idx in [i4, i3] {
+            node = match node {
+                Node::Dir(s) => s[idx].as_deref_mut()?,
+                _ => return None,
+            };
+        }
+        let pd_slot = match node {
+            Node::Dir(s) => s[i2].as_deref_mut()?,
+            _ => return None,
+        };
+        match pd_slot {
+            Node::Leaf2M(pte) => Some(f(pte)),
+            Node::Pt(leaf) => leaf.ptes[(vpage.0 & 0x1ff) as usize].as_mut().map(f),
+            Node::Dir(_) => None,
+        }
+    }
+
+    /// Hardware behaviour on a translated access: set the accessed (and,
+    /// for writes, dirty) bit in the touched sub-entry.
+    pub fn mark_accessed(&mut self, vpage: VirtPage, write: bool) -> bool {
+        self.with_pte(vpage, |pte| pte.mark_accessed(write)).is_some()
+    }
+
+    /// OS statistics scan over one mapping block: read-and-clear the
+    /// accessed bit of every sub-entry (16 iterations for a 64 kB page —
+    /// the cost the paper highlights in §4). Returns whether any was set,
+    /// plus the number of PTEs examined (for cycle charging).
+    pub fn test_and_clear_accessed_block(&mut self, vpage: VirtPage, size: PageSize) -> (bool, usize) {
+        let head = vpage.align_down(size);
+        match size {
+            PageSize::M2 => {
+                let was = self
+                    .with_pte(head, |pte| pte.test_and_clear_accessed())
+                    .unwrap_or(false);
+                (was, 1)
+            }
+            PageSize::K4 | PageSize::K64 => {
+                let n = size.pages_4k();
+                let mut any = false;
+                for k in 0..n as u64 {
+                    if let Some(was) =
+                        self.with_pte(head.add(k), |pte| pte.test_and_clear_accessed())
+                    {
+                        any |= was;
+                    }
+                }
+                (any, n)
+            }
+        }
+    }
+
+    /// Whether any sub-entry of the block has the dirty bit set (OS must
+    /// iterate sub-entries on 64 kB pages, same as for accessed bits).
+    pub fn block_dirty(&mut self, vpage: VirtPage, size: PageSize) -> bool {
+        let head = vpage.align_down(size);
+        match size {
+            PageSize::M2 => self.with_pte(head, |pte| pte.dirty()).unwrap_or(false),
+            PageSize::K4 | PageSize::K64 => (0..size.pages_4k() as u64)
+                .any(|k| self.with_pte(head.add(k), |pte| pte.dirty()).unwrap_or(false)),
+        }
+    }
+
+    /// Unmaps the block of `size` at `vpage` (head-aligned). Returns the
+    /// head PTE with accessed/dirty OR-ed across all sub-entries, or
+    /// `None` if nothing was mapped.
+    ///
+    /// For 4 kB/64 kB this is a *range* unmap over the block's PT slots:
+    /// any smaller mappings inside the span are removed too (the kernel
+    /// always unmaps at the size it mapped, but the table keeps the
+    /// general semantics of an x86 range teardown). A 2 MB unmap only
+    /// matches an actual 2 MB leaf.
+    pub fn unmap(&mut self, vpage: VirtPage, size: PageSize) -> Option<Pte> {
+        let head = vpage.align_down(size);
+        match size {
+            PageSize::M2 => {
+                let slot = self.pd_slot(head.0, false)?;
+                match slot.as_deref() {
+                    Some(Node::Leaf2M(_)) => {}
+                    _ => return None,
+                }
+                let node = slot.take().unwrap();
+                self.mapped_4k -= PageSize::M2.pages_4k();
+                match *node {
+                    Node::Leaf2M(pte) => Some(pte),
+                    _ => unreachable!(),
+                }
+            }
+            PageSize::K4 | PageSize::K64 => {
+                let n = size.pages_4k();
+                let pt = self.pt_for(head.0, false)?;
+                let base = (head.0 & 0x1ff) as usize;
+                let mut agg: Option<Pte> = None;
+                let mut removed = 0usize;
+                for k in 0..n {
+                    if let Some(pte) = pt.ptes[base + k].take() {
+                        pt.live -= 1;
+                        removed += 1;
+                        agg = Some(match agg {
+                            None => pte,
+                            Some(mut head_pte) => {
+                                if pte.accessed() {
+                                    head_pte.mark_accessed(false);
+                                }
+                                if pte.dirty() {
+                                    head_pte.mark_accessed(true);
+                                }
+                                head_pte
+                            }
+                        });
+                    }
+                }
+                self.mapped_4k -= removed;
+                agg
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PageTable {
+        PageTable::new()
+    }
+
+    #[test]
+    fn map_translate_unmap_4k() {
+        let mut t = table();
+        t.map(VirtPage(100), PhysFrame(7), PageSize::K4, PteFlags::WRITABLE).unwrap();
+        let tr = t.translate(VirtPage(100)).unwrap();
+        assert_eq!(tr.frame, PhysFrame(7));
+        assert_eq!(tr.size, PageSize::K4);
+        assert!(tr.writable);
+        assert_eq!(t.mapped_pages_4k(), 1);
+        let pte = t.unmap(VirtPage(100), PageSize::K4).unwrap();
+        assert_eq!(pte.frame(), PhysFrame(7));
+        assert!(t.translate(VirtPage(100)).is_none());
+        assert_eq!(t.mapped_pages_4k(), 0);
+    }
+
+    #[test]
+    fn map_64k_creates_16_contiguous_subentries() {
+        let mut t = table();
+        t.map(VirtPage(0x40), PhysFrame(0x100), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        for k in 0..16u64 {
+            let tr = t.translate(VirtPage(0x40 + k)).unwrap();
+            assert_eq!(tr.frame, PhysFrame(0x100 + k as u32), "sub-page {k}");
+            assert_eq!(tr.size, PageSize::K64);
+        }
+        assert!(t.translate(VirtPage(0x50)).is_none());
+        assert_eq!(t.mapped_pages_4k(), 16);
+    }
+
+    #[test]
+    fn map_2m_leaf() {
+        let mut t = table();
+        t.map(VirtPage(0x200), PhysFrame(0x200), PageSize::M2, PteFlags::empty()).unwrap();
+        let tr = t.translate(VirtPage(0x200 + 77)).unwrap();
+        assert_eq!(tr.frame, PhysFrame(0x200 + 77));
+        assert_eq!(tr.size, PageSize::M2);
+        assert!(!tr.writable);
+        assert_eq!(t.mapped_pages_4k(), 512);
+    }
+
+    #[test]
+    fn alignment_is_enforced() {
+        let mut t = table();
+        assert_eq!(
+            t.map(VirtPage(0x41), PhysFrame(0x100), PageSize::K64, PteFlags::empty()),
+            Err(MapError::UnalignedVirt)
+        );
+        assert_eq!(
+            t.map(VirtPage(0x40), PhysFrame(0x101), PageSize::K64, PteFlags::empty()),
+            Err(MapError::UnalignedPhys)
+        );
+    }
+
+    #[test]
+    fn overlap_is_rejected() {
+        let mut t = table();
+        t.map(VirtPage(0x40), PhysFrame(0), PageSize::K4, PteFlags::empty()).unwrap();
+        // A 64 kB block over the same range must be refused whole.
+        assert_eq!(
+            t.map(VirtPage(0x40), PhysFrame(0x10), PageSize::K64, PteFlags::empty()),
+            Err(MapError::AlreadyMapped)
+        );
+        // And the failed attempt must not have mapped anything extra.
+        assert_eq!(t.mapped_pages_4k(), 1);
+        assert!(t.translate(VirtPage(0x41)).is_none());
+    }
+
+    #[test]
+    fn vpn_out_of_range_is_rejected() {
+        let mut t = table();
+        assert_eq!(
+            t.map(VirtPage(1 << 36), PhysFrame(0), PageSize::K4, PteFlags::empty()),
+            Err(MapError::OutOfRange)
+        );
+        assert!(t.translate(VirtPage(1 << 36)).is_none());
+    }
+
+    #[test]
+    fn accessed_bit_lands_in_touched_subentry() {
+        // The Phi quirk from paper §4: touching the (k+1)-th 4 kB region
+        // of a 64 kB page sets A/D in that sub-entry only.
+        let mut t = table();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        t.mark_accessed(VirtPage(5), true);
+        // Only sub-entry 5 carries the bits.
+        for k in 0..16u64 {
+            let (acc, dirty) = t
+                .with_pte(VirtPage(k), |pte| (pte.accessed(), pte.dirty()))
+                .unwrap();
+            assert_eq!(acc, k == 5, "accessed of sub-entry {k}");
+            assert_eq!(dirty, k == 5, "dirty of sub-entry {k}");
+        }
+    }
+
+    #[test]
+    fn block_scan_iterates_16_entries_for_64k() {
+        let mut t = table();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        t.mark_accessed(VirtPage(9), false);
+        let (any, examined) = t.test_and_clear_accessed_block(VirtPage(3), PageSize::K64);
+        assert!(any);
+        assert_eq!(examined, 16);
+        let (any2, _) = t.test_and_clear_accessed_block(VirtPage(3), PageSize::K64);
+        assert!(!any2);
+    }
+
+    #[test]
+    fn block_dirty_sees_any_subentry() {
+        let mut t = table();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        assert!(!t.block_dirty(VirtPage(0), PageSize::K64));
+        t.mark_accessed(VirtPage(15), true);
+        assert!(t.block_dirty(VirtPage(0), PageSize::K64));
+        assert!(t.block_dirty(VirtPage(7), PageSize::K64), "any covered page queries the block");
+    }
+
+    #[test]
+    fn unmap_64k_aggregates_attribute_bits() {
+        let mut t = table();
+        t.map(VirtPage(0x10), PhysFrame(0x20), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        t.mark_accessed(VirtPage(0x1b), true); // dirty one sub-entry
+        let pte = t.unmap(VirtPage(0x13), PageSize::K64).unwrap();
+        assert!(pte.accessed());
+        assert!(pte.dirty());
+        assert_eq!(t.mapped_pages_4k(), 0);
+    }
+
+    #[test]
+    fn unmap_2m_returns_leaf() {
+        let mut t = table();
+        t.map(VirtPage(0x400), PhysFrame(0x400), PageSize::M2, PteFlags::WRITABLE).unwrap();
+        t.mark_accessed(VirtPage(0x4ff), true);
+        let pte = t.unmap(VirtPage(0x5aa), PageSize::M2).unwrap();
+        assert!(pte.dirty());
+        assert!(t.translate(VirtPage(0x400)).is_none());
+    }
+
+    #[test]
+    fn mixed_sizes_coexist_in_one_2m_region_worth_of_space() {
+        // Paper §4: "no restrictions for mixing the page sizes (4kB,
+        // 64kB, 2MB) within a single address block" — 4 kB and 64 kB
+        // mappings share a PT; a 2 MB mapping occupies its own PD slot.
+        let mut t = table();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K4, PteFlags::empty()).unwrap();
+        t.map(VirtPage(0x10), PhysFrame(0x10), PageSize::K64, PteFlags::empty()).unwrap();
+        t.map(VirtPage(0x200), PhysFrame(0x200), PageSize::M2, PteFlags::empty()).unwrap();
+        assert_eq!(t.translate(VirtPage(0)).unwrap().size, PageSize::K4);
+        assert_eq!(t.translate(VirtPage(0x1f)).unwrap().size, PageSize::K64);
+        assert_eq!(t.translate(VirtPage(0x3ff)).unwrap().size, PageSize::M2);
+        assert_eq!(t.mapped_pages_4k(), 1 + 16 + 512);
+    }
+
+    #[test]
+    fn unmap_missing_returns_none() {
+        let mut t = table();
+        assert!(t.unmap(VirtPage(3), PageSize::K4).is_none());
+        assert!(t.unmap(VirtPage(0x40), PageSize::K64).is_none());
+        assert!(t.unmap(VirtPage(0x200), PageSize::M2).is_none());
+    }
+
+    #[test]
+    fn sparse_address_space_spans_high_indices() {
+        let mut t = table();
+        let far = VirtPage((1 << 35) + 0x123);
+        t.map(far, PhysFrame(1), PageSize::K4, PteFlags::empty()).unwrap();
+        assert_eq!(t.translate(far).unwrap().frame, PhysFrame(1));
+        assert!(t.translate(VirtPage(far.0 + 1)).is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! The deterministic engine.
+//!
+//! Always advances the core with the *smallest* virtual clock, so the
+//! interleaving — and therefore every policy decision, every queueing
+//! delay, every statistic — is a pure function of the trace and the
+//! configuration. All experiments and tests run on this engine.
+//!
+//! Barriers are rendezvous: a core reaching its `k`-th barrier parks
+//! until every live core arrives, then all resume at the maximum arrival
+//! time, exactly like an OpenMP barrier in virtual time.
+//!
+//! The accessed-bit scan timer fires whenever simulated time (the
+//! minimum core clock, which is the engine's notion of "now") crosses a
+//! multiple of the scan period — the paper's 10 ms timer on dedicated
+//! hyperthreads.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cmcp_arch::CoreId;
+use cmcp_kernel::Vmm;
+
+use crate::report::RunReport;
+use crate::runner::{CoreRunner, StepResult};
+use crate::trace::Trace;
+
+/// Runs `trace` against `vmm` deterministically and returns the report.
+///
+/// Panics if the trace shape is invalid (mismatched barrier counts or a
+/// core count different from the kernel's).
+pub fn run_deterministic(vmm: &Vmm, trace: &Trace) -> RunReport {
+    trace.validate().expect("invalid trace");
+    let n = trace.cores.len();
+    assert_eq!(n, vmm.config().cores, "trace core count must match kernel config");
+
+    let mut runners: Vec<CoreRunner> =
+        (0..n).map(|c| CoreRunner::new(CoreId(c as u16), vmm)).collect();
+
+    // Min-heap of (clock, core); ties broken by core id for determinism.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..n).map(|c| Reverse((0u64, c))).collect();
+    let mut waiting: Vec<usize> = Vec::new(); // cores parked at the barrier
+    let mut done = 0usize;
+    let scan_period = vmm.scan_period();
+    let scanning = vmm.wants_periodic_scan();
+    let mut next_scan = scan_period;
+    let rebuild_period = vmm.rebuild_period();
+    let mut next_rebuild = rebuild_period;
+
+    while let Some(Reverse((clock, core))) = heap.pop() {
+        // Fire the statistics timer for every period boundary "now" has
+        // crossed (now = the smallest clock, which is this core's).
+        if scanning {
+            while clock >= next_scan {
+                vmm.scan_tick();
+                next_scan += scan_period;
+            }
+        }
+        if rebuild_period > 0 {
+            while clock >= next_rebuild {
+                vmm.rebuild_pspt();
+                next_rebuild += rebuild_period;
+            }
+        }
+        match runners[core].step(vmm, &trace.cores[core]) {
+            StepResult::Ran => {
+                heap.push(Reverse((vmm.clocks()[core].now(), core)));
+            }
+            StepResult::AtBarrier => {
+                waiting.push(core);
+                // Everyone still running must reach the barrier: live
+                // cores = n - done; all of them are either in the heap or
+                // waiting.
+                if waiting.len() == n - done {
+                    debug_assert!(heap.is_empty(), "live cores must all be parked");
+                    let release = waiting
+                        .iter()
+                        .map(|&c| vmm.clocks()[c].now())
+                        .max()
+                        .unwrap_or(clock);
+                    for &c in &waiting {
+                        vmm.clocks()[c].advance_to(release);
+                        heap.push(Reverse((release, c)));
+                    }
+                    waiting.clear();
+                }
+            }
+            StepResult::Done => {
+                done += 1;
+                // A finished core can release a barrier only if every
+                // other live core is already waiting — but a well-formed
+                // trace has equal barrier counts, so nobody can be
+                // waiting for a core that already finished.
+                debug_assert!(
+                    waiting.is_empty() || done < n,
+                    "barrier deadlock: cores waiting while others finished"
+                );
+            }
+        }
+    }
+    assert_eq!(done, n, "all cores must finish");
+
+    RunReport::collect(vmm, &runners, &trace.label, &config_label(vmm))
+}
+
+pub(crate) fn config_label(vmm: &Vmm) -> String {
+    let cfg = vmm.config();
+    format!("{} + {} @ {}", cfg.scheme, cfg.policy.label(), cfg.block_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcp_arch::{PageSize, VirtPage};
+    use cmcp_core::PolicyKind;
+    use cmcp_kernel::KernelConfig;
+    use crate::trace::Op;
+
+    /// Two cores stream over private ranges with barriers between phases.
+    fn private_sweep_trace(cores: usize, pages_per_core: u32, rounds: usize) -> Trace {
+        let mut t = Trace::new(cores, "private-sweep");
+        for c in 0..cores {
+            let base = VirtPage((c as u64) << 20);
+            for _ in 0..rounds {
+                t.cores[c].ops.push(Op::Stream {
+                    start: base,
+                    pages: pages_per_core,
+                    write: false,
+                    work_per_page: 4,
+                });
+                t.cores[c].ops.push(Op::Barrier);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn run_completes_and_reports() {
+        let t = private_sweep_trace(2, 64, 3);
+        let vmm = Vmm::new(KernelConfig::new(2, 256));
+        let r = run_deterministic(&vmm, &t);
+        assert!(r.runtime_cycles > 0);
+        assert_eq!(r.per_core.len(), 2);
+        assert_eq!(r.per_core[0].dtlb_accesses, 64 * 3);
+        // Plenty of memory: only cold faults.
+        assert_eq!(r.per_core[0].page_faults, 64);
+        assert_eq!(r.global.evictions, 0);
+    }
+
+    #[test]
+    fn runs_are_bit_identical() {
+        let t = private_sweep_trace(4, 128, 4);
+        let run = || {
+            let vmm = Vmm::new(
+                KernelConfig::new(4, 96).with_policy(PolicyKind::Cmcp { p: 0.5 }),
+            );
+            let r = run_deterministic(&vmm, &t);
+            (r.runtime_cycles, r.avg_page_faults(), r.global.evictions)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        // Core 1 computes 1M cycles before the barrier; core 0 nothing.
+        let mut t = Trace::new(2, "skew");
+        t.cores[0].ops.push(Op::Barrier);
+        t.cores[1].ops.push(Op::Compute(1_000_000));
+        t.cores[1].ops.push(Op::Barrier);
+        t.cores[0].ops.push(Op::touch(VirtPage(1), false, 1));
+        let vmm = Vmm::new(KernelConfig::new(2, 16));
+        run_deterministic(&vmm, &t);
+        assert!(vmm.clocks()[0].now() >= 1_000_000, "core0 waited at the barrier");
+    }
+
+    #[test]
+    fn memory_pressure_causes_evictions_and_refaults() {
+        // One core sweeps 64 pages repeatedly with only 32 resident.
+        let mut t = Trace::new(1, "thrash");
+        for _ in 0..4 {
+            t.cores[0].ops.push(Op::Stream {
+                start: VirtPage(0),
+                pages: 64,
+                write: true,
+                work_per_page: 2,
+            });
+        }
+        let vmm = Vmm::new(KernelConfig::new(1, 32));
+        let r = run_deterministic(&vmm, &t);
+        assert!(r.global.evictions > 64, "sweep must thrash");
+        assert!(r.per_core[0].page_faults > 64);
+        assert!(r.dma_bytes.1 > 0, "dirty sweeps write back");
+        assert!(r.global.refaults > 0);
+    }
+
+    #[test]
+    fn scan_timer_fires_under_lru() {
+        let mut t = Trace::new(1, "scan");
+        // Enough compute to cross several 10 ms scan periods.
+        for _ in 0..5 {
+            t.cores[0].ops.push(Op::touch(VirtPage(1), false, 1));
+            t.cores[0].ops.push(Op::Compute(11_000_000));
+        }
+        let vmm = Vmm::new(KernelConfig::new(1, 16).with_policy(PolicyKind::Lru));
+        let r = run_deterministic(&vmm, &t);
+        assert!(r.global.scan_ticks >= 4, "timer must fire each period: {}", r.global.scan_ticks);
+    }
+
+    #[test]
+    fn no_scan_ticks_for_fifo_or_cmcp() {
+        for policy in [PolicyKind::Fifo, PolicyKind::Cmcp { p: 0.75 }] {
+            let mut t = Trace::new(1, "noscan");
+            t.cores[0].ops.push(Op::touch(VirtPage(1), false, 1));
+            t.cores[0].ops.push(Op::Compute(50_000_000));
+            let vmm = Vmm::new(KernelConfig::new(1, 16).with_policy(policy));
+            let r = run_deterministic(&vmm, &t);
+            assert_eq!(r.global.scan_ticks, 0);
+        }
+    }
+
+    #[test]
+    fn config_label_mentions_all_knobs() {
+        let vmm = Vmm::new(
+            KernelConfig::new(1, 4)
+                .with_policy(PolicyKind::Lru)
+                .with_block_size(PageSize::K64),
+        );
+        let label = config_label(&vmm);
+        assert!(label.contains("PSPT"));
+        assert!(label.contains("LRU"));
+        assert!(label.contains("64kB"));
+    }
+
+    #[test]
+    fn syscall_op_blocks_the_core() {
+        let mut t = Trace::new(1, "io");
+        t.cores[0].ops.push(Op::touch(VirtPage(1), false, 1));
+        t.cores[0].ops.push(Op::Syscall { service: 10_000, payload: 1 << 20, write: true });
+        let vmm = Vmm::new(KernelConfig::new(1, 8));
+        run_deterministic(&vmm, &t);
+        assert_eq!(vmm.offload().total_calls(), 1);
+        assert_eq!(vmm.offload().total_payload(), 1 << 20);
+        // A 1 MB IKC write is far more expensive than the page touch.
+        assert!(vmm.clocks()[0].now() > 100_000);
+    }
+
+    #[test]
+    fn rebuild_timer_tears_down_and_recovers() {
+        // Two cores share a block; after the rebuild period passes, the
+        // mappings are torn down and re-established via minor faults.
+        let mut t = Trace::new(2, "rebuild");
+        for c in 0..2 {
+            for round in 0..6 {
+                t.cores[c].ops.push(Op::touch(VirtPage(7), false, 1));
+                t.cores[c].ops.push(Op::Compute(400_000 + round as u64));
+                t.cores[c].ops.push(Op::Barrier);
+            }
+        }
+        let mut cfg = KernelConfig::new(2, 8);
+        cfg.pspt_rebuild_period = 1_000_000;
+        let vmm = Vmm::new(cfg);
+        let r = run_deterministic(&vmm, &t);
+        assert!(r.global.rebuilds >= 1, "timer must fire: {}", r.global.rebuilds);
+        // Extra faults beyond the 1 cold major + 1 minor: the re-mapping
+        // after each rebuild.
+        let faults: u64 = r.per_core.iter().map(|c| c.page_faults).sum();
+        assert!(faults > 2, "rebuild forces re-faulting: {faults}");
+        assert_eq!(r.global.evictions, 0, "frames never moved");
+        assert_eq!(r.dma_bytes, (0, 0), "no data was transferred");
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn mismatched_core_count_is_rejected() {
+        let t = private_sweep_trace(2, 4, 1);
+        let vmm = Vmm::new(KernelConfig::new(3, 16));
+        run_deterministic(&vmm, &t);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cmcp-sim — execution engines
+//!
+//! Drives simulated cores through page-access traces against the
+//! [`cmcp_kernel::Vmm`], accumulating virtual time.
+//!
+//! * [`trace`] — the workload representation: per-core op streams
+//!   (page-granular access runs, compute delays, barriers).
+//! * [`runner`] — one core's execution state: its TLB, its position in
+//!   the trace, dirty-block tracking, invalidation draining.
+//! * [`engine`] — the **deterministic engine**: always advances the core
+//!   with the smallest virtual clock (min-heap), yielding bit-identical
+//!   runs; used by all experiments and tests.
+//! * [`parallel`] — the **parallel engine**: one OS thread per group of
+//!   simulated cores (crossbeam scoped threads), statistically identical
+//!   results, used for large sweeps.
+//! * [`report`] — the merged run report: runtime, per-core Table-1
+//!   counters, DMA/lock occupancy, sharing histogram.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod parallel;
+pub mod report;
+pub mod runner;
+pub mod trace;
+
+pub use engine::run_deterministic;
+pub use parallel::run_parallel;
+pub use report::RunReport;
+pub use trace::{CoreTrace, Op, Trace};

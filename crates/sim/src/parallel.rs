@@ -1,0 +1,324 @@
+//! The parallel engine: simulated cores distributed over real OS threads.
+//!
+//! Semantics match the deterministic engine — the same [`CoreRunner`]
+//! executes the same trace against the same kernel — but cores advance
+//! concurrently, so the order in which reservations hit the virtual-time
+//! resources (DMA engine, page-table locks) and the order of policy
+//! updates are scheduling-dependent. Totals are statistically identical;
+//! bit-level reproducibility is the deterministic engine's job.
+//!
+//! Threading uses crossbeam scoped threads; each worker owns a disjoint
+//! slice of cores and round-robins among them so a barrier never
+//! deadlocks (a parked core's siblings on the same thread keep running).
+//! Barriers are sense-reversing rendezvous over atomics in virtual time:
+//! arrivals record their clock, the last arrival publishes the maximum,
+//! and everyone resumes at that time.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use cmcp_arch::CoreId;
+use cmcp_kernel::Vmm;
+
+use crate::report::RunReport;
+use crate::runner::{CoreRunner, StepResult};
+use crate::trace::Trace;
+
+/// Maximum virtual-time lead a core may take over the globally slowest
+/// live core. Conservative-PDES style throttling: reservation resources
+/// (DMA engine, page-table locks) assume roughly time-ordered arrivals,
+/// so unbounded skew would inflate queueing delays. One window is a few
+/// dozen fault latencies — enough to keep every worker busy.
+const SKEW_WINDOW: u64 = 100_000;
+
+/// One rendezvous barrier in virtual time.
+struct VBarrier {
+    arrived: AtomicUsize,
+    release_at: AtomicU64,
+    generation: AtomicUsize,
+}
+
+impl VBarrier {
+    fn new() -> VBarrier {
+        VBarrier {
+            arrived: AtomicUsize::new(0),
+            release_at: AtomicU64::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+}
+
+struct BarrierSet {
+    barriers: Vec<VBarrier>,
+    parties: usize,
+}
+
+impl BarrierSet {
+    fn new(count: usize, parties: usize) -> BarrierSet {
+        BarrierSet { barriers: (0..count).map(|_| VBarrier::new()).collect(), parties }
+    }
+
+    /// Records `clock` arriving at barrier `idx`. Returns `Some(release)`
+    /// once the barrier is open, `None` while arrivals are outstanding.
+    fn arrive(&self, idx: usize, clock: u64) -> Option<u64> {
+        let b = &self.barriers[idx];
+        b.release_at.fetch_max(clock, Ordering::AcqRel);
+        let n = b.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if n == self.parties {
+            b.generation.store(1, Ordering::Release);
+        }
+        self.poll(idx)
+    }
+
+    /// Checks whether barrier `idx` has opened.
+    fn poll(&self, idx: usize) -> Option<u64> {
+        let b = &self.barriers[idx];
+        if b.generation.load(Ordering::Acquire) == 1 {
+            Some(b.release_at.load(Ordering::Acquire))
+        } else {
+            None
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CoreState {
+    Running,
+    /// Waiting on barrier `k` (arrival already recorded).
+    Blocked(usize),
+    Finished,
+}
+
+/// Runs `trace` against `vmm` on `threads` worker threads.
+///
+/// `threads = 0` selects the available parallelism.
+pub fn run_parallel(vmm: &Vmm, trace: &Trace, threads: usize) -> RunReport {
+    trace.validate().expect("invalid trace");
+    let n = trace.cores.len();
+    assert_eq!(n, vmm.config().cores, "trace core count must match kernel config");
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n)
+    } else {
+        threads.min(n)
+    };
+    let barrier_count = trace.cores[0].barriers();
+    let barriers = BarrierSet::new(barrier_count, n);
+
+    // The scan timer in parallel mode: any worker whose minimum local
+    // clock crosses the boundary fires the tick (CAS-elected). PSPT
+    // rebuilding uses the same election.
+    let next_scan = AtomicU64::new(vmm.scan_period());
+    let scanning = vmm.wants_periodic_scan();
+    let rebuild_period = vmm.rebuild_period();
+    let next_rebuild = AtomicU64::new(rebuild_period);
+
+    let mut runner_slots: Vec<Option<CoreRunner>> =
+        (0..n).map(|c| Some(CoreRunner::new(CoreId(c as u16), vmm))).collect();
+
+    // Only *running* cores bound the skew window: a core parked at a
+    // barrier (or finished) has a frozen clock that others must
+    // legitimately overtake to reach the rendezvous themselves.
+    let running: Vec<std::sync::atomic::AtomicBool> =
+        (0..n).map(|_| std::sync::atomic::AtomicBool::new(true)).collect();
+    let min_running_clock = |vmm: &Vmm| -> u64 {
+        let mut min = u64::MAX;
+        for (i, c) in vmm.clocks().iter().enumerate() {
+            if running[i].load(Ordering::Relaxed) {
+                min = min.min(c.now());
+            }
+        }
+        min
+    };
+
+    crossbeam::scope(|scope| {
+        let mut chunks: Vec<Vec<(usize, &mut Option<CoreRunner>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, slot) in runner_slots.iter_mut().enumerate() {
+            chunks[i % threads].push((i, slot));
+        }
+        for chunk in chunks {
+            let barriers = &barriers;
+            let next_scan = &next_scan;
+            let next_rebuild = &next_rebuild;
+            let running = &running;
+            let min_running_clock = &min_running_clock;
+            scope.spawn(move |_| {
+                let mut cores: Vec<(usize, &mut CoreRunner)> =
+                    chunk.into_iter().map(|(i, s)| (i, s.as_mut().unwrap())).collect();
+                let mut state: Vec<CoreState> = vec![CoreState::Running; cores.len()];
+                let mut next_barrier: Vec<usize> = vec![0; cores.len()];
+                let mut live = cores.len();
+                while live > 0 {
+                    let mut progressed = false;
+                    let horizon = min_running_clock(vmm).saturating_add(SKEW_WINDOW);
+                    for k in 0..cores.len() {
+                        let (core_idx, runner) = (cores[k].0, &mut *cores[k].1);
+                        match state[k] {
+                            CoreState::Finished => continue,
+                            CoreState::Blocked(b) => {
+                                if let Some(release) = barriers.poll(b) {
+                                    vmm.clocks()[core_idx].advance_to(release);
+                                    state[k] = CoreState::Running;
+                                    running[core_idx].store(true, Ordering::Relaxed);
+                                    progressed = true;
+                                }
+                                continue;
+                            }
+                            CoreState::Running => {}
+                        }
+                        // Conservative throttle: don't run a core that is
+                        // already a full window ahead of the slowest.
+                        if vmm.clocks()[core_idx].now() > horizon {
+                            continue;
+                        }
+                        progressed = true;
+                        if scanning {
+                            let now = vmm.clocks()[core_idx].now();
+                            let due = next_scan.load(Ordering::Relaxed);
+                            if now >= due
+                                && next_scan
+                                    .compare_exchange(
+                                        due,
+                                        due + vmm.scan_period(),
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                            {
+                                vmm.scan_tick();
+                            }
+                        }
+                        if rebuild_period > 0 {
+                            let now = vmm.clocks()[core_idx].now();
+                            let due = next_rebuild.load(Ordering::Relaxed);
+                            if now >= due
+                                && next_rebuild
+                                    .compare_exchange(
+                                        due,
+                                        due + rebuild_period,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                            {
+                                vmm.rebuild_pspt();
+                            }
+                        }
+                        match runner.step(vmm, &trace.cores[core_idx]) {
+                            StepResult::Ran => {}
+                            StepResult::AtBarrier => {
+                                let b = next_barrier[k];
+                                next_barrier[k] += 1;
+                                let clock = vmm.clocks()[core_idx].now();
+                                match barriers.arrive(b, clock) {
+                                    Some(release) => {
+                                        vmm.clocks()[core_idx].advance_to(release)
+                                    }
+                                    None => {
+                                        state[k] = CoreState::Blocked(b);
+                                        running[core_idx].store(false, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            StepResult::Done => {
+                                state[k] = CoreState::Finished;
+                                running[core_idx].store(false, Ordering::Relaxed);
+                                live -= 1;
+                            }
+                        }
+                    }
+                    if !progressed {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let runners: Vec<CoreRunner> = runner_slots.into_iter().map(|s| s.unwrap()).collect();
+    RunReport::collect(vmm, &runners, &trace.label, &crate::engine::config_label(vmm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcp_arch::VirtPage;
+    use cmcp_core::PolicyKind;
+    use cmcp_kernel::KernelConfig;
+    use crate::trace::Op;
+
+    fn shared_and_private_trace(cores: usize, rounds: usize) -> Trace {
+        let mut t = Trace::new(cores, "par-test");
+        for c in 0..cores {
+            let private = VirtPage(0x1000 + ((c as u64) << 8));
+            for _ in 0..rounds {
+                // Everyone reads a shared range, then writes private data.
+                t.cores[c].ops.push(Op::Stream {
+                    start: VirtPage(0),
+                    pages: 16,
+                    write: false,
+                    work_per_page: 2,
+                });
+                t.cores[c].ops.push(Op::Stream {
+                    start: private,
+                    pages: 32,
+                    write: true,
+                    work_per_page: 2,
+                });
+                t.cores[c].ops.push(Op::Barrier);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn parallel_run_completes() {
+        let t = shared_and_private_trace(4, 3);
+        let vmm = Vmm::new(KernelConfig::new(4, 64));
+        let r = run_parallel(&vmm, &t, 2);
+        assert!(r.runtime_cycles > 0);
+        assert_eq!(r.per_core.len(), 4);
+        // Every core executed all its touches.
+        for c in &r.per_core {
+            assert_eq!(c.dtlb_accesses, 3 * (16 + 32));
+        }
+    }
+
+    #[test]
+    fn parallel_functional_totals_match_deterministic() {
+        // With ample memory there are no evictions, so fault counts and
+        // footprints must match the deterministic engine exactly even
+        // though timing interleavings differ.
+        let t = shared_and_private_trace(4, 3);
+        let v1 = Vmm::new(KernelConfig::new(4, 512));
+        let det = crate::engine::run_deterministic(&v1, &t);
+        let v2 = Vmm::new(KernelConfig::new(4, 512));
+        let par = run_parallel(&v2, &t, 4);
+        let faults = |r: &RunReport| r.per_core.iter().map(|c| c.page_faults).sum::<u64>();
+        assert_eq!(faults(&det), faults(&par));
+        assert_eq!(det.global.evictions, par.global.evictions);
+    }
+
+    #[test]
+    fn parallel_handles_memory_pressure() {
+        let t = shared_and_private_trace(4, 4);
+        // Footprint: 16 shared + 4×32 private = 144 pages; constrain to 64.
+        let vmm = Vmm::new(KernelConfig::new(4, 64).with_policy(PolicyKind::Cmcp { p: 0.5 }));
+        let r = run_parallel(&vmm, &t, 4);
+        assert!(r.global.evictions > 0);
+        assert!(r.runtime_cycles > 0);
+    }
+
+    #[test]
+    fn single_thread_parallel_equals_itself() {
+        // threads=1 is fully deterministic (round-robin on one thread).
+        let t = shared_and_private_trace(3, 3);
+        let run = || {
+            let vmm = Vmm::new(KernelConfig::new(3, 32));
+            let r = run_parallel(&vmm, &t, 1);
+            (r.runtime_cycles, r.global.evictions)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,112 @@
+//! The merged run report: everything the experiment harness prints.
+
+use cmcp_arch::{Cycles, TlbStats};
+use cmcp_kernel::{CoreStatsSnapshot, GlobalStatsSnapshot, Vmm};
+
+use crate::runner::CoreRunner;
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Workload label.
+    pub label: String,
+    /// Configuration label (scheme + policy + page size).
+    pub config: String,
+    /// Virtual runtime: the maximum core clock at completion.
+    pub runtime_cycles: Cycles,
+    /// Runtime in seconds at the configured frequency.
+    pub runtime_secs: f64,
+    /// Per-core counters (Table 1 rows).
+    pub per_core: Vec<CoreStatsSnapshot>,
+    /// Kernel-global counters.
+    pub global: GlobalStatsSnapshot,
+    /// Cycles the DMA engine was busy / callers queued on it.
+    pub dma_busy_cycles: Cycles,
+    /// Queueing delay on the DMA engine.
+    pub dma_queued_cycles: Cycles,
+    /// Queueing delay on page-table locks.
+    pub lock_queued_cycles: Cycles,
+    /// Bytes moved host→device / device→host.
+    pub dma_bytes: (u64, u64),
+    /// PSPT sharing histogram (Figure 6), if the scheme provides one.
+    pub sharing_histogram: Option<Vec<usize>>,
+}
+
+impl RunReport {
+    /// Assembles the report after every runner finished.
+    pub fn collect(vmm: &Vmm, runners: &[CoreRunner], label: &str, config: &str) -> RunReport {
+        let clocks = vmm.clocks();
+        let per_core: Vec<CoreStatsSnapshot> = vmm
+            .core_stats()
+            .iter()
+            .zip(runners.iter())
+            .zip(clocks.iter())
+            .map(|((st, runner), clock)| {
+                let tlb: TlbStats = runner.tlb_stats();
+                let mut snap = st.snapshot();
+                snap.dtlb_misses = tlb.misses;
+                snap.dtlb_accesses = tlb.accesses;
+                snap.cycles = clock.now();
+                snap
+            })
+            .collect();
+        let runtime_cycles = per_core.iter().map(|c| c.cycles).max().unwrap_or(0);
+        RunReport {
+            label: label.to_string(),
+            config: config.to_string(),
+            runtime_cycles,
+            runtime_secs: vmm.cost().cycles_to_secs(runtime_cycles),
+            global: vmm.global_stats().snapshot(),
+            dma_busy_cycles: vmm.dma().busy_cycles(),
+            dma_queued_cycles: vmm.dma().queued_cycles(),
+            lock_queued_cycles: vmm.lock_queue_cycles(),
+            dma_bytes: (vmm.dma().bytes_in(), vmm.dma().bytes_out()),
+            sharing_histogram: vmm.sharing_histogram(),
+            per_core,
+        }
+    }
+
+    /// Per-core average page faults (Table 1's unit).
+    pub fn avg_page_faults(&self) -> f64 {
+        avg(self.per_core.iter().map(|c| c.page_faults))
+    }
+
+    /// Per-core average remote TLB invalidations received (Table 1).
+    pub fn avg_remote_invalidations(&self) -> f64 {
+        avg(self.per_core.iter().map(|c| c.remote_inv_received))
+    }
+
+    /// Per-core average dTLB misses (Table 1).
+    pub fn avg_dtlb_misses(&self) -> f64 {
+        avg(self.per_core.iter().map(|c| c.dtlb_misses))
+    }
+}
+
+fn avg(it: impl ExactSizeIterator<Item = u64>) -> f64 {
+    let n = it.len().max(1) as f64;
+    it.sum::<u64>() as f64 / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_cores() {
+        let mut r = RunReport::default();
+        r.per_core = vec![
+            CoreStatsSnapshot { page_faults: 10, dtlb_misses: 100, ..Default::default() },
+            CoreStatsSnapshot { page_faults: 30, dtlb_misses: 300, ..Default::default() },
+        ];
+        assert_eq!(r.avg_page_faults(), 20.0);
+        assert_eq!(r.avg_dtlb_misses(), 200.0);
+        assert_eq!(r.avg_remote_invalidations(), 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.avg_page_faults(), 0.0);
+        assert_eq!(r.runtime_cycles, 0);
+    }
+}

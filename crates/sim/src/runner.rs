@@ -1,0 +1,292 @@
+//! One simulated core's execution state.
+//!
+//! A [`CoreRunner`] owns the core's TLB and its position in the trace,
+//! and knows how to execute a bounded *step* (a chunk of page touches).
+//! Both engines — deterministic and parallel — drive the same runner, so
+//! the simulated semantics are identical; only the interleaving differs.
+
+use std::collections::HashSet;
+
+use cmcp_arch::{CoreId, Tlb, TlbLookup, VirtPage};
+use cmcp_kernel::Vmm;
+
+use crate::trace::{CoreTrace, Op};
+
+/// How many pages of a long stream run are processed per step, so the
+/// deterministic engine interleaves cores at a fine, fixed granularity.
+pub const STREAM_CHUNK: u32 = 32;
+
+/// Result of one [`CoreRunner::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// More ops remain; call `step` again.
+    Ran,
+    /// The core reached a barrier and must wait for the others.
+    AtBarrier,
+    /// The trace is exhausted.
+    Done,
+}
+
+/// Execution state of one simulated core.
+pub struct CoreRunner {
+    /// This core's id.
+    pub core: CoreId,
+    tlb: Tlb,
+    op_idx: usize,
+    stream_pos: u32,
+    /// Blocks this core has already marked dirty (dedupes the PTE dirty
+    /// write on TLB-hit stores; cleared when the block is invalidated).
+    written: HashSet<u64>,
+    inval_buf: Vec<VirtPage>,
+    block_span: u64,
+}
+
+impl CoreRunner {
+    /// A runner for `core` against `vmm`'s configuration.
+    pub fn new(core: CoreId, vmm: &Vmm) -> CoreRunner {
+        CoreRunner {
+            core,
+            tlb: Tlb::knc(vmm.cost()),
+            op_idx: 0,
+            stream_pos: 0,
+            written: HashSet::new(),
+            inval_buf: Vec::new(),
+            block_span: vmm.config().block_size.pages_4k() as u64,
+        }
+    }
+
+    /// Final TLB statistics.
+    pub fn tlb_stats(&self) -> cmcp_arch::TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Applies pending remote TLB invalidations (their cycle cost was
+    /// charged by the shootdown; here the entries actually disappear).
+    fn drain_invalidations(&mut self, vmm: &Vmm) {
+        if !vmm.has_pending_invalidations(self.core) {
+            return;
+        }
+        vmm.drain_invalidations(self.core, &mut self.inval_buf);
+        for head in self.inval_buf.drain(..) {
+            // Invalidate every TLB entry covering the block.
+            for k in 0..self.block_span {
+                self.tlb.invalidate(head.add(k));
+            }
+            self.written.remove(&head.0);
+        }
+    }
+
+    /// Executes one page touch. Returns whether it took a page fault.
+    fn touch(&mut self, vmm: &Vmm, page: VirtPage, write: bool, work: u32) -> bool {
+        let size = vmm.config().block_size;
+        let cost = vmm.cost();
+        let clock = &vmm.clocks()[self.core.index()];
+        clock.advance(work as u64 * cost.work_unit);
+
+        let mut faulted = false;
+        match self.tlb.access(page, size) {
+            TlbLookup::L1 | TlbLookup::L2 => {
+                // First store through a cached clean translation sets the
+                // dirty bit in the PTE (hardware assist).
+                if write {
+                    let head = page.align_down(size);
+                    if self.written.insert(head.0) {
+                        vmm.mark_accessed(self.core, page, true);
+                    }
+                }
+            }
+            TlbLookup::Miss => {
+                if vmm.translate(self.core, page).is_none() {
+                    vmm.handle_fault(self.core, page, write);
+                    faulted = true;
+                }
+                let tr = vmm
+                    .translate(self.core, page)
+                    .expect("fault handler must install a translation");
+                self.tlb.fill(page, tr.size);
+                vmm.mark_accessed(self.core, page, write);
+                if write {
+                    self.written.insert(page.align_down(size).0);
+                }
+            }
+        }
+        clock.advance(self.tlb.drain_cycles());
+        clock.settle();
+        faulted
+    }
+
+    /// Runs the next chunk of the trace: at most [`STREAM_CHUNK`] page
+    /// touches, one compute op, or up to (and including) one barrier.
+    pub fn step(&mut self, vmm: &Vmm, trace: &CoreTrace) -> StepResult {
+        self.drain_invalidations(vmm);
+        let Some(op) = trace.ops.get(self.op_idx) else {
+            return StepResult::Done;
+        };
+        match *op {
+            Op::Stream { start, pages, write, work_per_page } => {
+                // A page fault ends the chunk: faults advance this core's
+                // clock by orders of magnitude more than a TLB hit, and
+                // ending the step lets the engine hand control to the
+                // core that is now furthest behind — keeping the virtual-
+                // time ordering of lock/DMA reservations tight.
+                let end = (self.stream_pos + STREAM_CHUNK).min(pages);
+                let mut k = self.stream_pos;
+                while k < end {
+                    let faulted = self.touch(vmm, start.add(k as u64), write, work_per_page);
+                    k += 1;
+                    if faulted {
+                        break;
+                    }
+                }
+                if k == pages {
+                    self.op_idx += 1;
+                    self.stream_pos = 0;
+                } else {
+                    self.stream_pos = k;
+                }
+                StepResult::Ran
+            }
+            Op::Compute(cycles) => {
+                vmm.clocks()[self.core.index()].advance(cycles);
+                self.op_idx += 1;
+                StepResult::Ran
+            }
+            Op::Syscall { service, payload, write } => {
+                let call = if write {
+                    cmcp_kernel::Syscall::Write(payload)
+                } else {
+                    cmcp_kernel::Syscall::Read(payload)
+                };
+                let _ = service; // catalogued in the offload engine
+                vmm.offload_syscall(self.core, call);
+                self.op_idx += 1;
+                StepResult::Ran
+            }
+            Op::Barrier => {
+                self.op_idx += 1;
+                StepResult::AtBarrier
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcp_kernel::KernelConfig;
+
+    fn vmm(blocks: usize) -> Vmm {
+        Vmm::new(KernelConfig::new(2, blocks))
+    }
+
+    fn trace_of(ops: Vec<Op>) -> CoreTrace {
+        CoreTrace { ops }
+    }
+
+    #[test]
+    fn touch_faults_then_hits() {
+        let v = vmm(4);
+        let mut r = CoreRunner::new(CoreId(0), &v);
+        let t = trace_of(vec![
+            Op::touch(VirtPage(5), false, 1),
+            Op::touch(VirtPage(5), false, 1),
+        ]);
+        assert_eq!(r.step(&v, &t), StepResult::Ran);
+        assert_eq!(r.step(&v, &t), StepResult::Ran);
+        assert_eq!(r.step(&v, &t), StepResult::Done);
+        let s = r.tlb_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(v.core_stats()[0].page_faults.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn long_stream_is_chunked() {
+        let v = vmm(256);
+        let mut r = CoreRunner::new(CoreId(0), &v);
+        let t = trace_of(vec![Op::Stream {
+            start: VirtPage(0),
+            pages: 100,
+            write: false,
+            work_per_page: 1,
+        }]);
+        // Every page of the cold stream faults, and a fault ends the
+        // step, so the op takes one step per page...
+        let mut steps = 0;
+        while r.step(&v, &t) == StepResult::Ran {
+            steps += 1;
+        }
+        assert_eq!(steps, 100);
+        assert_eq!(r.tlb_stats().accesses, 100);
+        // ...while a warm re-run of the same stream is chunked 32 pages
+        // at a time (ceil(100/32) = 4 steps).
+        let mut warm = CoreRunner::new(CoreId(0), &v);
+        let mut steps = 0;
+        while warm.step(&v, &t) == StepResult::Ran {
+            steps += 1;
+        }
+        assert_eq!(steps, 4);
+    }
+
+    #[test]
+    fn write_through_cached_entry_dirties_block_once() {
+        let v = vmm(4);
+        let mut r = CoreRunner::new(CoreId(0), &v);
+        let t = trace_of(vec![
+            Op::touch(VirtPage(5), false, 1), // fault, read
+            Op::touch(VirtPage(5), true, 1),  // TLB hit, first write
+            Op::touch(VirtPage(5), true, 1),  // TLB hit, already dirty
+        ]);
+        for _ in 0..3 {
+            r.step(&v, &t);
+        }
+        // The block is dirty: evicting it must cost a write-back.
+        v.handle_fault(CoreId(0), VirtPage(100), false);
+        v.handle_fault(CoreId(0), VirtPage(101), false);
+        v.handle_fault(CoreId(0), VirtPage(102), false);
+        v.handle_fault(CoreId(0), VirtPage(103), false);
+        v.handle_fault(CoreId(0), VirtPage(104), false); // evicts page 5 (FIFO)
+        assert_eq!(v.global_stats().snapshot().writebacks, 1);
+    }
+
+    #[test]
+    fn barrier_stops_the_step() {
+        let v = vmm(4);
+        let mut r = CoreRunner::new(CoreId(0), &v);
+        let t = trace_of(vec![Op::Barrier, Op::touch(VirtPage(1), false, 1)]);
+        assert_eq!(r.step(&v, &t), StepResult::AtBarrier);
+        assert_eq!(r.step(&v, &t), StepResult::Ran);
+        assert_eq!(r.step(&v, &t), StepResult::Done);
+    }
+
+    #[test]
+    fn compute_advances_clock_without_memory() {
+        let v = vmm(4);
+        let mut r = CoreRunner::new(CoreId(0), &v);
+        let t = trace_of(vec![Op::Compute(12345)]);
+        r.step(&v, &t);
+        assert_eq!(v.clocks()[0].now(), 12345);
+        assert_eq!(r.tlb_stats().accesses, 0);
+    }
+
+    #[test]
+    fn invalidation_drain_clears_tlb_and_dirty_cache() {
+        let v = vmm(4);
+        let mut r0 = CoreRunner::new(CoreId(0), &v);
+        let t0 = trace_of(vec![Op::touch(VirtPage(5), true, 1)]);
+        r0.step(&v, &t0);
+        assert_eq!(r0.tlb_stats().misses, 1);
+        // Another core's fault evicts page 5's block once memory fills.
+        for b in 0..4u64 {
+            v.handle_fault(CoreId(1), VirtPage(100 + b), false);
+        }
+        // Pool (4 blocks) now holds 5's block + 3 of the new ones... the
+        // fourth new fault evicted block 5 (FIFO head) and queued an
+        // invalidation for core 0.
+        assert!(v.has_pending_invalidations(CoreId(0)));
+        let t0b = trace_of(vec![Op::touch(VirtPage(6), false, 1)]);
+        let mut r0b = CoreRunner { op_idx: 0, ..r0 };
+        r0b.step(&v, &t0b);
+        assert!(!v.has_pending_invalidations(CoreId(0)));
+    }
+}

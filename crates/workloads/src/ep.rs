@@ -1,0 +1,150 @@
+//! The EP workload: NPB Embarrassingly Parallel.
+//!
+//! The paper *excludes* EP from its evaluation because it "uses \[a\] very
+//! small amount of memory and thus hierarchical memory management is not
+//! necessary" (§5.1). We implement it anyway so the claim is testable:
+//! the `ablation_excluded` bench shows EP's fault count equals its (tiny)
+//! cold footprint at any memory constraint the paper would impose.
+//!
+//! EP generates pairs of uniform deviates, applies the Marsaglia polar
+//! acceptance test, and tallies the accepted Gaussian pairs into ten
+//! annulus counters — almost pure compute over a per-core table of a few
+//! pages. The real math lives in [`ep_gaussian_counts`], unit-tested for
+//! the expected acceptance rate (π/4) and tally conservation.
+
+use cmcp_sim::Trace;
+
+use crate::layout::AddressSpace;
+use crate::logger::TraceLogger;
+
+/// EP workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EpConfig {
+    /// log2 of the number of random pairs per core.
+    pub m: u32,
+    /// Seed for the deviate stream.
+    pub seed: u64,
+}
+
+impl EpConfig {
+    /// A scaled class-B stand-in.
+    pub fn class_b() -> EpConfig {
+        EpConfig { m: 18, seed: 271_828_183 }
+    }
+}
+
+/// xorshift64* generator matching the trace/compute implementations.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Uniform deviate in (-1, 1).
+fn deviate(state: &mut u64) -> f64 {
+    (next(state) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// The real EP computation: generates `pairs` candidate pairs, returns
+/// (accepted count, per-annulus tallies) of the Marsaglia polar method.
+pub fn ep_gaussian_counts(pairs: u64, seed: u64) -> (u64, [u64; 10]) {
+    let mut state = seed.max(1);
+    let mut accepted = 0u64;
+    let mut tallies = [0u64; 10];
+    for _ in 0..pairs {
+        let x = deviate(&mut state);
+        let y = deviate(&mut state);
+        let t = x * x + y * y;
+        if t <= 1.0 && t > 0.0 {
+            accepted += 1;
+            let f = (-2.0 * t.ln() / t).sqrt();
+            let (gx, gy) = (x * f, y * f);
+            let bin = gx.abs().max(gy.abs()).floor() as usize;
+            tallies[bin.min(9)] += 1;
+        }
+    }
+    (accepted, tallies)
+}
+
+/// Generates the EP trace: per-core deviate state + tally table (a few
+/// pages), a long compute phase, one reduction at the end.
+pub fn ep_trace(cores: usize, cfg: &EpConfig) -> Trace {
+    let mut space = AddressSpace::new();
+    // Per-core state: deviate buffer (a few pages) + tallies.
+    let buffers: Vec<_> =
+        (0..cores).map(|c| space.alloc(&format!("ep_buf{c}"), 2048, 8)).collect();
+    let tallies = space.alloc("ep_tallies", (cores * 16) as u64, 8);
+
+    let mut log = TraceLogger::new(cores, "ep");
+    let pairs_per_core = 1u64 << cfg.m;
+    // ~60 cycles of work per pair on an in-order core; charged in
+    // buffer-sized batches that re-touch the per-core pages.
+    let batches = 64u64;
+    let work_per_batch = pairs_per_core / batches * 15; // work units
+    for c in 0..cores {
+        let core = log.core(c);
+        for _ in 0..batches {
+            core.range(&buffers[c], 0, 2048, true, (work_per_batch / 2048).max(1) as u32);
+        }
+        // Tally write (own slice) + reduction read of everyone's.
+        core.range(&tallies, (c * 16) as u64, (c * 16 + 16) as u64, true, 4);
+    }
+    log.barrier_all();
+    for c in 0..cores {
+        log.core(c).range(&tallies, 0, (cores * 16) as u64, false, 1);
+    }
+    log.barrier_all();
+    let mut trace = log.finish();
+    trace.declared_pages = space.footprint_pages();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_rate_is_pi_over_four() {
+        let pairs = 200_000;
+        let (accepted, _) = ep_gaussian_counts(pairs, 42);
+        let rate = accepted as f64 / pairs as f64;
+        let expected = std::f64::consts::FRAC_PI_4;
+        assert!(
+            (rate - expected).abs() < 0.01,
+            "acceptance {rate:.4} should be ≈ π/4 = {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn tallies_conserve_accepted_pairs() {
+        let (accepted, tallies) = ep_gaussian_counts(50_000, 7);
+        assert_eq!(tallies.iter().sum::<u64>(), accepted);
+        // max(|x|,|y|) of a standard Gaussian pair: P(<1) ≈ 0.466,
+        // P(<2) ≈ 0.911.
+        assert!(tallies[0] > accepted * 2 / 5, "bin0 {} of {accepted}", tallies[0]);
+        assert!(
+            tallies[0] + tallies[1] > accepted * 85 / 100,
+            "bins 0-1 cover ~91%: {} of {accepted}",
+            tallies[0] + tallies[1]
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(ep_gaussian_counts(10_000, 3), ep_gaussian_counts(10_000, 3));
+        assert_ne!(ep_gaussian_counts(10_000, 3).1, ep_gaussian_counts(10_000, 4).1);
+    }
+
+    #[test]
+    fn footprint_is_tiny_and_compute_heavy() {
+        let t = ep_trace(8, &EpConfig { m: 14, seed: 1 });
+        assert!(t.validate().is_ok());
+        // A few pages per core: hierarchical memory management has
+        // nothing to do here — the paper's reason for excluding EP.
+        assert!(t.footprint_pages() < 8 * 8, "footprint {} pages", t.footprint_pages());
+        assert!(t.total_touches() > 1000, "but plenty of compute batches");
+    }
+}

@@ -1,0 +1,234 @@
+//! The FT workload: NPB 3-D Fast Fourier Transform.
+//!
+//! Like MG, FT is excluded from the paper's evaluation as "highly memory
+//! intensive" (§5.1, citing Saini et al.): each time step applies 1-D
+//! FFTs along all three axes, and the axis passes amount to full-array
+//! transposes — every element is touched in two different orders with no
+//! locality between passes, the canonical out-of-core worst case.
+//!
+//! The real numerics — an iterative radix-2 Cooley-Tukey FFT — live in
+//! [`fft_inplace`], unit-tested for the inverse round trip, Parseval's
+//! identity and a known analytic spectrum.
+
+use cmcp_sim::Trace;
+
+use crate::grid::Grid3;
+use crate::layout::AddressSpace;
+use crate::logger::TraceLogger;
+
+/// FT workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FtConfig {
+    /// Grid extent per axis (power of two).
+    pub n: usize,
+    /// Time steps traced (each = 3 axis passes + evolve).
+    pub steps: usize,
+}
+
+impl FtConfig {
+    /// A scaled class-B stand-in.
+    pub fn class_b() -> FtConfig {
+        FtConfig { n: 64, steps: 2 }
+    }
+}
+
+/// In-place iterative radix-2 FFT of `(re, im)`; `inverse` selects the
+/// conjugate transform (scaled by 1/n on the inverse).
+pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len());
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = a + len / 2;
+                let (tr, ti) = (re[b] * cr - im[b] * ci, re[b] * ci + im[b] * cr);
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                let next_cr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = next_cr;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in re.iter_mut().chain(im.iter_mut()) {
+            *v *= inv;
+        }
+    }
+}
+
+/// Generates the FT trace: per step, an evolve pass (private z-slabs),
+/// x/y-axis FFT passes over z-slabs, then the z-axis pass which reads
+/// the array in transposed order across *all* slabs — the all-to-all
+/// that makes FT infeasible out-of-core.
+pub fn ft_trace(cores: usize, cfg: &FtConfig) -> Trace {
+    let g = Grid3 { nx: cfg.n, ny: cfg.n, nz: cfg.n };
+    let cells = g.cells() as u64;
+    let mut space = AddressSpace::new();
+    // Complex field (re+im interleaved, 16 B/cell) and a scratch array
+    // for the transpose — NPB FT keeps several of these.
+    let u = space.alloc("ft_u", cells, 16);
+    let scratch = space.alloc("ft_scratch", cells, 16);
+
+    let mut log = TraceLogger::new(cores, "ft");
+    let row = |j: usize, k: usize| g.idx(0, j, k) as u64;
+
+    // Initial condition over z-slabs.
+    for c in 0..cores {
+        let (klo, khi) = Grid3::partition(g.nz, cores, c);
+        if klo < khi {
+            log.core(c).range(&u, row(0, klo), row(g.ny - 1, khi - 1) + g.nx as u64, true, 4);
+        }
+    }
+    log.barrier_all();
+
+    for _ in 0..cfg.steps {
+        // Evolve + x-FFT + y-FFT: all within private z-slabs (lines along
+        // x and y stay inside a plane). ~5·n·log2(n) flops per line.
+        let fft_work = (5 * (cfg.n as u64).ilog2() as u64) as u32;
+        for c in 0..cores {
+            let (klo, khi) = Grid3::partition(g.nz, cores, c);
+            let core = log.core(c);
+            for k in klo..khi {
+                for j in 0..g.ny {
+                    core.range(&u, row(j, k), row(j, k) + g.nx as u64, true, 2 * fft_work);
+                }
+            }
+        }
+        log.barrier_all();
+        // z-FFT: transpose into scratch (read u across ALL z for the
+        // core's y-rows — strides over every slab), FFT the contiguous
+        // lines, transpose back.
+        for c in 0..cores {
+            let (jlo, jhi) = Grid3::partition(g.ny, cores, c);
+            let core = log.core(c);
+            for k in 0..g.nz {
+                for j in jlo..jhi {
+                    core.range(&u, row(j, k), row(j, k) + g.nx as u64, false, 2);
+                    core.range(&scratch, row(j, k), row(j, k) + g.nx as u64, true, 2);
+                }
+            }
+            for k in 0..g.nz {
+                for j in jlo..jhi {
+                    core.range(&scratch, row(j, k), row(j, k) + g.nx as u64, true, fft_work);
+                }
+            }
+            for k in 0..g.nz {
+                for j in jlo..jhi {
+                    core.range(&u, row(j, k), row(j, k) + g.nx as u64, true, 2);
+                }
+            }
+        }
+        log.barrier_all();
+        // Checksum reduction (a few cells per core).
+        for c in 0..cores {
+            let (klo, khi) = Grid3::partition(g.nz, cores, c);
+            if klo < khi {
+                log.core(c).range(&u, row(0, klo), row(0, klo) + g.nx as u64, false, 2);
+            }
+        }
+        log.barrier_all();
+    }
+    let mut trace = log.finish();
+    trace.declared_pages = space.footprint_pages();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_inverse_round_trips() {
+        let n = 256;
+        let orig_re: Vec<f64> = (0..n).map(|i| ((i * 37) % 23) as f64 / 23.0 - 0.4).collect();
+        let orig_im: Vec<f64> = (0..n).map(|i| ((i * 11) % 19) as f64 / 19.0 - 0.6).collect();
+        let mut re = orig_re.clone();
+        let mut im = orig_im.clone();
+        fft_inplace(&mut re, &mut im, false);
+        fft_inplace(&mut re, &mut im, true);
+        for i in 0..n {
+            assert!((re[i] - orig_re[i]).abs() < 1e-10, "re[{i}]");
+            assert!((im[i] - orig_im[i]).abs() < 1e-10, "im[{i}]");
+        }
+    }
+
+    #[test]
+    fn fft_of_pure_tone_is_a_spike() {
+        let n = 128usize;
+        let freq = 5;
+        let mut re: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64).cos()).collect();
+        let mut im = vec![0.0; n];
+        fft_inplace(&mut re, &mut im, false);
+        // Energy concentrates in bins ±freq with magnitude n/2.
+        for (k, (r, i)) in re.iter().zip(&im).enumerate() {
+            let mag = (r * r + i * i).sqrt();
+            if k == freq || k == n - freq {
+                assert!((mag - n as f64 / 2.0).abs() < 1e-9, "bin {k}: {mag}");
+            } else {
+                assert!(mag < 1e-9, "bin {k} should be empty: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_identity_holds() {
+        let n = 64usize;
+        let re0: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let im0 = vec![0.0; n];
+        let time_energy: f64 = re0.iter().map(|v| v * v).sum();
+        let mut re = re0;
+        let mut im = im0;
+        fft_inplace(&mut re, &mut im, false);
+        let freq_energy: f64 =
+            re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn trace_is_memory_intensive_with_low_reuse() {
+        let t = ft_trace(8, &FtConfig { n: 32, steps: 1 });
+        assert!(t.validate().is_ok());
+        // Two complex arrays: 2 × n³ × 16 B.
+        let expect = 2 * 32u64 * 32 * 32 * 16 / 4096;
+        let got = t.footprint_pages() as u64;
+        assert!(got >= expect && got <= expect + 8, "{got} vs ~{expect}");
+        // Whole-array passes with transposes: touches/page stays small.
+        let reuse = t.total_touches() as f64 / t.footprint_pages() as f64;
+        assert!(reuse < 24.0, "FT streams the arrays: {reuse:.1} touches/page");
+    }
+
+    #[test]
+    fn transpose_pass_shares_pages_across_partitions() {
+        // The z-pass reads pages owned by the z-slab partition under the
+        // y partition: pages end up multi-core.
+        let t = ft_trace(4, &FtConfig { n: 16, steps: 1 });
+        let hist = crate::synthetic::sharing_histogram(&t);
+        let multi: usize = hist[1..].iter().sum();
+        let total: usize = hist.iter().sum();
+        assert!(multi * 2 > total, "most FT pages are multi-core: {multi}/{total}");
+    }
+}

@@ -1,0 +1,197 @@
+//! The IS workload: NPB Integer Sort.
+//!
+//! The paper drops IS with one line: it "doesn't appear to have high
+//! importance for our study" (§5.1). Implemented here for completeness
+//! of the NPB set: a parallel counting/bucket sort whose memory
+//! behaviour — a random-scatter histogram over a shared key range — is
+//! unlike any of the retained workloads, which is presumably why it
+//! added nothing to the paper's analysis.
+//!
+//! The real numerics live in [`bucket_sort_ranks`]: keys are ranked via
+//! per-bucket counting exactly like NPB IS, unit-tested against a
+//! reference sort.
+
+use cmcp_sim::Trace;
+
+use crate::layout::AddressSpace;
+use crate::logger::TraceLogger;
+
+/// IS workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IsConfig {
+    /// log2 of the number of keys.
+    pub total_keys_log2: u32,
+    /// log2 of the key range (max key value).
+    pub max_key_log2: u32,
+    /// Ranking iterations.
+    pub iterations: usize,
+    /// Key-stream seed.
+    pub seed: u64,
+}
+
+impl IsConfig {
+    /// A scaled class-B stand-in.
+    pub fn class_b() -> IsConfig {
+        IsConfig { total_keys_log2: 20, max_key_log2: 16, iterations: 3, seed: 314_159 }
+    }
+}
+
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Generates the NPB-IS-style key array.
+pub fn generate_keys(n: usize, max_key: u32, seed: u64) -> Vec<u32> {
+    let mut state = seed.max(1);
+    // NPB IS uses an average of four uniform deviates to approximate a
+    // Gaussian-ish key distribution; do the same.
+    (0..n)
+        .map(|_| {
+            let sum: u64 = (0..4).map(|_| next(&mut state) % max_key as u64).sum();
+            (sum / 4) as u32
+        })
+        .collect()
+}
+
+/// Ranks `keys` by counting sort: returns `rank[i]` = the position of
+/// `keys[i]` in the sorted order (stable).
+pub fn bucket_sort_ranks(keys: &[u32], max_key: u32) -> Vec<u32> {
+    let mut counts = vec![0u32; max_key as usize + 1];
+    for &k in keys {
+        counts[k as usize] += 1;
+    }
+    // Exclusive prefix sum.
+    let mut acc = 0u32;
+    for c in counts.iter_mut() {
+        let v = *c;
+        *c = acc;
+        acc += v;
+    }
+    let mut ranks = vec![0u32; keys.len()];
+    for (i, &k) in keys.iter().enumerate() {
+        ranks[i] = counts[k as usize];
+        counts[k as usize] += 1;
+    }
+    ranks
+}
+
+/// Generates the IS trace: per iteration, each core streams its slice of
+/// the key array and scatters increments into a shared histogram (random
+/// single-element writes across the whole bucket range), then the prefix
+/// sum and permutation passes.
+pub fn is_trace(cores: usize, cfg: &IsConfig) -> Trace {
+    let n = 1u64 << cfg.total_keys_log2;
+    let buckets = 1u64 << cfg.max_key_log2;
+    let mut space = AddressSpace::new();
+    let keys = space.alloc("is_keys", n, 4);
+    let hist = space.alloc("is_hist", buckets, 4);
+    let ranks = space.alloc("is_ranks", n, 4);
+
+    // Sample the real key stream so the scatter pattern is genuine, but
+    // trace only every `stride`-th scatter (the skipped ones land on the
+    // same pages with overwhelming probability at 4 kB granularity; the
+    // work charge carries their cost).
+    let stride = 64u64;
+    let mut state = cfg.seed.max(1);
+    let mut sample_key = |_i: u64| {
+        let sum: u64 = (0..4).map(|_| next(&mut state) % buckets).sum();
+        sum / 4
+    };
+
+    let mut log = TraceLogger::new(cores, "is");
+    let per_core = n / cores as u64;
+    for _ in 0..cfg.iterations {
+        // Scatter phase: stream own keys, scatter into the shared
+        // histogram.
+        for c in 0..cores {
+            let lo = c as u64 * per_core;
+            let hi = if c + 1 == cores { n } else { lo + per_core };
+            let core = log.core(c);
+            let mut i = lo;
+            while i < hi {
+                core.range(&keys, i, (i + stride).min(hi), false, 2);
+                let k = sample_key(i);
+                core.element(&hist, k, true, (stride * 3) as u32);
+                i += stride;
+            }
+        }
+        log.barrier_all();
+        // Prefix sum over the histogram, partitioned by bucket ranges.
+        for c in 0..cores {
+            let blo = c as u64 * buckets / cores as u64;
+            let bhi = (c as u64 + 1) * buckets / cores as u64;
+            if blo < bhi {
+                log.core(c).range(&hist, blo, bhi, true, 3);
+            }
+        }
+        log.barrier_all();
+        // Rank write-out: stream keys again, write ranks.
+        for c in 0..cores {
+            let lo = c as u64 * per_core;
+            let hi = if c + 1 == cores { n } else { lo + per_core };
+            let core = log.core(c);
+            core.range(&keys, lo, hi, false, 1);
+            core.range(&ranks, lo, hi, true, 2);
+        }
+        log.barrier_all();
+    }
+    let mut trace = log.finish();
+    trace.declared_pages = space.footprint_pages();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_agree_with_reference_sort() {
+        let keys = generate_keys(5000, 1 << 10, 9);
+        let ranks = bucket_sort_ranks(&keys, 1 << 10);
+        // Scatter keys to their ranks: the result must be sorted, and a
+        // permutation (every rank used exactly once).
+        let mut sorted = vec![u32::MAX; keys.len()];
+        for (i, &r) in ranks.iter().enumerate() {
+            assert_eq!(sorted[r as usize], u32::MAX, "rank {r} used twice");
+            sorted[r as usize] = keys[i];
+        }
+        for w in sorted.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn ranking_is_stable() {
+        let keys = vec![5, 3, 5, 3, 5];
+        let ranks = bucket_sort_ranks(&keys, 8);
+        // Equal keys keep input order: the two 3s rank 0,1; the 5s 2,3,4.
+        assert_eq!(ranks, vec![2, 0, 3, 1, 4]);
+    }
+
+    #[test]
+    fn key_distribution_is_centered() {
+        // The average-of-four construction concentrates keys around
+        // max_key × 3/8 (mean of min(u,...)·avg): just check the extreme
+        // tails are rare, as in NPB IS.
+        let max_key = 1u32 << 12;
+        let keys = generate_keys(20_000, max_key, 3);
+        let hi_tail = keys.iter().filter(|&&k| k > max_key * 7 / 8).count();
+        let lo_mid = keys.iter().filter(|&&k| k > max_key / 8 && k < max_key * 6 / 8).count();
+        assert!(hi_tail < keys.len() / 50, "heavy high tail: {hi_tail}");
+        assert!(lo_mid > keys.len() / 2, "mass must sit mid-range: {lo_mid}");
+    }
+
+    #[test]
+    fn trace_shares_the_histogram_widely() {
+        let t = is_trace(8, &IsConfig { total_keys_log2: 14, max_key_log2: 12, iterations: 1, seed: 1 });
+        assert!(t.validate().is_ok());
+        let hist = crate::synthetic::sharing_histogram(&t);
+        // The histogram pages are scattered into by every core.
+        assert!(hist[7] > 0, "some pages mapped by all 8 cores: {hist:?}");
+    }
+}

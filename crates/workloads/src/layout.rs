@@ -1,0 +1,147 @@
+//! Virtual address space layout for workload arrays.
+//!
+//! Mirrors what the paper's runtime does: computation data is explicitly
+//! memory-mapped into the PSPT-managed area ("we interface a C block with
+//! the Fortran code which explicitly memory maps allocations to the
+//! desired area", §5.1). Regions are 2 MB-aligned so a single mapping
+//! block never spans two arrays regardless of the page size under test.
+
+use cmcp_arch::{PageSize, VirtAddr, VirtPage};
+
+/// One array's placement: a contiguous, 2 MB-aligned page range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First 4 kB page.
+    pub base: VirtPage,
+    /// Length in 4 kB pages.
+    pub pages: u64,
+    /// Element size in bytes.
+    pub elem_bytes: u64,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl Region {
+    /// The 4 kB page containing element `idx`.
+    #[inline]
+    pub fn page_of(&self, idx: u64) -> VirtPage {
+        debug_assert!(idx < self.len, "element {idx} out of bounds ({})", self.len);
+        VirtPage(self.base.0 + idx * self.elem_bytes / 4096)
+    }
+
+    /// The inclusive page range covering elements `[lo, hi)`.
+    #[inline]
+    pub fn page_range(&self, lo: u64, hi: u64) -> (VirtPage, u64) {
+        debug_assert!(lo < hi && hi <= self.len);
+        let first = self.page_of(lo);
+        let last = VirtPage(self.base.0 + (hi * self.elem_bytes - 1) / 4096);
+        (first, last.0 - first.0 + 1)
+    }
+
+    /// Virtual address of element `idx`.
+    #[inline]
+    pub fn addr_of(&self, idx: u64) -> VirtAddr {
+        VirtAddr(self.base.base_addr().0 + idx * self.elem_bytes)
+    }
+}
+
+/// A bump allocator over the computation area.
+#[derive(Debug)]
+pub struct AddressSpace {
+    next_page: u64,
+    regions: Vec<(String, Region)>,
+}
+
+impl Default for AddressSpace {
+    fn default() -> AddressSpace {
+        AddressSpace::new()
+    }
+}
+
+impl AddressSpace {
+    /// An empty layout starting at the computation-area base (1 GB, clear
+    /// of the kernel/regular mappings which PSPT leaves shared).
+    pub fn new() -> AddressSpace {
+        AddressSpace { next_page: (1u64 << 30) >> 12, regions: Vec::new() }
+    }
+
+    /// Reserves a region for `len` elements of `elem_bytes` each.
+    pub fn alloc(&mut self, name: &str, len: u64, elem_bytes: u64) -> Region {
+        assert!(len > 0 && elem_bytes > 0, "empty region {name}");
+        let span_2m = PageSize::M2.pages_4k() as u64;
+        // Align the base up to a 2 MB boundary.
+        let base = self.next_page.div_ceil(span_2m) * span_2m;
+        let bytes = len * elem_bytes;
+        let pages = bytes.div_ceil(4096);
+        self.next_page = base + pages;
+        let region = Region { base: VirtPage(base), pages, elem_bytes, len };
+        self.regions.push((name.to_string(), region));
+        region
+    }
+
+    /// All regions in allocation order.
+    pub fn regions(&self) -> &[(String, Region)] {
+        &self.regions
+    }
+
+    /// Total footprint in 4 kB pages (actual data pages, not alignment
+    /// padding).
+    pub fn footprint_pages(&self) -> u64 {
+        self.regions.iter().map(|(_, r)| r.pages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_2m_aligned_and_disjoint() {
+        let mut a = AddressSpace::new();
+        let r1 = a.alloc("x", 1000, 8);
+        let r2 = a.alloc("y", 1000, 8);
+        assert!(r1.base.is_aligned(PageSize::M2));
+        assert!(r2.base.is_aligned(PageSize::M2));
+        assert!(r2.base.0 >= r1.base.0 + r1.pages);
+    }
+
+    #[test]
+    fn page_of_walks_elements() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc("v", 4096, 8); // 512 f64 per page → 8 pages
+        assert_eq!(r.pages, 8);
+        assert_eq!(r.page_of(0), r.base);
+        assert_eq!(r.page_of(511), r.base);
+        assert_eq!(r.page_of(512), VirtPage(r.base.0 + 1));
+        assert_eq!(r.page_of(4095), VirtPage(r.base.0 + 7));
+    }
+
+    #[test]
+    fn page_range_is_inclusive_of_partial_pages() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc("v", 2048, 8);
+        let (first, n) = r.page_range(0, 2048);
+        assert_eq!(first, r.base);
+        assert_eq!(n, 4);
+        let (first, n) = r.page_range(500, 520); // straddles pages 0 and 1
+        assert_eq!(first, r.base);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn footprint_sums_data_pages() {
+        let mut a = AddressSpace::new();
+        a.alloc("a", 512, 8); // 1 page
+        a.alloc("b", 1024, 4); // 1 page
+        assert_eq!(a.footprint_pages(), 2);
+        assert_eq!(a.regions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn page_of_bounds_checked_in_debug() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc("v", 10, 8);
+        r.page_of(10);
+    }
+}

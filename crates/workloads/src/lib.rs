@@ -1,0 +1,60 @@
+//! # cmcp-workloads — the paper's applications, as trace generators
+//!
+//! The evaluation workloads (paper §5.1): three NAS Parallel Benchmarks —
+//! CG, LU, BT — and RIKEN's SCALE stencil code. The originals are
+//! Fortran/OpenMP programs far too large to reproduce verbatim; what the
+//! memory-management experiments need is their *memory behaviour*:
+//! per-core page access streams with the right sharing structure
+//! (Figure 6), reuse structure (what LRU protects), and footprint.
+//!
+//! Each workload here is built from the same loop nests and domain
+//! partitioning as the original, at scaled-down problem sizes:
+//!
+//! * [`cg`] — conjugate gradient on a random sparse SPD matrix (CSR),
+//!   rows partitioned across cores. The matrix streams privately; the
+//!   search vector `p` is gathered at random columns by *every* core —
+//!   producing CG's signature sharing histogram (>50 % private pages, a
+//!   small tail mapped by all cores).
+//! * [`lu`] — SSOR-style forward/backward wavefront sweeps over a 3-D
+//!   grid in j-slabs, with nearest-slab boundary reads.
+//! * [`bt`] — line solves along the three axes with *different* domain
+//!   partitions per axis, the source of BT's broader 1–6-core sharing.
+//! * [`scale`] — a 2-D halo-exchange stencil integrator (weather/climate
+//!   kernel shape): private interiors, 2-core halo rows.
+//! * [`synthetic`] — parameterized patterns, including the adversarial
+//!   anti-CMCP workload the paper concedes can be constructed (§3).
+//! * [`ep`], [`mg`] — the NPB workloads the paper *excludes* (§5.1),
+//!   implemented so the exclusions are demonstrable: EP's footprint is
+//!   trivially small; MG streams its whole grid hierarchy with so little
+//!   reuse that out-of-core execution collapses.
+//!
+//! The *numerics* of each kernel are also implemented ([`sparse`],
+//! [`grid`]) and unit-tested (CG converges, SSOR reduces residual, line
+//! solves are exact, the stencil conserves heat), so the loop structure
+//! the traces are derived from is demonstrably the real algorithm, not a
+//! hand-painted histogram.
+//!
+//! [`suite`] packages everything into the paper's named configurations
+//! (`cg.B`, `lu.C`, `SCALE (sml)`, ...).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod grid;
+pub mod layout;
+pub mod logger;
+pub mod lu;
+pub mod mg;
+pub mod scale;
+pub mod sparse;
+pub mod suite;
+pub mod synthetic;
+
+pub use layout::{AddressSpace, Region};
+pub use logger::TraceLogger;
+pub use suite::{Workload, WorkloadClass};

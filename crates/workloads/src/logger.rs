@@ -1,0 +1,250 @@
+//! Per-core access logging with page-run coalescing.
+//!
+//! Workload kernels log *element-level* accesses; the logger folds them
+//! into the page-granular [`Op`] stream the engines consume. Two
+//! foldings keep traces compact without losing anything the TLB or the
+//! paging subsystem could observe:
+//!
+//! * consecutive accesses to the *same* page merge into one op with
+//!   accumulated work (they could not miss the TLB separately);
+//! * accesses marching through *adjacent* pages in the same direction
+//!   with the same kind merge into one [`Op::Stream`] run.
+
+use cmcp_arch::VirtPage;
+use cmcp_sim::{CoreTrace, Op, Trace};
+
+use crate::layout::Region;
+
+/// Builds one core's op stream.
+#[derive(Debug, Default)]
+pub struct CoreLogger {
+    ops: Vec<Op>,
+    /// Coalescing window for the op being built.
+    pending: Option<Pending>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    start: VirtPage,
+    pages: u32,
+    write: bool,
+    work_total: u64,
+}
+
+impl CoreLogger {
+    fn flush(&mut self) {
+        if let Some(p) = self.pending.take() {
+            let work_per_page = (p.work_total / p.pages as u64).max(1) as u32;
+            self.ops.push(Op::Stream {
+                start: p.start,
+                pages: p.pages,
+                write: p.write,
+                work_per_page,
+            });
+        }
+    }
+
+    /// Logs one access to `page`.
+    pub fn touch_page(&mut self, page: VirtPage, write: bool, work: u32) {
+        match &mut self.pending {
+            Some(p) if p.write == write => {
+                let last = p.start.0 + p.pages as u64 - 1;
+                if page.0 == last {
+                    // Same page: fold the work in.
+                    p.work_total += work as u64;
+                    return;
+                }
+                if page.0 == last + 1 {
+                    // Next page in a forward march: extend the run.
+                    p.pages += 1;
+                    p.work_total += work as u64;
+                    return;
+                }
+                self.flush();
+            }
+            Some(_) => self.flush(),
+            None => {}
+        }
+        self.pending = Some(Pending { start: page, pages: 1, write, work_total: work as u64 });
+    }
+
+    /// Logs an access to element `idx` of `region`.
+    pub fn element(&mut self, region: &Region, idx: u64, write: bool, work: u32) {
+        self.touch_page(region.page_of(idx), write, work);
+    }
+
+    /// Logs a dense sweep over elements `[lo, hi)` of `region`, charging
+    /// `work_per_elem` per element.
+    pub fn range(&mut self, region: &Region, lo: u64, hi: u64, write: bool, work_per_elem: u32) {
+        if lo >= hi {
+            return;
+        }
+        let (start, pages) = region.page_range(lo, hi);
+        let elems = hi - lo;
+        let work_per_page = ((elems * work_per_elem as u64) / pages).max(1) as u32;
+        self.flush();
+        self.ops.push(Op::Stream { start, pages: pages as u32, write, work_per_page });
+    }
+
+    /// Logs pure compute time.
+    pub fn compute(&mut self, cycles: u64) {
+        self.flush();
+        self.ops.push(Op::Compute(cycles));
+    }
+
+    /// Logs a host-offloaded system call (e.g. SCALE's history writes).
+    pub fn syscall(&mut self, service: u64, payload: u64, write: bool) {
+        self.flush();
+        self.ops.push(Op::Syscall { service, payload, write });
+    }
+
+    /// Logs a barrier.
+    pub fn barrier(&mut self) {
+        self.flush();
+        self.ops.push(Op::Barrier);
+    }
+
+    /// Finalizes into a [`CoreTrace`].
+    pub fn finish(mut self) -> CoreTrace {
+        self.flush();
+        CoreTrace { ops: self.ops }
+    }
+}
+
+/// Builds a full multi-core [`Trace`].
+#[derive(Debug)]
+pub struct TraceLogger {
+    cores: Vec<CoreLogger>,
+    label: String,
+}
+
+impl TraceLogger {
+    /// A logger for `n` cores.
+    pub fn new(n: usize, label: impl Into<String>) -> TraceLogger {
+        TraceLogger { cores: (0..n).map(|_| CoreLogger::default()).collect(), label: label.into() }
+    }
+
+    /// The logger for one core.
+    pub fn core(&mut self, c: usize) -> &mut CoreLogger {
+        &mut self.cores[c]
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Inserts a barrier on every core (an OpenMP barrier).
+    pub fn barrier_all(&mut self) {
+        for c in &mut self.cores {
+            c.barrier();
+        }
+    }
+
+    /// Finalizes the trace.
+    pub fn finish(self) -> Trace {
+        Trace {
+            cores: self.cores.into_iter().map(CoreLogger::finish).collect(),
+            label: self.label,
+            declared_pages: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::AddressSpace;
+
+    #[test]
+    fn same_page_accesses_coalesce() {
+        let mut l = CoreLogger::default();
+        for _ in 0..10 {
+            l.touch_page(VirtPage(5), false, 2);
+        }
+        let t = l.finish();
+        assert_eq!(t.ops.len(), 1);
+        assert_eq!(
+            t.ops[0],
+            Op::Stream { start: VirtPage(5), pages: 1, write: false, work_per_page: 20 }
+        );
+    }
+
+    #[test]
+    fn forward_march_coalesces_into_stream() {
+        let mut l = CoreLogger::default();
+        for p in 10..20u64 {
+            l.touch_page(VirtPage(p), true, 3);
+        }
+        let t = l.finish();
+        assert_eq!(t.ops.len(), 1);
+        assert_eq!(
+            t.ops[0],
+            Op::Stream { start: VirtPage(10), pages: 10, write: true, work_per_page: 3 }
+        );
+    }
+
+    #[test]
+    fn kind_change_breaks_the_run() {
+        let mut l = CoreLogger::default();
+        l.touch_page(VirtPage(1), false, 1);
+        l.touch_page(VirtPage(2), true, 1); // switch to write
+        l.touch_page(VirtPage(3), true, 1);
+        let t = l.finish();
+        assert_eq!(t.ops.len(), 2);
+    }
+
+    #[test]
+    fn random_jumps_emit_separate_ops() {
+        let mut l = CoreLogger::default();
+        l.touch_page(VirtPage(100), false, 1);
+        l.touch_page(VirtPage(7), false, 1);
+        l.touch_page(VirtPage(53), false, 1);
+        let t = l.finish();
+        assert_eq!(t.ops.len(), 3);
+    }
+
+    #[test]
+    fn range_emits_one_stream() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc("v", 4096, 8);
+        let mut l = CoreLogger::default();
+        l.range(&r, 0, 4096, false, 2);
+        let t = l.finish();
+        assert_eq!(t.ops.len(), 1);
+        match t.ops[0] {
+            Op::Stream { pages, write, work_per_page, .. } => {
+                assert_eq!(pages, 8);
+                assert!(!write);
+                // 4096 elems × 2 work / 8 pages = 1024 per page.
+                assert_eq!(work_per_page, 1024);
+            }
+            _ => panic!("expected stream"),
+        }
+    }
+
+    #[test]
+    fn barrier_all_lines_up() {
+        let mut tl = TraceLogger::new(3, "t");
+        tl.core(0).touch_page(VirtPage(1), false, 1);
+        tl.barrier_all();
+        let t = tl.finish();
+        assert!(t.validate().is_ok());
+        for c in &t.cores {
+            assert_eq!(c.barriers(), 1);
+        }
+    }
+
+    #[test]
+    fn element_uses_region_geometry() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc("v", 1024, 8); // 512 per page
+        let mut l = CoreLogger::default();
+        l.element(&r, 0, false, 1);
+        l.element(&r, 511, false, 1); // same page → coalesce
+        l.element(&r, 512, false, 1); // next page → extend
+        let t = l.finish();
+        assert_eq!(t.ops.len(), 1);
+        assert_eq!(t.touches(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Synthetic access patterns for unit experiments and ablations.
+//!
+//! Includes the **adversarial anti-CMCP pattern** the paper concedes is
+//! constructible (§3: "one could intentionally construct memory access
+//! patterns for which this heuristic wouldn't work well"): pages touched
+//! once by many cores but never reused (high core-map count, worthless),
+//! alongside core-private pages reused constantly (low count, precious).
+//! CMCP pins the worthless shared pages in its priority group and evicts
+//! the precious private ones.
+
+use cmcp_arch::VirtPage;
+use cmcp_sim::{Op, Trace};
+
+use crate::logger::TraceLogger;
+
+/// Every core streams over a private range, `rounds` times.
+pub fn private_stream(cores: usize, pages_per_core: u32, rounds: usize) -> Trace {
+    let mut log = TraceLogger::new(cores, "synthetic-private");
+    for _ in 0..rounds {
+        for c in 0..cores {
+            let base = VirtPage(0x10_0000 + ((c as u64) << 24 >> 12));
+            let core = log.core(c);
+            for k in 0..pages_per_core as u64 {
+                core.touch_page(base.add(k), true, 8);
+            }
+        }
+        log.barrier_all();
+    }
+    log.finish()
+}
+
+/// A hot region read by every core each round plus private cold streams.
+pub fn shared_hot(
+    cores: usize,
+    shared_pages: u32,
+    private_pages: u32,
+    rounds: usize,
+) -> Trace {
+    let mut log = TraceLogger::new(cores, "synthetic-shared-hot");
+    let shared_base = VirtPage(0x10_0000);
+    for round in 0..rounds {
+        for c in 0..cores {
+            let core = log.core(c);
+            // Everybody re-reads the hot shared region.
+            for k in 0..shared_pages as u64 {
+                core.touch_page(shared_base.add(k), false, 4);
+            }
+            // Private cold stream, different pages every round.
+            let base = VirtPage(0x20_0000 + ((c as u64) << 20) + round as u64 * private_pages as u64);
+            for k in 0..private_pages as u64 {
+                core.touch_page(base.add(k), true, 4);
+            }
+        }
+        log.barrier_all();
+    }
+    log.finish()
+}
+
+/// The adversarial pattern: widely-shared pages that are touched once
+/// and never again, while private pages are reused every round.
+pub fn adversarial_cmcp(
+    cores: usize,
+    shared_dead_pages: u32,
+    private_hot_pages: u32,
+    rounds: usize,
+) -> Trace {
+    let mut log = TraceLogger::new(cores, "synthetic-adversarial");
+    for round in 0..rounds {
+        for c in 0..cores {
+            let core = log.core(c);
+            // Dead-on-arrival shared pages: all cores touch this round's
+            // fresh batch exactly once (high map count, zero reuse).
+            let batch = VirtPage(0x10_0000 + (round as u64 * shared_dead_pages as u64));
+            for k in 0..shared_dead_pages as u64 {
+                core.touch_page(batch.add(k), false, 1);
+            }
+            // Hot private working set, reused every round.
+            let base = VirtPage(0x40_0000 + ((c as u64) << 20));
+            for k in 0..private_hot_pages as u64 {
+                core.touch_page(base.add(k), true, 8);
+            }
+        }
+        log.barrier_all();
+    }
+    log.finish()
+}
+
+/// A uniform random page stream (seeded), for policy stress tests.
+pub fn random_uniform(cores: usize, distinct_pages: u64, touches_per_core: u64, seed: u64) -> Trace {
+    let mut log = TraceLogger::new(cores, "synthetic-random");
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for c in 0..cores {
+        let core = log.core(c);
+        for _ in 0..touches_per_core {
+            let p = VirtPage(0x10_0000 + next() % distinct_pages);
+            core.touch_page(p, next() % 4 == 0, 2);
+        }
+    }
+    log.barrier_all();
+    log.finish()
+}
+
+/// Counts ops across all cores (testing aid).
+pub fn op_count(t: &Trace) -> usize {
+    t.cores.iter().map(|c| c.ops.len()).sum()
+}
+
+/// Returns the per-page sharer-count histogram of a trace: index `k`
+/// holds the number of pages touched by exactly `k + 1` cores.
+pub fn sharing_histogram(t: &Trace) -> Vec<usize> {
+    let mut sharers = std::collections::HashMap::new();
+    for c in &t.cores {
+        for p in c.page_set() {
+            *sharers.entry(p).or_insert(0usize) += 1;
+        }
+    }
+    let mut hist = vec![0usize; t.cores.len()];
+    for &n in sharers.values() {
+        hist[n - 1] += 1;
+    }
+    hist
+}
+
+/// A trace with explicit per-core op lists (testing aid).
+pub fn from_ops(ops_per_core: Vec<Vec<Op>>, label: &str) -> Trace {
+    Trace {
+        cores: ops_per_core.into_iter().map(|ops| cmcp_sim::CoreTrace { ops }).collect(),
+        label: label.to_string(),
+        declared_pages: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_stream_has_no_sharing() {
+        let t = private_stream(4, 16, 2);
+        let hist = sharing_histogram(&t);
+        assert_eq!(hist[0], 64, "all pages private");
+        assert_eq!(hist[1..].iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn shared_hot_pages_map_all_cores() {
+        let t = shared_hot(4, 8, 4, 2);
+        let hist = sharing_histogram(&t);
+        assert_eq!(hist[3], 8, "shared region maps all 4 cores");
+        assert!(hist[0] >= 4 * 4 * 2, "private streams stay private");
+    }
+
+    #[test]
+    fn adversarial_shares_dead_pages_widely() {
+        let t = adversarial_cmcp(4, 8, 4, 3);
+        let hist = sharing_histogram(&t);
+        assert_eq!(hist[3], 3 * 8, "every dead batch maps all cores");
+        assert_eq!(hist[0], 4 * 4, "hot sets stay private");
+    }
+
+    #[test]
+    fn random_uniform_is_seed_deterministic() {
+        let a = random_uniform(2, 100, 500, 9);
+        let b = random_uniform(2, 100, 500, 9);
+        assert_eq!(a.total_touches(), b.total_touches());
+        assert_eq!(a.footprint_pages(), b.footprint_pages());
+        let c = random_uniform(2, 100, 500, 10);
+        assert_ne!(
+            a.cores[0].page_set(),
+            c.cores[0].page_set(),
+            "different seeds differ"
+        );
+    }
+
+    #[test]
+    fn traces_validate() {
+        for t in [
+            private_stream(3, 4, 2),
+            shared_hot(3, 4, 4, 2),
+            adversarial_cmcp(3, 4, 4, 2),
+            random_uniform(3, 50, 100, 1),
+        ] {
+            assert!(t.validate().is_ok(), "{} invalid", t.label);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Compare every replacement policy on every paper workload, printing a
+//! Table-1-style summary at a chosen core count.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison [cores]
+//! ```
+
+use cmcp::{PolicyKind, SchemeChoice, SimulationBuilder, Workload, WorkloadClass};
+
+fn main() {
+    let cores: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+
+    println!("policy comparison at {cores} cores (4 kB pages, PSPT)\n");
+    println!(
+        "{:<12} {:<14} {:>10} {:>12} {:>12} {:>12}",
+        "workload", "policy", "rel perf", "faults/core", "inv/core", "dTLB/core"
+    );
+
+    for workload in Workload::all(WorkloadClass::B) {
+        let trace = workload.trace(cores);
+        let ratio = workload.paper_constraint();
+        let baseline = SimulationBuilder::trace(trace.clone()).run();
+        for policy in [
+            PolicyKind::Fifo,
+            PolicyKind::Lru,
+            PolicyKind::Clock,
+            PolicyKind::Lfu,
+            PolicyKind::Random,
+            PolicyKind::Cmcp { p: 0.75 },
+            PolicyKind::AdaptiveCmcp,
+        ] {
+            let report = SimulationBuilder::trace(trace.clone())
+                .scheme(SchemeChoice::Pspt)
+                .policy(policy)
+                .memory_ratio(ratio)
+                .run();
+            println!(
+                "{:<12} {:<14} {:>9.2}x {:>12.0} {:>12.0} {:>12.0}",
+                workload.label(),
+                policy.label(),
+                baseline.runtime_cycles as f64 / report.runtime_cycles as f64,
+                report.avg_page_faults(),
+                report.avg_remote_invalidations(),
+                report.avg_dtlb_misses(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-engine tests: the deterministic and parallel engines must agree
+//! on everything functional (what faulted, what moved, what is resident)
+//! even though their timing interleavings differ.
+
+use cmcp::{EngineMode, PolicyKind, SchemeChoice, SimulationBuilder, Trace};
+use cmcp::workloads::scale::{scale_trace, ScaleConfig};
+use cmcp::workloads::synthetic;
+
+fn scale() -> Trace {
+    scale_trace(8, &ScaleConfig { nx: 256, ny: 64, fields: 3, steps: 3 })
+}
+
+#[test]
+fn unconstrained_runs_agree_exactly() {
+    // Without evictions the fault set is the footprint: both engines
+    // must produce identical fault counts, byte counts, and histograms.
+    let t = scale();
+    let det = SimulationBuilder::trace(t.clone()).run();
+    let par = SimulationBuilder::trace(t).engine(EngineMode::Parallel(4)).run();
+    let faults = |r: &cmcp::RunReport| r.per_core.iter().map(|c| c.page_faults).sum::<u64>();
+    assert_eq!(faults(&det), faults(&par));
+    assert_eq!(det.global.evictions, par.global.evictions);
+    assert_eq!(det.dma_bytes, par.dma_bytes);
+    assert_eq!(det.sharing_histogram, par.sharing_histogram);
+}
+
+#[test]
+fn constrained_runs_agree_statistically() {
+    // Under eviction pressure the engines may diverge in exact victim
+    // choices (different interleavings) but aggregate behaviour must be
+    // close: fault counts within 25%, runtime within 40%.
+    let t = scale();
+    let run = |mode| {
+        SimulationBuilder::trace(t.clone())
+            .policy(PolicyKind::Fifo)
+            .memory_ratio(0.5)
+            .engine(mode)
+            .run()
+    };
+    let det = run(EngineMode::Deterministic);
+    let par = run(EngineMode::Parallel(4));
+    let f_det: u64 = det.per_core.iter().map(|c| c.page_faults).sum();
+    let f_par: u64 = par.per_core.iter().map(|c| c.page_faults).sum();
+    let ratio = f_det as f64 / f_par as f64;
+    assert!(
+        (0.75..=1.33).contains(&ratio),
+        "fault totals must be close: {f_det} vs {f_par}"
+    );
+    let rt = det.runtime_cycles as f64 / par.runtime_cycles as f64;
+    assert!((0.6..=1.67).contains(&rt), "runtimes must be close: {rt:.2}");
+}
+
+#[test]
+fn parallel_engine_handles_every_policy() {
+    let t = synthetic::shared_hot(6, 32, 64, 4);
+    for policy in [
+        PolicyKind::Fifo,
+        PolicyKind::Lru,
+        PolicyKind::Clock,
+        PolicyKind::Lfu,
+        PolicyKind::Random,
+        PolicyKind::Cmcp { p: 0.5 },
+        PolicyKind::AdaptiveCmcp,
+    ] {
+        let r = SimulationBuilder::trace(t.clone())
+            .policy(policy)
+            .memory_ratio(0.6)
+            .engine(EngineMode::Parallel(3))
+            .run();
+        assert!(r.runtime_cycles > 0, "{}", policy.label());
+        let touches: u64 = r.per_core.iter().map(|c| c.dtlb_accesses).sum();
+        assert_eq!(touches, t.total_touches(), "{}: every touch executed", policy.label());
+    }
+}
+
+#[test]
+fn parallel_engine_handles_regular_tables() {
+    let t = synthetic::private_stream(4, 32, 3);
+    let r = SimulationBuilder::trace(t)
+        .scheme(SchemeChoice::Regular)
+        .memory_ratio(0.5)
+        .engine(EngineMode::Parallel(0)) // auto thread count
+        .run();
+    assert!(r.global.evictions > 0);
+    assert!(r.sharing_histogram.is_none(), "regular tables have no histogram");
+}
+
+#[test]
+fn single_threaded_parallel_is_deterministic() {
+    let t = scale();
+    let run = || {
+        let r = SimulationBuilder::trace(t.clone())
+            .policy(PolicyKind::Cmcp { p: 0.75 })
+            .memory_ratio(0.5)
+            .engine(EngineMode::Parallel(1))
+            .run();
+        (r.runtime_cycles, r.global.evictions)
+    };
+    assert_eq!(run(), run());
+}

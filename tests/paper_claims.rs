@@ -1,0 +1,187 @@
+//! End-to-end tests of the paper's headline claims, at miniature scale
+//! so they run in seconds. Each test exercises the full stack: workload
+//! trace generation → deterministic engine → kernel fault path → page
+//! tables → TLBs → policies.
+
+use cmcp::{
+    PageSize, PolicyKind, RunReport, SchemeChoice, SimulationBuilder,
+};
+use cmcp::workloads::cg::{cg_trace, CgConfig};
+use cmcp::workloads::scale::{scale_trace, ScaleConfig};
+
+const CORES: usize = 16;
+
+fn small_cg() -> cmcp::Trace {
+    cg_trace(CORES, &CgConfig { n: 4096, nnz_per_row: 12, iterations: 3, seed: 77 })
+}
+
+fn small_scale() -> cmcp::Trace {
+    scale_trace(CORES, &ScaleConfig { nx: 512, ny: 128, fields: 4, steps: 4 })
+}
+
+fn run(trace: &cmcp::Trace, scheme: SchemeChoice, policy: PolicyKind, ratio: f64) -> RunReport {
+    SimulationBuilder::trace(trace.clone())
+        .scheme(scheme)
+        .policy(policy)
+        .memory_ratio(ratio)
+        .run()
+}
+
+/// §5.4: regular page tables cost far more than PSPT under frequent
+/// concurrent page faults (broadcast shootdowns + one big lock).
+#[test]
+fn pspt_outperforms_regular_tables_under_pressure() {
+    let t = small_cg();
+    let reg = run(&t, SchemeChoice::Regular, PolicyKind::Fifo, 0.4);
+    let pspt = run(&t, SchemeChoice::Pspt, PolicyKind::Fifo, 0.4);
+    assert!(
+        pspt.runtime_cycles * 3 < reg.runtime_cycles * 2,
+        "PSPT ({}) must beat regular tables ({}) by a wide margin",
+        pspt.runtime_cycles,
+        reg.runtime_cycles
+    );
+    // And the mechanism is the shootdown traffic:
+    assert!(
+        reg.avg_remote_invalidations() > 4.0 * pspt.avg_remote_invalidations(),
+        "regular PT broadcasts: {} vs {}",
+        reg.avg_remote_invalidations(),
+        pspt.avg_remote_invalidations()
+    );
+}
+
+/// §5.5: LRU reduces page faults on CG but *increases* remote TLB
+/// invalidations and ends up slower than FIFO.
+#[test]
+fn lru_loses_to_fifo_despite_fewer_faults() {
+    let t = small_cg();
+    let fifo = run(&t, SchemeChoice::Pspt, PolicyKind::Fifo, 0.37);
+    let lru = run(&t, SchemeChoice::Pspt, PolicyKind::Lru, 0.37);
+    assert!(
+        lru.avg_page_faults() < fifo.avg_page_faults(),
+        "LRU must reduce CG faults: {} vs {}",
+        lru.avg_page_faults(),
+        fifo.avg_page_faults()
+    );
+    assert!(
+        lru.avg_remote_invalidations() > 2.0 * fifo.avg_remote_invalidations(),
+        "LRU must multiply shootdowns: {} vs {}",
+        lru.avg_remote_invalidations(),
+        fifo.avg_remote_invalidations()
+    );
+    assert!(
+        lru.runtime_cycles > fifo.runtime_cycles,
+        "and still lose on runtime: {} vs {}",
+        lru.runtime_cycles,
+        fifo.runtime_cycles
+    );
+}
+
+/// The headline: CMCP outperforms FIFO and LRU, with no statistics
+/// shootdowns at all.
+#[test]
+fn cmcp_beats_fifo_and_lru_on_cg() {
+    let t = small_cg();
+    let fifo = run(&t, SchemeChoice::Pspt, PolicyKind::Fifo, 0.37);
+    let lru = run(&t, SchemeChoice::Pspt, PolicyKind::Lru, 0.37);
+    let cmcp = run(&t, SchemeChoice::Pspt, PolicyKind::Cmcp { p: 0.75 }, 0.37);
+    assert!(cmcp.runtime_cycles < fifo.runtime_cycles, "CMCP beats FIFO");
+    assert!(cmcp.runtime_cycles < lru.runtime_cycles, "CMCP beats LRU");
+    assert!(
+        cmcp.avg_remote_invalidations() <= fifo.avg_remote_invalidations(),
+        "CMCP adds no statistics shootdowns"
+    );
+    assert_eq!(cmcp.global.scan_ticks, 0, "no scan timer for CMCP");
+    if lru.runtime_cycles > 2 * lru.per_core.len() as u64 * 10_530_000 {
+        assert!(lru.global.scan_ticks > 0, "LRU runs the 10ms scan timer");
+    }
+}
+
+/// §5.2 / Figure 6: the majority of pages are mapped by only a few cores.
+#[test]
+fn sharing_histogram_is_dominated_by_few_core_pages() {
+    for trace in [small_cg(), small_scale()] {
+        let r = SimulationBuilder::trace(trace.clone()).run();
+        let hist = r.sharing_histogram.expect("PSPT histogram");
+        let total: usize = hist.iter().sum();
+        let few: usize = hist.iter().take(3).sum();
+        assert!(
+            few * 3 > total * 2,
+            "{}: at least 2/3 of pages mapped by ≤3 cores ({few}/{total})",
+            trace.label
+        );
+    }
+}
+
+/// §5.7 / Figure 10: with ample memory larger pages win (TLB reach);
+/// under pressure the transfer cost flips the ordering away from 2 MB.
+#[test]
+fn page_size_tradeoff_flips_under_pressure() {
+    let t = small_scale();
+    let at = |size, ratio| {
+        SimulationBuilder::trace(t.clone())
+            .policy(PolicyKind::Fifo)
+            .page_size(size)
+            .memory_ratio(ratio)
+            .run()
+            .runtime_cycles
+    };
+    // Unconstrained: 2MB ≤ 4kB (fewer TLB misses).
+    assert!(
+        at(PageSize::M2, 2.0) < at(PageSize::K4, 2.0),
+        "2MB must win with ample memory"
+    );
+    // Severe pressure: 2MB loses to 64kB (data movement dominates).
+    assert!(
+        at(PageSize::M2, 0.4) > at(PageSize::K64, 0.4),
+        "2MB must lose under pressure"
+    );
+}
+
+/// §7: "our system is capable of providing up to 70% of the native
+/// performance with physical memory limited to half" — CG (sparse
+/// allocation) retains most of its performance at 50 % memory.
+#[test]
+fn cg_retains_performance_at_half_memory() {
+    let t = small_cg();
+    let base = SimulationBuilder::trace(t.clone()).run();
+    let half = run(&t, SchemeChoice::Pspt, PolicyKind::Fifo, 0.5);
+    let rel = base.runtime_cycles as f64 / half.runtime_cycles as f64;
+    assert!(rel > 0.7, "CG at 50% memory keeps >70% performance, got {rel:.2}");
+}
+
+/// Determinism: the whole pipeline is bit-reproducible.
+#[test]
+fn end_to_end_runs_are_reproducible() {
+    let go = || {
+        let t = small_scale();
+        let r = run(&t, SchemeChoice::Pspt, PolicyKind::Cmcp { p: 0.5 }, 0.45);
+        (
+            r.runtime_cycles,
+            r.per_core.iter().map(|c| c.page_faults).sum::<u64>(),
+            r.global.evictions,
+            r.dma_bytes,
+        )
+    };
+    assert_eq!(go(), go());
+}
+
+/// The adversarial §3 caveat: a pattern built to fool the core-map-count
+/// heuristic makes CMCP lose to FIFO.
+#[test]
+fn adversarial_pattern_defeats_cmcp() {
+    // The trap only springs when memory *just* covers the hot private
+    // working set plus the live dead-page batch: eviction then only
+    // needs to claim expired dead pages, which FIFO does naturally,
+    // while CMCP pins them (count 8 beats count 1) and evicts hot
+    // private pages instead. Deeper constraints drown the effect in
+    // general thrash, where CMCP's stability wins again.
+    let t = cmcp::workloads::synthetic::adversarial_cmcp(8, 64, 128, 5);
+    let fifo = run(&t, SchemeChoice::Pspt, PolicyKind::Fifo, 0.95);
+    let cm = run(&t, SchemeChoice::Pspt, PolicyKind::Cmcp { p: 0.75 }, 0.95);
+    assert!(
+        cm.runtime_cycles > fifo.runtime_cycles,
+        "the constructed adversary must hurt CMCP: {} vs {}",
+        cm.runtime_cycles,
+        fifo.runtime_cycles
+    );
+}

@@ -1,0 +1,127 @@
+//! Property tests for the architecture substrate: the TLB against a
+//! fully-associative reference model, CoreSet against a `BTreeSet`, and
+//! the ring metric's metric-space laws.
+
+use std::collections::{BTreeSet, HashSet};
+
+use proptest::prelude::*;
+
+use cmcp::arch::{CoreId, CoreSet, CostModel, PageSize, RingModel, Tlb, TlbLookup, VirtPage};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A TLB never *hits* a translation it was not given and always
+    /// misses after an invalidation — soundness against a reference set
+    /// of currently-installed translations (the TLB may miss entries the
+    /// reference holds — capacity evictions — but never the reverse).
+    #[test]
+    fn tlb_is_sound_wrt_reference(
+        ops in prop::collection::vec((0u64..512, 0u8..3), 1..400),
+    ) {
+        let mut tlb = Tlb::knc(&CostModel::default());
+        let mut installed: HashSet<u64> = HashSet::new();
+        for (page, op) in ops {
+            let vp = VirtPage(page);
+            match op {
+                0 => {
+                    // Access: a hit requires a prior fill (soundness).
+                    let r = tlb.access(vp, PageSize::K4);
+                    if r != TlbLookup::Miss {
+                        prop_assert!(
+                            installed.contains(&page),
+                            "hit on never-installed page {page}"
+                        );
+                    }
+                }
+                1 => {
+                    tlb.fill(vp, PageSize::K4);
+                    installed.insert(page);
+                }
+                _ => {
+                    tlb.invalidate(vp);
+                    installed.remove(&page);
+                    // Immediately after invalidation: must miss.
+                    prop_assert_eq!(tlb.access(vp, PageSize::K4), TlbLookup::Miss);
+                    // That access polluted nothing (it missed), but the
+                    // reference stays consistent.
+                }
+            }
+        }
+    }
+
+    /// Stats accounting: accesses = hits + misses, always.
+    #[test]
+    fn tlb_stats_balance(
+        pages in prop::collection::vec(0u64..256, 1..300),
+    ) {
+        let mut tlb = Tlb::knc(&CostModel::default());
+        for &p in &pages {
+            if tlb.access(VirtPage(p), PageSize::K4) == TlbLookup::Miss {
+                tlb.fill(VirtPage(p), PageSize::K4);
+            }
+        }
+        let s = tlb.stats();
+        prop_assert_eq!(s.accesses, pages.len() as u64);
+        prop_assert_eq!(s.accesses, s.l1_hits + s.l2_hits + s.misses);
+    }
+
+    /// CoreSet behaves exactly like a BTreeSet<u16> under inserts and
+    /// removes, including count and iteration order.
+    #[test]
+    fn coreset_matches_btreeset(
+        ops in prop::collection::vec((0u16..256, any::<bool>()), 1..200),
+    ) {
+        let mut set = CoreSet::empty();
+        let mut model: BTreeSet<u16> = BTreeSet::new();
+        for (core, remove) in ops {
+            if remove {
+                prop_assert_eq!(set.remove(CoreId(core)), model.remove(&core));
+            } else {
+                prop_assert_eq!(set.insert(CoreId(core)), model.insert(core));
+            }
+            prop_assert_eq!(set.count(), model.len());
+        }
+        let got: Vec<u16> = set.iter().map(|c| c.0).collect();
+        let want: Vec<u16> = model.into_iter().collect();
+        prop_assert_eq!(got, want, "iteration must be in ascending order");
+    }
+
+    /// Ring distance is a metric: symmetric, zero iff equal, triangle
+    /// inequality.
+    #[test]
+    fn ring_distance_is_a_metric(
+        n in 2usize..64,
+        a in 0u16..64,
+        b in 0u16..64,
+        c in 0u16..64,
+    ) {
+        let ring = RingModel::new(n, &CostModel::default());
+        let (a, b, c) = (CoreId(a % n as u16), CoreId(b % n as u16), CoreId(c % n as u16));
+        prop_assert_eq!(ring.distance(a, b), ring.distance(b, a));
+        prop_assert_eq!(ring.distance(a, a), 0);
+        if a != b {
+            prop_assert!(ring.distance(a, b) > 0);
+        }
+        prop_assert!(ring.distance(a, c) <= ring.distance(a, b) + ring.distance(b, c));
+        // And bounded by the ring diameter.
+        prop_assert!(ring.distance(a, b) <= n / 2);
+    }
+
+    /// Shootdown cost is monotone in the target set.
+    #[test]
+    fn shootdown_cost_is_monotone(
+        targets in prop::collection::btree_set(0u16..56, 0..56),
+        extra in 0u16..56,
+    ) {
+        let ring = RingModel::new(56, &CostModel::default());
+        let small: CoreSet = targets.iter().map(|&c| CoreId(c)).collect();
+        let mut big = small;
+        big.insert(CoreId(extra));
+        let requester = CoreId(0);
+        let cs = ring.shootdown(requester, &small);
+        let cb = ring.shootdown(requester, &big);
+        prop_assert!(cb.requester >= cs.requester);
+        prop_assert!(cb.targets >= cs.targets);
+    }
+}

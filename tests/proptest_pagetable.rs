@@ -1,0 +1,151 @@
+//! Model-based property tests for the page tables: arbitrary map/unmap/
+//! access sequences are mirrored against a plain `HashMap` model, and
+//! PSPT's core-map directory is checked against the ground truth of its
+//! per-core tables.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use cmcp::arch::{CoreId, PageSize, PhysFrame, VirtPage};
+use cmcp::pagetable::{PageTable, Pspt, PteFlags, TableScheme};
+
+fn page_size_strategy() -> impl Strategy<Value = PageSize> {
+    prop_oneof![Just(PageSize::K4), Just(PageSize::K64), Just(PageSize::M2)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A single radix table agrees with a flat model over random
+    /// map/unmap sequences at mixed page sizes.
+    #[test]
+    fn radix_table_matches_flat_model(
+        ops in prop::collection::vec(
+            (0u64..64, page_size_strategy(), any::<bool>()),
+            1..120,
+        ),
+    ) {
+        let mut table = PageTable::new();
+        // Model: 4kB page → (frame, size).
+        let mut model: HashMap<u64, (u32, PageSize)> = HashMap::new();
+        let mut next_frame = 0u32;
+        for (slot, size, unmap) in ops {
+            let span = size.pages_4k() as u64;
+            let head = VirtPage(slot * 512); // 2MB-aligned slots avoid overlap surprises
+            if unmap {
+                // `unmap(head, K4/K64)` is a range unmap: it removes any
+                // PT-level entries inside the span (a 64 kB unmap over a
+                // lone 4 kB mapping clears that mapping); a 2 MB unmap
+                // only matches an actual 2 MB leaf.
+                let res = table.unmap(head, size);
+                let removable: Vec<u64> = (0..span)
+                    .map(|k| head.0 + k)
+                    .filter(|p| match model.get(p) {
+                        Some(&(_, PageSize::M2)) => size == PageSize::M2,
+                        Some(_) => size != PageSize::M2,
+                        None => false,
+                    })
+                    .collect();
+                prop_assert_eq!(res.is_some(), !removable.is_empty());
+                if size == PageSize::M2 && res.is_some() {
+                    for k in 0..span {
+                        model.remove(&(head.0 + k));
+                    }
+                } else {
+                    for p in removable {
+                        model.remove(&p);
+                    }
+                }
+            } else if (0..512).all(|k| !model.contains_key(&(head.0 + k))) {
+                // Map only into a fully empty 2 MB slot: a partial unmap
+                // (e.g. one 4 kB sub-entry torn out of a 64 kB run) can
+                // leave residues that legitimately reject a fresh map.
+                let frame = PhysFrame(next_frame * 512);
+                next_frame += 1;
+                table.map(head, frame, size, PteFlags::WRITABLE).unwrap();
+                for k in 0..span {
+                    model.insert(head.0 + k, (frame.0 + k as u32, size));
+                }
+            }
+            // Spot-check translations across the touched region.
+            for k in [0, span / 2, span - 1] {
+                let page = VirtPage(head.0 + k);
+                match (table.translate(page), model.get(&page.0)) {
+                    (Some(tr), Some(&(frame, size))) => {
+                        prop_assert_eq!(tr.frame.0, frame);
+                        prop_assert_eq!(tr.size, size);
+                    }
+                    (None, None) => {}
+                    (got, want) => {
+                        return Err(TestCaseError::fail(format!(
+                            "page {page}: table={got:?} model={want:?}"
+                        )));
+                    }
+                }
+            }
+            prop_assert_eq!(table.mapped_pages_4k(), model.len());
+        }
+    }
+
+    /// PSPT's core-map directory always equals the set of cores whose
+    /// private tables hold a valid translation.
+    #[test]
+    fn pspt_directory_matches_tables(
+        ops in prop::collection::vec(
+            (0u16..6, 0u64..24, any::<bool>()),
+            1..150,
+        ),
+    ) {
+        let cores = 6usize;
+        let pspt = Pspt::new(cores);
+        for (core, slot, unmap) in ops {
+            let head = VirtPage(slot);
+            if unmap {
+                pspt.unmap_all(head, PageSize::K4);
+            } else if !pspt.mapping_cores(head).contains(CoreId(core)) {
+                // Frame identity per block: derived from the slot.
+                pspt.map(CoreId(core), head, PhysFrame(slot as u32), PageSize::K4, true)
+                    .unwrap();
+            }
+            // Ground truth from the per-core tables.
+            for slot in 0u64..24 {
+                let head = VirtPage(slot);
+                let dir = pspt.mapping_cores(head);
+                for c in 0..cores as u16 {
+                    let mapped = pspt.translate(CoreId(c), head).is_some();
+                    prop_assert_eq!(
+                        mapped,
+                        dir.contains(CoreId(c)),
+                        "core {} block {}: table={} dir={}",
+                        c, slot, mapped, dir.contains(CoreId(c))
+                    );
+                }
+            }
+        }
+    }
+
+    /// Accessed/dirty aggregation: marking any 4 kB sub-page of a block
+    /// makes the block-level queries see it, on the marking core only.
+    #[test]
+    fn pspt_attribute_aggregation(
+        sub in 0u64..16,
+        size in prop_oneof![Just(PageSize::K64), Just(PageSize::M2)],
+        write in any::<bool>(),
+    ) {
+        let pspt = Pspt::new(2);
+        let span = size.pages_4k() as u64;
+        let sub = sub % span;
+        pspt.map(CoreId(0), VirtPage(0), PhysFrame(0), size, true).unwrap();
+        pspt.map(CoreId(1), VirtPage(0), PhysFrame(0), size, true).unwrap();
+        pspt.mark_accessed(CoreId(0), VirtPage(sub), write);
+        prop_assert_eq!(pspt.block_dirty(VirtPage(0), size), write);
+        let scan = pspt.test_and_clear_accessed(VirtPage(0), size);
+        prop_assert!(scan.accessed);
+        prop_assert!(scan.invalidate.contains(CoreId(0)));
+        prop_assert!(!scan.invalidate.contains(CoreId(1)), "core 1 never touched it");
+        // Second scan: clear.
+        let scan2 = pspt.test_and_clear_accessed(VirtPage(0), size);
+        prop_assert!(!scan2.accessed);
+    }
+}

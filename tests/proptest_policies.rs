@@ -1,0 +1,193 @@
+//! Property-based tests: every replacement policy must uphold the
+//! kernel's contract under arbitrary interleavings of inserts, map-count
+//! changes and evictions.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use cmcp::arch::VirtPage;
+use cmcp::policies::{
+    AccessBitOracle, CmcpConfig, CmcpPolicy, NullOracle, PolicyKind, ReplacementPolicy,
+};
+
+/// A random but *valid* event script: inserts of fresh blocks, count
+/// changes for resident blocks, and policy-chosen evictions.
+#[derive(Debug, Clone)]
+enum Event {
+    Insert { block: u64, count: usize },
+    CountChange { pick: usize, count: usize },
+    Evict,
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u64..256, 1usize..32).prop_map(|(block, count)| Event::Insert { block, count }),
+        (any::<usize>(), 1usize..32)
+            .prop_map(|(pick, count)| Event::CountChange { pick, count }),
+        Just(Event::Evict),
+    ]
+}
+
+/// An oracle with pseudo-random answers (deterministic per call index),
+/// exercising LRU/CLOCK/LFU branches.
+struct FlakyOracle {
+    calls: u64,
+}
+
+impl AccessBitOracle for FlakyOracle {
+    fn test_and_clear(&mut self, block: VirtPage) -> bool {
+        self.calls += 1;
+        (block.0 ^ self.calls).wrapping_mul(0x9e3779b97f4a7c15) >> 63 == 1
+    }
+}
+
+fn run_script(kind: PolicyKind, events: &[Event]) {
+    let mut policy = kind.build(64);
+    let mut resident: Vec<u64> = Vec::new();
+    let mut resident_set: HashSet<u64> = HashSet::new();
+    let mut oracle = FlakyOracle { calls: 0 };
+    for ev in events {
+        match ev {
+            Event::Insert { block, count } => {
+                if resident_set.insert(*block) {
+                    resident.push(*block);
+                    policy.on_insert(VirtPage(*block), *count);
+                }
+            }
+            Event::CountChange { pick, count } => {
+                if !resident.is_empty() {
+                    let block = resident[pick % resident.len()];
+                    policy.on_map_count_change(VirtPage(block), *count);
+                }
+            }
+            Event::Evict => {
+                let victim = policy.select_victim(&mut oracle);
+                match victim {
+                    Some(v) => {
+                        // Contract: the victim is a resident block.
+                        assert!(
+                            resident_set.contains(&v.0),
+                            "{}: victim {v} is not resident",
+                            policy.name()
+                        );
+                        assert!(policy.contains(v));
+                        policy.on_evict(v);
+                        assert!(!policy.contains(v));
+                        resident_set.remove(&v.0);
+                        resident.retain(|&b| b != v.0);
+                    }
+                    None => {
+                        assert!(
+                            resident.is_empty(),
+                            "{}: no victim offered but {} blocks resident",
+                            policy.name(),
+                            resident.len()
+                        );
+                    }
+                }
+            }
+        }
+        // Invariant: the policy tracks exactly the resident set.
+        assert_eq!(policy.resident(), resident.len(), "{} desynced", policy.name());
+        for &b in &resident {
+            assert!(policy.contains(VirtPage(b)), "{} lost block {b}", policy.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fifo_upholds_contract(events in prop::collection::vec(event_strategy(), 1..200)) {
+        run_script(PolicyKind::Fifo, &events);
+    }
+
+    #[test]
+    fn lru_upholds_contract(events in prop::collection::vec(event_strategy(), 1..200)) {
+        run_script(PolicyKind::Lru, &events);
+    }
+
+    #[test]
+    fn clock_upholds_contract(events in prop::collection::vec(event_strategy(), 1..200)) {
+        run_script(PolicyKind::Clock, &events);
+    }
+
+    #[test]
+    fn lfu_upholds_contract(events in prop::collection::vec(event_strategy(), 1..200)) {
+        run_script(PolicyKind::Lfu, &events);
+    }
+
+    #[test]
+    fn random_upholds_contract(events in prop::collection::vec(event_strategy(), 1..200)) {
+        run_script(PolicyKind::Random, &events);
+    }
+
+    #[test]
+    fn cmcp_upholds_contract(events in prop::collection::vec(event_strategy(), 1..200)) {
+        run_script(PolicyKind::Cmcp { p: 0.5 }, &events);
+    }
+
+    #[test]
+    fn adaptive_cmcp_upholds_contract(events in prop::collection::vec(event_strategy(), 1..200)) {
+        run_script(PolicyKind::AdaptiveCmcp, &events);
+    }
+
+    /// CMCP-specific invariant: the priority group never exceeds its
+    /// target (⌊p·capacity⌋) and the two groups partition the residents.
+    #[test]
+    fn cmcp_priority_group_bounded(
+        events in prop::collection::vec(event_strategy(), 1..300),
+        p in 0.0f64..=1.0,
+    ) {
+        let capacity = 48usize;
+        let mut policy = CmcpPolicy::new(
+            CmcpConfig { p, aging_period: 16, aging_batch: 1 },
+            capacity,
+        );
+        let target = (p * capacity as f64).floor() as usize;
+        let mut resident: Vec<u64> = Vec::new();
+        for ev in &events {
+            match ev {
+                Event::Insert { block, count } => {
+                    if !resident.contains(block) {
+                        resident.push(*block);
+                        policy.on_insert(VirtPage(*block), *count);
+                    }
+                }
+                Event::CountChange { pick, count } => {
+                    if !resident.is_empty() {
+                        let b = resident[pick % resident.len()];
+                        policy.on_map_count_change(VirtPage(b), *count);
+                    }
+                }
+                Event::Evict => {
+                    if let Some(v) = policy.select_victim(&mut NullOracle) {
+                        policy.on_evict(v);
+                        resident.retain(|&b| b != v.0);
+                    }
+                }
+            }
+            prop_assert!(policy.priority_len() <= target,
+                "priority group {} exceeds target {target}", policy.priority_len());
+            prop_assert_eq!(policy.priority_len() + policy.fifo_len(), resident.len());
+        }
+    }
+
+    /// FIFO is exactly first-in-first-out under pure insert/evict loads.
+    #[test]
+    fn fifo_order_is_exact(blocks in prop::collection::hash_set(0u64..1000, 1..64)) {
+        let mut policy = PolicyKind::Fifo.build(blocks.len());
+        let mut order: Vec<u64> = blocks.into_iter().collect();
+        order.sort_unstable();
+        for &b in &order {
+            policy.on_insert(VirtPage(b), 1);
+        }
+        for &b in &order {
+            let v = policy.select_victim(&mut NullOracle).unwrap();
+            prop_assert_eq!(v.0, b);
+            policy.on_evict(v);
+        }
+    }
+}
