@@ -1,0 +1,23 @@
+# Convenience targets mirroring .github/workflows/ci.yml.
+# Everything runs offline: external crates are in-repo shims (shims/README.md).
+
+.PHONY: verify fmt lint test bench-smoke ci
+
+# The canonical acceptance gate: release build + full test suite.
+verify:
+	cargo build --release && cargo test -q
+
+fmt:
+	cargo fmt --all --check
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+	cargo test -q
+
+# One pass over the policies benchmark bodies (no measurement).
+bench-smoke:
+	cargo bench -p cmcp-bench --bench policies -- --test
+
+ci: fmt lint verify bench-smoke

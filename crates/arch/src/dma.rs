@@ -28,6 +28,17 @@ pub enum DmaDirection {
     DeviceToHost,
 }
 
+impl DmaDirection {
+    /// Stable payload encoding used by trace events (0 in, 1 out).
+    #[inline]
+    pub fn code(self) -> u64 {
+        match self {
+            DmaDirection::HostToDevice => 0,
+            DmaDirection::DeviceToHost => 1,
+        }
+    }
+}
+
 /// The DMA engine: a transfer-time model plus a reservation clock.
 #[derive(Debug)]
 pub struct DmaModel {
@@ -68,12 +79,7 @@ impl DmaModel {
     /// Reserves the engine at virtual time `now` for a transfer of one
     /// page of `size`; returns the reservation (the caller advances its
     /// clock to `end`).
-    pub fn transfer_page(
-        &self,
-        now: Cycles,
-        size: PageSize,
-        dir: DmaDirection,
-    ) -> Reservation {
+    pub fn transfer_page(&self, now: Cycles, size: PageSize, dir: DmaDirection) -> Reservation {
         self.transfer(now, size.bytes(), dir)
     }
 
@@ -95,8 +101,38 @@ impl DmaModel {
         // two transfers (write-back + page-in), so a genuine queue never
         // exceeds ~2 transfers per client; the 4× cap only clamps
         // parallel-engine clock-skew artifacts.
-        let r = self.engine.acquire_bounded(now, streaming, 4 * self.clients * streaming.max(64));
-        Reservation { start: r.start, end: r.end + self.latency, queue_delay: r.queue_delay }
+        let r = self
+            .engine
+            .acquire_bounded(now, streaming, 4 * self.clients * streaming.max(64));
+        Reservation {
+            start: r.start,
+            end: r.end + self.latency,
+            queue_delay: r.queue_delay,
+        }
+    }
+
+    /// [`DmaModel::transfer`] that also records the enqueue as a
+    /// [`cmcp_trace::EventKind::DmaEnqueue`] event on behalf of `core`.
+    /// The matching `DmaComplete` is recorded by the caller, which alone
+    /// knows how many cycles of the wait its clock actually absorbed.
+    pub fn transfer_traced<R: cmcp_trace::Recorder>(
+        &self,
+        now: Cycles,
+        bytes: u64,
+        dir: DmaDirection,
+        tracer: &R,
+        core: u16,
+    ) -> Reservation {
+        if R::ENABLED {
+            tracer.record(
+                core,
+                now,
+                cmcp_trace::EventKind::DmaEnqueue,
+                bytes,
+                dir.code(),
+            );
+        }
+        self.transfer(now, bytes, dir)
     }
 
     /// Total bytes moved host → device.

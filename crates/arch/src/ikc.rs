@@ -87,7 +87,9 @@ impl IkcChannel {
         }
         let service = self.service_time(msg);
         // Bounded like the DMA engine: a core has one offload outstanding.
-        let r = self.channel.acquire_bounded(now, service, 256 * service.max(64));
+        let r = self
+            .channel
+            .acquire_bounded(now, service, 256 * service.max(64));
         IkcCompletion {
             done_at: r.end + 2 * self.latency, // request + response hops
             queue_delay: r.queue_delay,
@@ -122,28 +124,59 @@ mod tests {
     fn notify_is_cheap() {
         let c = channel();
         let done = c.round_trip(0, IkcMessage::Notify);
-        assert!(done.done_at < 10_000, "a doorbell is a few microseconds: {done:?}");
+        assert!(
+            done.done_at < 10_000,
+            "a doorbell is a few microseconds: {done:?}"
+        );
         assert_eq!(c.requests(), 1);
     }
 
     #[test]
     fn syscall_cost_scales_with_payload() {
         let c = channel();
-        let small =
-            c.round_trip(0, IkcMessage::Syscall { service: 1_000, payload: 256 }).done_at;
+        let small = c
+            .round_trip(
+                0,
+                IkcMessage::Syscall {
+                    service: 1_000,
+                    payload: 256,
+                },
+            )
+            .done_at;
         let big = c
-            .round_trip(1_000_000, IkcMessage::Syscall { service: 1_000, payload: 1 << 20 })
+            .round_trip(
+                1_000_000,
+                IkcMessage::Syscall {
+                    service: 1_000,
+                    payload: 1 << 20,
+                },
+            )
             .done_at
             - 1_000_000;
-        assert!(big > 10 * small, "1MB payload must dwarf 256B: {small} vs {big}");
+        assert!(
+            big > 10 * small,
+            "1MB payload must dwarf 256B: {small} vs {big}"
+        );
         assert_eq!(c.payload_bytes(), 256 + (1 << 20));
     }
 
     #[test]
     fn concurrent_offloads_serialize() {
         let c = channel();
-        let a = c.round_trip(0, IkcMessage::Syscall { service: 10_000, payload: 0 });
-        let b = c.round_trip(0, IkcMessage::Syscall { service: 10_000, payload: 0 });
+        let a = c.round_trip(
+            0,
+            IkcMessage::Syscall {
+                service: 10_000,
+                payload: 0,
+            },
+        );
+        let b = c.round_trip(
+            0,
+            IkcMessage::Syscall {
+                service: 10_000,
+                payload: 0,
+            },
+        );
         assert_eq!(a.queue_delay, 0);
         assert!(b.queue_delay >= 10_000, "second request queues: {b:?}");
         assert!(c.queued_cycles() >= 10_000);

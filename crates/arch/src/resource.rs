@@ -60,17 +60,19 @@ impl VirtualResource {
         loop {
             let start = cur.max(now);
             let end = start + service;
-            match self.free_at.compare_exchange_weak(
-                cur,
-                end,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .free_at
+                .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => {
                     self.busy.fetch_add(service, Ordering::Relaxed);
                     let queue_delay = start - now;
                     self.queued.fetch_add(queue_delay, Ordering::Relaxed);
-                    return Reservation { start, end, queue_delay };
+                    return Reservation {
+                        start,
+                        end,
+                        queue_delay,
+                    };
                 }
                 Err(actual) => cur = actual,
             }
@@ -96,7 +98,11 @@ impl VirtualResource {
         // Clamp: serve at now + max_queue (the resource books the excess
         // twice, a deliberate approximation in the skewed case).
         let start = now + max_queue;
-        Reservation { start, end: start + service, queue_delay: max_queue }
+        Reservation {
+            start,
+            end: start + service,
+            queue_delay: max_queue,
+        }
     }
 
     /// Virtual time at which the resource next becomes idle.
@@ -128,7 +134,14 @@ mod tests {
     fn idle_resource_serves_immediately() {
         let r = VirtualResource::new();
         let res = r.acquire(1000, 50);
-        assert_eq!(res, Reservation { start: 1000, end: 1050, queue_delay: 0 });
+        assert_eq!(
+            res,
+            Reservation {
+                start: 1000,
+                end: 1050,
+                queue_delay: 0
+            }
+        );
         assert_eq!(r.free_at(), 1050);
     }
 

@@ -130,7 +130,10 @@ mod tests {
         let r = ring(56);
         for a in 0..56u16 {
             for b in 0..56u16 {
-                assert_eq!(r.distance(CoreId(a), CoreId(b)), r.distance(CoreId(b), CoreId(a)));
+                assert_eq!(
+                    r.distance(CoreId(a), CoreId(b)),
+                    r.distance(CoreId(b), CoreId(a))
+                );
             }
         }
     }

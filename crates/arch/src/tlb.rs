@@ -87,9 +87,17 @@ struct SetAssocArray {
 
 impl SetAssocArray {
     fn new((entries, ways): (usize, usize), index_shift: u32) -> SetAssocArray {
-        assert!(entries > 0 && ways > 0 && entries % ways == 0, "bad TLB geometry");
+        assert!(
+            entries > 0 && ways > 0 && entries % ways == 0,
+            "bad TLB geometry"
+        );
         let sets = entries / ways;
-        SetAssocArray { sets, ways, index_shift, slots: vec![None; entries] }
+        SetAssocArray {
+            sets,
+            ways,
+            index_shift,
+            slots: vec![None; entries],
+        }
     }
 
     #[inline]
@@ -276,6 +284,29 @@ impl Tlb {
         any
     }
 
+    /// [`Tlb::invalidate`] that records a
+    /// [`cmcp_trace::EventKind::TlbInvalidate`] event stamped with the
+    /// owning core's virtual time.
+    pub fn invalidate_traced<R: cmcp_trace::Recorder>(
+        &mut self,
+        page: VirtPage,
+        tracer: &R,
+        core: u16,
+        now: Cycles,
+    ) -> bool {
+        let present = self.invalidate(page);
+        if R::ENABLED {
+            tracer.record(
+                core,
+                now,
+                cmcp_trace::EventKind::TlbInvalidate,
+                page.0,
+                present as u64,
+            );
+        }
+        present
+    }
+
     /// Full flush (CR3 reload).
     pub fn flush(&mut self) {
         self.l1_4k.clear();
@@ -330,7 +361,11 @@ mod tests {
         let mut t = tlb();
         t.fill(VirtPage(0x100), PageSize::K64); // covers 0x100..0x110
         for p in 0x100..0x110u64 {
-            assert_eq!(t.access(VirtPage(p), PageSize::K64), TlbLookup::L1, "page {p:#x}");
+            assert_eq!(
+                t.access(VirtPage(p), PageSize::K64),
+                TlbLookup::L1,
+                "page {p:#x}"
+            );
         }
         assert_eq!(t.access(VirtPage(0x110), PageSize::K64), TlbLookup::Miss);
     }
@@ -377,7 +412,11 @@ mod tests {
         }
         let before = t.stats().misses;
         for p in 0..64u64 {
-            assert_ne!(t.access(VirtPage(p), PageSize::K4), TlbLookup::Miss, "page {p}");
+            assert_ne!(
+                t.access(VirtPage(p), PageSize::K4),
+                TlbLookup::Miss,
+                "page {p}"
+            );
         }
         assert_eq!(t.stats().misses, before);
     }

@@ -68,6 +68,7 @@ impl VirtPage {
 
     /// The page `n` positions after this one.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // offsets by a scalar, not a page
     pub fn add(self, n: u64) -> VirtPage {
         VirtPage(self.0 + n)
     }
@@ -113,6 +114,7 @@ impl PhysFrame {
 
     /// The frame `n` positions after this one.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // offsets by a scalar, not a frame
     pub fn add(self, n: u32) -> PhysFrame {
         PhysFrame(self.0 + n)
     }
@@ -274,9 +276,10 @@ impl CoreSet {
 
     /// Iterates the member cores in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word }.map(move |b| CoreId((wi * 64 + b) as u16))
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter { word }.map(move |b| CoreId((wi * 64 + b) as u16)))
     }
 
     #[inline]
@@ -341,7 +344,7 @@ mod tests {
     #[test]
     fn virt_addr_page_split() {
         let a = VirtAddr(0x1234_5678);
-        assert_eq!(a.page(), VirtPage(0x1234_5));
+        assert_eq!(a.page(), VirtPage(0x0001_2345));
         assert_eq!(a.page_offset(), 0x678);
         assert_eq!(a.page().base_addr(), VirtAddr(0x1234_5000));
     }

@@ -8,7 +8,15 @@ use cmcp::workloads::scale::{scale_trace, ScaleConfig};
 use cmcp::{PolicyKind, SchemeChoice, SimulationBuilder, Trace};
 
 fn small_trace() -> Trace {
-    scale_trace(8, &ScaleConfig { nx: 256, ny: 128, fields: 3, steps: 3 })
+    scale_trace(
+        8,
+        &ScaleConfig {
+            nx: 256,
+            ny: 128,
+            fields: 3,
+            steps: 3,
+        },
+    )
 }
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -19,7 +27,11 @@ fn bench_end_to_end(c: &mut Criterion) {
         ("regular+fifo", SchemeChoice::Regular, PolicyKind::Fifo),
         ("pspt+fifo", SchemeChoice::Pspt, PolicyKind::Fifo),
         ("pspt+lru", SchemeChoice::Pspt, PolicyKind::Lru),
-        ("pspt+cmcp", SchemeChoice::Pspt, PolicyKind::Cmcp { p: 0.75 }),
+        (
+            "pspt+cmcp",
+            SchemeChoice::Pspt,
+            PolicyKind::Cmcp { p: 0.75 },
+        ),
     ] {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {

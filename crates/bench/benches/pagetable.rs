@@ -11,7 +11,14 @@ use cmcp::pagetable::{PageTable, Pspt, PteFlags, RegularTables, TableScheme};
 fn bench_radix_walk(c: &mut Criterion) {
     let mut table = PageTable::new();
     for b in 0..16_384u64 {
-        table.map(VirtPage(b), PhysFrame(b as u32), PageSize::K4, PteFlags::WRITABLE).unwrap();
+        table
+            .map(
+                VirtPage(b),
+                PhysFrame(b as u32),
+                PageSize::K4,
+                PteFlags::WRITABLE,
+            )
+            .unwrap();
     }
     c.bench_function("radix_translate_hit", |b| {
         let mut i = 0u64;
@@ -39,7 +46,9 @@ fn bench_map_unmap(c: &mut Criterion) {
             b.iter(|| {
                 let head = VirtPage((slot % 512) * 512);
                 slot += 1;
-                table.map(head, PhysFrame(0), size, PteFlags::WRITABLE).unwrap();
+                table
+                    .map(head, PhysFrame(0), size, PteFlags::WRITABLE)
+                    .unwrap();
                 black_box(table.unmap(head, size));
                 let _ = span;
             });
@@ -58,7 +67,13 @@ fn bench_pspt_fault_path(c: &mut Criterion) {
             let head = VirtPage(slot % 4096);
             slot += 1;
             for core in 0..4u16 {
-                let _ = pspt.map(CoreId(core), head, PhysFrame((head.0 % 4096) as u32), PageSize::K4, true);
+                let _ = pspt.map(
+                    CoreId(core),
+                    head,
+                    PhysFrame((head.0 % 4096) as u32),
+                    PageSize::K4,
+                    true,
+                );
             }
             black_box(pspt.unmap_all(head, PageSize::K4));
         });
@@ -72,9 +87,22 @@ fn bench_invalidation_target_sets(c: &mut Criterion) {
     let pspt = Pspt::new(cores);
     let reg = RegularTables::new(cores);
     for b in 0..1024u64 {
-        pspt.map(CoreId((b % 3) as u16), VirtPage(b), PhysFrame(b as u32), PageSize::K4, true)
-            .unwrap();
-        reg.map(CoreId(0), VirtPage(b), PhysFrame(b as u32), PageSize::K4, true).unwrap();
+        pspt.map(
+            CoreId((b % 3) as u16),
+            VirtPage(b),
+            PhysFrame(b as u32),
+            PageSize::K4,
+            true,
+        )
+        .unwrap();
+        reg.map(
+            CoreId(0),
+            VirtPage(b),
+            PhysFrame(b as u32),
+            PageSize::K4,
+            true,
+        )
+        .unwrap();
     }
     let mut group = c.benchmark_group("mapping_cores_query");
     group.bench_function("pspt_precise", |b| {

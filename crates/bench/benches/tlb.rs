@@ -73,5 +73,11 @@ fn bench_sweep_by_page_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hits, bench_miss_fill, bench_invalidate, bench_sweep_by_page_size);
+criterion_group!(
+    benches,
+    bench_hits,
+    bench_miss_fill,
+    bench_invalidate,
+    bench_sweep_by_page_size
+);
 criterion_main!(benches);

@@ -32,16 +32,30 @@ fn main() {
     let mut results = Vec::new();
     println!("# Ablation — CMCP aging period ({CORES} cores, p per Figure 9)\n");
     let headers: Vec<String> = std::iter::once("aging period".to_string())
-        .chain(workloads(WorkloadClass::B).iter().map(|w| w.label().to_string()))
+        .chain(
+            workloads(WorkloadClass::B)
+                .iter()
+                .map(|w| w.label().to_string()),
+        )
         .collect();
     let mut columns: Vec<Vec<f64>> = Vec::new();
     for w in workloads(WorkloadClass::B) {
         let trace = cache.get(w, CORES).clone();
         let ratio = tuned_constraint(w);
-        let base = run_config(&trace, SchemeChoice::Pspt, PolicyKind::Fifo, 10.0, cmcp::PageSize::K4);
+        let base = run_config(
+            &trace,
+            SchemeChoice::Pspt,
+            PolicyKind::Fifo,
+            10.0,
+            cmcp::PageSize::K4,
+        );
         let mut col = Vec::new();
         for period in PERIODS {
-            let cfg = CmcpConfig { p: best_p(w), aging_period: period, aging_batch: 1 };
+            let cfg = CmcpConfig {
+                p: best_p(w),
+                aging_period: period,
+                aging_batch: 1,
+            };
             let r = run_config(
                 &trace,
                 SchemeChoice::Pspt,
@@ -66,7 +80,11 @@ fn main() {
     }
     let mut rows = Vec::new();
     for (i, period) in PERIODS.iter().enumerate() {
-        let label = if *period == 0 { "off".to_string() } else { period.to_string() };
+        let label = if *period == 0 {
+            "off".to_string()
+        } else {
+            period.to_string()
+        };
         let mut row = vec![label];
         for col in &columns {
             row.push(format!("{:.2}", col[i]));

@@ -15,7 +15,9 @@ use cmcp::{PolicyKind, SchemeChoice, SimulationBuilder, Trace, Workload, Workloa
 const CORES: usize = 32;
 
 fn run(trace: &Trace, ratio: f64) -> (f64, f64) {
-    let base = SimulationBuilder::trace(trace.clone()).memory_ratio(10.0).run();
+    let base = SimulationBuilder::trace(trace.clone())
+        .memory_ratio(10.0)
+        .run();
     let r = SimulationBuilder::trace(trace.clone())
         .scheme(SchemeChoice::Pspt)
         .policy(PolicyKind::Fifo)
@@ -42,8 +44,12 @@ fn main() {
     // (half its declared requirement) still holds all of EP.
     let cg_for_sizing = Workload::Cg(WorkloadClass::B).trace(CORES);
     let device = cg_for_sizing.declared_blocks(cmcp::PageSize::K4) / 2;
-    let base = SimulationBuilder::trace(ep.clone()).memory_ratio(10.0).run();
-    let constrained = SimulationBuilder::trace(ep.clone()).device_blocks(device).run();
+    let base = SimulationBuilder::trace(ep.clone())
+        .memory_ratio(10.0)
+        .run();
+    let constrained = SimulationBuilder::trace(ep.clone())
+        .device_blocks(device)
+        .run();
     println!(
         "  device sized at 50% of cg.B's requirement ({device} blocks): relative perf {:.2}, {} evictions",
         base.runtime_cycles as f64 / constrained.runtime_cycles as f64,

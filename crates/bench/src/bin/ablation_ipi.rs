@@ -39,11 +39,15 @@ fn main() {
     let trace = cache.get(w, CORES).clone();
     let ratio = tuned_constraint(w);
     println!("# Ablation — cheap hardware TLB invalidation ({w}, {CORES} cores)\n");
-    let headers: Vec<String> =
-        ["IPI cost ÷", "regular PT + FIFO", "PSPT + LRU", "PSPT + FIFO"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let headers: Vec<String> = [
+        "IPI cost ÷",
+        "regular PT + FIFO",
+        "PSPT + LRU",
+        "PSPT + FIFO",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for divisor in SCALES {

@@ -32,7 +32,13 @@ fn main() {
         println!("## {w}\n");
         let trace = cache.get(w, CORES).clone();
         let ratio = tuned_constraint(w);
-        let base = run_config(&trace, SchemeChoice::Pspt, PolicyKind::Fifo, 10.0, cmcp::PageSize::K4);
+        let base = run_config(
+            &trace,
+            SchemeChoice::Pspt,
+            PolicyKind::Fifo,
+            10.0,
+            cmcp::PageSize::K4,
+        );
         let policies: Vec<(&str, PolicyKind)> = vec![
             ("FIFO", PolicyKind::Fifo),
             ("LRU", PolicyKind::Lru),
@@ -42,14 +48,19 @@ fn main() {
             ("CMCP", PolicyKind::Cmcp { p: best_p(w) }),
             ("CMCP-adaptive", PolicyKind::AdaptiveCmcp),
         ];
-        let headers: Vec<String> =
-            ["policy", "rel. perf", "faults/core", "remote inv/core"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let headers: Vec<String> = ["policy", "rel. perf", "faults/core", "remote inv/core"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut rows = Vec::new();
         for (name, policy) in policies {
-            let r = run_config(&trace, SchemeChoice::Pspt, policy, ratio, cmcp::PageSize::K4);
+            let r = run_config(
+                &trace,
+                SchemeChoice::Pspt,
+                policy,
+                ratio,
+                cmcp::PageSize::K4,
+            );
             let rel = base.runtime_cycles as f64 / r.runtime_cycles as f64;
             rows.push(vec![
                 name.to_string(),

@@ -31,16 +31,20 @@ struct RebuildRow {
 fn main() {
     println!("# Ablation — periodic PSPT rebuilding under CMCP ({CORES} cores)\n");
     let mut results = Vec::new();
-    let headers: Vec<String> =
-        ["workload", "period", "rel perf", "rebuilds", "faults/core"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let headers: Vec<String> = ["workload", "period", "rel perf", "rebuilds", "faults/core"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
-    for w in [Workload::Bt(WorkloadClass::B), Workload::Cg(WorkloadClass::B)] {
+    for w in [
+        Workload::Bt(WorkloadClass::B),
+        Workload::Cg(WorkloadClass::B),
+    ] {
         let trace = w.trace(CORES);
         let ratio = tuned_constraint(w);
-        let base = SimulationBuilder::trace(trace.clone()).memory_ratio(10.0).run();
+        let base = SimulationBuilder::trace(trace.clone())
+            .memory_ratio(10.0)
+            .run();
         let mut fault_base = 0.0;
         for period_ms in PERIODS_MS {
             let period = period_ms * 1_053_000; // ms → cycles at 1.053 GHz
@@ -55,7 +59,11 @@ fn main() {
             }
             rows.push(vec![
                 w.label().to_string(),
-                if period_ms == 0 { "off".into() } else { format!("{period_ms} ms") },
+                if period_ms == 0 {
+                    "off".into()
+                } else {
+                    format!("{period_ms} ms")
+                },
                 format!("{rel:.2}"),
                 r.global.rebuilds.to_string(),
                 format!("{:.0}", r.avg_page_faults()),

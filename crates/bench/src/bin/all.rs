@@ -12,8 +12,18 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("target dir");
     let bins = [
-        "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablation_policies",
-        "ablation_aging", "ablation_ipi", "ablation_rebuild", "ablation_excluded",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table1",
+        "trace_breakdown",
+        "ablation_policies",
+        "ablation_aging",
+        "ablation_ipi",
+        "ablation_rebuild",
+        "ablation_excluded",
     ];
     for bin in bins {
         println!("\n================ {bin} ================\n");

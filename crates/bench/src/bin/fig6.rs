@@ -20,8 +20,9 @@ struct Fig6Row {
 }
 
 fn bucket_labels(cores: usize) -> Vec<String> {
-    let mut labels: Vec<String> =
-        (1..=8).map(|k| format!("{k} core{}", if k > 1 { "s" } else { "" })).collect();
+    let mut labels: Vec<String> = (1..=8)
+        .map(|k| format!("{k} core{}", if k > 1 { "s" } else { "" }))
+        .collect();
     if cores > 8 {
         labels.push(">8 cores".to_string());
     }
@@ -50,17 +51,18 @@ fn main() {
                 .sharing_histogram
                 .expect("PSPT provides the histogram");
             let total: usize = hist.iter().sum();
-            let frac = |k: usize| {
-                hist.get(k).copied().unwrap_or(0) as f64 / total.max(1) as f64
-            };
+            let frac = |k: usize| hist.get(k).copied().unwrap_or(0) as f64 / total.max(1) as f64;
             // Buckets: 1..=8 cores, then ">8".
             let mut buckets: Vec<f64> = (0..8).map(frac).collect();
             let tail: f64 = (8..hist.len()).map(frac).sum();
             buckets.push(tail);
             let mut row = vec![cores.to_string()];
-            row.extend(buckets.iter().take(if cores > 8 { 9 } else { 8 }).map(|f| {
-                format!("{:.1}%", f * 100.0)
-            }));
+            row.extend(
+                buckets
+                    .iter()
+                    .take(if cores > 8 { 9 } else { 8 })
+                    .map(|f| format!("{:.1}%", f * 100.0)),
+            );
             while row.len() < headers.len() {
                 row.push("-".to_string());
             }

@@ -28,19 +28,35 @@ fn main() {
     println!("# Figure 8 — relative performance vs memory provided");
     println!("(PSPT + FIFO, 4 kB pages, {CORES} cores)\n");
     let headers: Vec<String> = std::iter::once("memory".to_string())
-        .chain(workloads(WorkloadClass::B).iter().map(|w| w.label().to_string()))
+        .chain(
+            workloads(WorkloadClass::B)
+                .iter()
+                .map(|w| w.label().to_string()),
+        )
         .collect();
     let mut rows = Vec::new();
     let mut baselines = Vec::new();
     for w in workloads(WorkloadClass::B) {
         let trace = cache.get(w, CORES).clone();
-        let base = run_config(&trace, SchemeChoice::Pspt, PolicyKind::Fifo, 10.0, cmcp::PageSize::K4);
+        let base = run_config(
+            &trace,
+            SchemeChoice::Pspt,
+            PolicyKind::Fifo,
+            10.0,
+            cmcp::PageSize::K4,
+        );
         baselines.push((w, trace, base.runtime_cycles));
     }
     for ratio in RATIOS {
         let mut row = vec![format!("{:.0}%", ratio * 100.0)];
         for (w, trace, base) in &baselines {
-            let r = run_config(trace, SchemeChoice::Pspt, PolicyKind::Fifo, ratio, cmcp::PageSize::K4);
+            let r = run_config(
+                trace,
+                SchemeChoice::Pspt,
+                PolicyKind::Fifo,
+                ratio,
+                cmcp::PageSize::K4,
+            );
             let rel = *base as f64 / r.runtime_cycles as f64;
             row.push(format!("{:.2}", rel));
             results.push(Fig8Point {

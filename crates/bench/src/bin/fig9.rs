@@ -9,7 +9,9 @@
 use serde::Serialize;
 
 use cmcp::{PolicyKind, SchemeChoice, WorkloadClass};
-use cmcp_bench::{markdown_table, run_config, save_results, tuned_constraint, workloads, TraceCache};
+use cmcp_bench::{
+    markdown_table, run_config, save_results, tuned_constraint, workloads, TraceCache,
+};
 
 const PS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 const CORES: usize = 56;
@@ -26,14 +28,23 @@ fn main() {
     let mut results = Vec::new();
     println!("# Figure 9 — CMCP improvement over FIFO vs ratio p ({CORES} cores)\n");
     let headers: Vec<String> = std::iter::once("p".to_string())
-        .chain(workloads(WorkloadClass::B).iter().map(|w| w.label().to_string()))
+        .chain(
+            workloads(WorkloadClass::B)
+                .iter()
+                .map(|w| w.label().to_string()),
+        )
         .collect();
     let mut columns = Vec::new();
     for w in workloads(WorkloadClass::B) {
         let trace = cache.get(w, CORES).clone();
         let ratio = tuned_constraint(w);
-        let fifo =
-            run_config(&trace, SchemeChoice::Pspt, PolicyKind::Fifo, ratio, cmcp::PageSize::K4);
+        let fifo = run_config(
+            &trace,
+            SchemeChoice::Pspt,
+            PolicyKind::Fifo,
+            ratio,
+            cmcp::PageSize::K4,
+        );
         let mut col = Vec::new();
         for p in PS {
             let r = run_config(
@@ -43,8 +54,7 @@ fn main() {
                 ratio,
                 cmcp::PageSize::K4,
             );
-            let improvement =
-                (fifo.runtime_cycles as f64 / r.runtime_cycles as f64 - 1.0) * 100.0;
+            let improvement = (fifo.runtime_cycles as f64 / r.runtime_cycles as f64 - 1.0) * 100.0;
             col.push(improvement);
             results.push(Fig9Point {
                 workload: w.label().to_string(),

@@ -17,12 +17,24 @@ fn main() {
     println!("# Constraint tuning (PSPT + FIFO, {CORES} cores)\n");
     for w in workloads(WorkloadClass::B) {
         let trace = cache.get(w, CORES).clone();
-        let base = run_config(&trace, SchemeChoice::Pspt, PolicyKind::Fifo, 10.0, cmcp::PageSize::K4);
+        let base = run_config(
+            &trace,
+            SchemeChoice::Pspt,
+            PolicyKind::Fifo,
+            10.0,
+            cmcp::PageSize::K4,
+        );
         print!("{:12}", w.label());
         let mut chosen: Option<f64> = None;
         let mut ratio = 0.95;
         while ratio > 0.15 {
-            let r = run_config(&trace, SchemeChoice::Pspt, PolicyKind::Fifo, ratio, cmcp::PageSize::K4);
+            let r = run_config(
+                &trace,
+                SchemeChoice::Pspt,
+                PolicyKind::Fifo,
+                ratio,
+                cmcp::PageSize::K4,
+            );
             let rel = base.runtime_cycles as f64 / r.runtime_cycles as f64;
             print!(" {ratio:.2}:{rel:.2}");
             if chosen.is_none() && (0.5..=0.62).contains(&rel) {

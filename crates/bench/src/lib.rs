@@ -70,11 +70,26 @@ pub fn best_p(w: Workload) -> f64 {
 pub fn fig7_configs(w: Workload) -> Vec<(&'static str, SchemeChoice, PolicyKind, f64)> {
     let c = tuned_constraint(w);
     vec![
-        ("no data movement", SchemeChoice::Regular, PolicyKind::Fifo, 10.0),
-        ("regular PT + FIFO", SchemeChoice::Regular, PolicyKind::Fifo, c),
+        (
+            "no data movement",
+            SchemeChoice::Regular,
+            PolicyKind::Fifo,
+            10.0,
+        ),
+        (
+            "regular PT + FIFO",
+            SchemeChoice::Regular,
+            PolicyKind::Fifo,
+            c,
+        ),
         ("PSPT + FIFO", SchemeChoice::Pspt, PolicyKind::Fifo, c),
         ("PSPT + LRU", SchemeChoice::Pspt, PolicyKind::Lru, c),
-        ("PSPT + CMCP", SchemeChoice::Pspt, PolicyKind::Cmcp { p: best_p(w) }, c),
+        (
+            "PSPT + CMCP",
+            SchemeChoice::Pspt,
+            PolicyKind::Cmcp { p: best_p(w) },
+            c,
+        ),
     ]
 }
 
@@ -93,7 +108,9 @@ impl TraceCache {
 
     /// Returns (generating on first use) the trace for `w` on `cores`.
     pub fn get(&mut self, w: Workload, cores: usize) -> &Trace {
-        self.traces.entry((w.label().to_string(), cores)).or_insert_with(|| w.trace(cores))
+        self.traces
+            .entry((w.label().to_string(), cores))
+            .or_insert_with(|| w.trace(cores))
     }
 }
 
@@ -111,6 +128,24 @@ pub fn run_config(
         .memory_ratio(ratio)
         .page_size(page_size)
         .run()
+}
+
+/// Like [`run_config`], but with the virtual-time event tracer on; the
+/// returned report carries a breakdown validated against the kernel
+/// counters, and the raw events are available for export.
+pub fn run_config_traced(
+    trace: &Trace,
+    scheme: SchemeChoice,
+    policy: PolicyKind,
+    ratio: f64,
+    page_size: PageSize,
+) -> cmcp::TracedRun {
+    SimulationBuilder::trace(trace.clone())
+        .scheme(scheme)
+        .policy(policy)
+        .memory_ratio(ratio)
+        .page_size(page_size)
+        .run_traced()
 }
 
 /// Formats a markdown table.
@@ -188,10 +223,7 @@ mod tests {
 
     #[test]
     fn markdown_table_shape() {
-        let t = markdown_table(
-            &["a".into(), "b".into()],
-            &[vec!["1".into(), "2".into()]],
-        );
+        let t = markdown_table(&["a".into(), "b".into()], &[vec!["1".into(), "2".into()]]);
         assert_eq!(t.lines().count(), 3);
         assert!(t.contains("| 1 | 2 |"));
     }

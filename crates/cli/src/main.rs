@@ -3,6 +3,7 @@
 //! ```text
 //! cmcp-cli --workload cg.B --cores 56 --policy cmcp:0.75 --memory 0.37
 //! cmcp-cli --workload scale.sml --policy lru --scheme regular --page-size 64k --json
+//! cmcp-cli trace --workload cg.B --cores 8 --chrome cg.chrome.json
 //! cmcp-cli --list
 //! ```
 
@@ -17,6 +18,17 @@ cmcp-cli — many-core hierarchical memory management simulator (HPDC'14 CMCP)
 
 USAGE:
     cmcp-cli [OPTIONS]
+    cmcp-cli trace [OPTIONS]     traced run: records the virtual-time
+                                 fault-path event stream, validates the
+                                 cycle decomposition against the kernel
+                                 counters, and writes the events out
+
+TRACE OPTIONS:
+    --out <PATH>         JSONL event stream (default: trace.jsonl)
+    --chrome <PATH>      also write a chrome://tracing / Perfetto file
+    --capacity <N>       per-core event-ring capacity (default: 65536);
+                         overflow drops oldest events and disables
+                         validation
 
 OPTIONS:
     --workload <NAME>    cg.B cg.C lu.B lu.C bt.B bt.C scale.sml scale.big
@@ -46,6 +58,10 @@ struct Args {
     engine: EngineMode,
     rebuild_ms: u64,
     json: bool,
+    trace: bool,
+    trace_out: String,
+    chrome_out: Option<String>,
+    trace_capacity: Option<usize>,
 }
 
 fn parse_workload(s: &str) -> Result<Workload, String> {
@@ -65,7 +81,9 @@ fn parse_workload(s: &str) -> Result<Workload, String> {
 fn parse_policy(s: &str) -> Result<PolicyKind, String> {
     let lower = s.to_ascii_lowercase();
     if let Some(ratio) = lower.strip_prefix("cmcp:") {
-        let p: f64 = ratio.parse().map_err(|_| format!("bad CMCP ratio '{ratio}'"))?;
+        let p: f64 = ratio
+            .parse()
+            .map_err(|_| format!("bad CMCP ratio '{ratio}'"))?;
         if !(0.0..=1.0).contains(&p) {
             return Err(format!("CMCP ratio {p} outside [0, 1]"));
         }
@@ -103,12 +121,18 @@ fn parse_args() -> Result<Option<Args>, String> {
         engine: EngineMode::Deterministic,
         rebuild_ms: 0,
         json: false,
+        trace: false,
+        trace_out: "trace.jsonl".to_string(),
+        chrome_out: None,
+        trace_capacity: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("trace") {
+        args.trace = true;
+        it.next();
+    }
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -148,8 +172,9 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--page-size" => args.page_size = parse_page_size(&value("--page-size")?)?,
             "--memory" => {
-                let m: f64 =
-                    value("--memory")?.parse().map_err(|_| "bad memory ratio".to_string())?;
+                let m: f64 = value("--memory")?
+                    .parse()
+                    .map_err(|_| "bad memory ratio".to_string())?;
                 if m <= 0.0 {
                     return Err("memory ratio must be positive".into());
                 }
@@ -157,10 +182,22 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--parallel" => args.engine = EngineMode::Parallel(0),
             "--rebuild" => {
-                args.rebuild_ms =
-                    value("--rebuild")?.parse().map_err(|_| "bad rebuild period".to_string())?;
+                args.rebuild_ms = value("--rebuild")?
+                    .parse()
+                    .map_err(|_| "bad rebuild period".to_string())?;
             }
             "--json" => args.json = true,
+            "--out" if args.trace => args.trace_out = value("--out")?,
+            "--chrome" if args.trace => args.chrome_out = Some(value("--chrome")?),
+            "--capacity" if args.trace => {
+                let n: usize = value("--capacity")?
+                    .parse()
+                    .map_err(|_| "bad ring capacity".to_string())?;
+                if n == 0 {
+                    return Err("ring capacity must be positive".into());
+                }
+                args.trace_capacity = Some(n);
+            }
             other => return Err(format!("unknown flag '{other}' (see --help)")),
         }
     }
@@ -176,16 +213,55 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let memory = args.memory.unwrap_or_else(|| args.workload.paper_constraint());
-    let report = SimulationBuilder::workload(args.workload)
+    let memory = args
+        .memory
+        .unwrap_or_else(|| args.workload.paper_constraint());
+    let builder = SimulationBuilder::workload(args.workload)
         .cores(args.cores)
         .scheme(args.scheme)
         .policy(args.policy)
         .page_size(args.page_size)
         .memory_ratio(memory)
         .engine(args.engine)
-        .pspt_rebuild_period(args.rebuild_ms * 1_053_000)
-        .run();
+        .pspt_rebuild_period(args.rebuild_ms * 1_053_000);
+
+    let report = if args.trace {
+        let builder = match args.trace_capacity {
+            Some(n) => builder.trace_capacity(n),
+            None => builder,
+        };
+        let traced = builder.run_traced();
+        if let Err(e) = std::fs::write(&args.trace_out, cmcp::trace::to_jsonl(&traced.events)) {
+            eprintln!("error: cannot write {}: {e}", args.trace_out);
+            return ExitCode::FAILURE;
+        }
+        if let Some(path) = &args.chrome_out {
+            if let Err(e) = std::fs::write(path, cmcp::trace::to_chrome_trace(&traced.events)) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if !args.json {
+            println!(
+                "trace: {} events -> {}{}",
+                traced.events.len(),
+                args.trace_out,
+                match &args.chrome_out {
+                    Some(p) => format!(" (+ chrome trace {p})"),
+                    None => String::new(),
+                }
+            );
+            if traced.dropped > 0 {
+                println!(
+                    "  WARNING: {} events dropped (ring wrapped); raise --capacity",
+                    traced.dropped
+                );
+            }
+        }
+        traced.report
+    } else {
+        builder.run()
+    };
 
     if args.json {
         let value = serde_json::json!({
@@ -198,14 +274,25 @@ fn main() -> ExitCode {
             "dma_bytes_in": report.dma_bytes.0,
             "dma_bytes_out": report.dma_bytes.1,
             "sharing_histogram": report.sharing_histogram,
+            "breakdown": report.breakdown,
         });
-        println!("{}", serde_json::to_string_pretty(&value).expect("serializable report"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&value).expect("serializable report")
+        );
     } else {
         println!("{} | {}", report.label, report.config);
         println!("  memory ratio        {memory:.2}");
-        println!("  runtime             {:.3} ms ({} cycles)", report.runtime_secs * 1e3, report.runtime_cycles);
+        println!(
+            "  runtime             {:.3} ms ({} cycles)",
+            report.runtime_secs * 1e3,
+            report.runtime_cycles
+        );
         println!("  page faults/core    {:.0}", report.avg_page_faults());
-        println!("  remote TLB inv/core {:.0}", report.avg_remote_invalidations());
+        println!(
+            "  remote TLB inv/core {:.0}",
+            report.avg_remote_invalidations()
+        );
         println!("  dTLB misses/core    {:.0}", report.avg_dtlb_misses());
         println!(
             "  evictions {} (write-backs {}), refaults {}, scan ticks {}, rebuilds {}",
@@ -220,6 +307,33 @@ fn main() -> ExitCode {
             report.dma_bytes.0 as f64 / 1e6,
             report.dma_bytes.1 as f64 / 1e6
         );
+        if let Some(b) = &report.breakdown {
+            println!(
+                "  fault-path breakdown ({}):",
+                if b.validated {
+                    "validated against kernel counters"
+                } else {
+                    "UNVALIDATED: events dropped"
+                }
+            );
+            println!(
+                "  {:>4} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "core", "faults", "fault cyc", "lock", "shootdown", "dma", "scan", "other"
+            );
+            for c in &b.per_core {
+                println!(
+                    "  {:>4} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    c.core,
+                    c.faults,
+                    c.fault_cycles,
+                    c.lock_wait_cycles,
+                    c.shootdown_cycles,
+                    c.dma_wait_cycles,
+                    c.policy_scan_cycles,
+                    c.other_cycles
+                );
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -230,9 +344,18 @@ mod tests {
 
     #[test]
     fn workload_names_parse() {
-        assert!(matches!(parse_workload("cg.B"), Ok(Workload::Cg(WorkloadClass::B))));
-        assert!(matches!(parse_workload("SCALE.BIG"), Ok(Workload::Scale(WorkloadClass::C))));
-        assert!(matches!(parse_workload("scale.sml"), Ok(Workload::Scale(WorkloadClass::B))));
+        assert!(matches!(
+            parse_workload("cg.B"),
+            Ok(Workload::Cg(WorkloadClass::B))
+        ));
+        assert!(matches!(
+            parse_workload("SCALE.BIG"),
+            Ok(Workload::Scale(WorkloadClass::C))
+        ));
+        assert!(matches!(
+            parse_workload("scale.sml"),
+            Ok(Workload::Scale(WorkloadClass::B))
+        ));
         assert!(parse_workload("ft.B").is_err());
     }
 

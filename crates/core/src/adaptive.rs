@@ -46,7 +46,13 @@ impl AdaptiveCmcpPolicy {
     /// Starts at `p = 0.5` and adapts from there.
     pub fn new(capacity_blocks: usize) -> AdaptiveCmcpPolicy {
         AdaptiveCmcpPolicy {
-            inner: CmcpPolicy::new(CmcpConfig { p: 0.5, ..Default::default() }, capacity_blocks),
+            inner: CmcpPolicy::new(
+                CmcpConfig {
+                    p: 0.5,
+                    ..Default::default()
+                },
+                capacity_blocks,
+            ),
             capacity_blocks,
             ghost: VecDeque::new(),
             ghost_set: HashMap::new(),
@@ -188,7 +194,10 @@ mod tests {
             p.on_insert(b, 1);
         }
         let p_after_w1 = p.current_p();
-        assert!(p_after_w1 > 0.5, "first window moves p up (direction starts positive)");
+        assert!(
+            p_after_w1 > 0.5,
+            "first window moves p up (direction starts positive)"
+        );
         // Subsequent windows: every insert is a refault of a recently
         // evicted block (cycle through 16 blocks with capacity 8). Run
         // until at least two more adaptation boundaries have passed
@@ -212,6 +221,10 @@ mod tests {
             let d0 = w[1].1 - w[0].1;
             d0 < 0.0
         });
-        assert!(flipped, "worsening refaults must flip the direction: {:?}", p.history);
+        assert!(
+            flipped,
+            "worsening refaults must flip the direction: {:?}",
+            p.history
+        );
     }
 }

@@ -130,7 +130,10 @@ mod tests {
         let mut p = ClockPolicy::new();
         p.on_insert(VirtPage(1), 1);
         p.on_insert(VirtPage(2), 1);
-        let mut o = SetOracle { hot: [1].into_iter().collect(), sticky: false };
+        let mut o = SetOracle {
+            hot: [1].into_iter().collect(),
+            sticky: false,
+        };
         assert_eq!(evict_one(&mut p, &mut o), Some(VirtPage(2)));
         assert!(p.contains(VirtPage(1)));
         // Bit was cleared by the test: next eviction takes block 1.
@@ -143,7 +146,10 @@ mod tests {
         for b in 0..4u64 {
             p.on_insert(VirtPage(b), 1);
         }
-        let mut o = SetOracle { hot: (0..4).collect(), sticky: true };
+        let mut o = SetOracle {
+            hot: (0..4).collect(),
+            sticky: true,
+        };
         assert!(evict_one(&mut p, &mut o).is_some());
         assert_eq!(p.resident(), 3);
     }
@@ -156,7 +162,10 @@ mod tests {
         }
         let mut o = NullOracle;
         evict_one(&mut p, &mut o);
-        assert_eq!(p.hand_tests, 1, "cold front block is found on the first test");
+        assert_eq!(
+            p.hand_tests, 1,
+            "cold front block is found on the first test"
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl Default for CmcpConfig {
         // back to FIFO, slow enough that the priority group keeps
         // protecting genuinely shared pages instead of churning them
         // (see the `ablation_aging` bench for the tradeoff curve).
-        CmcpConfig { p: 0.75, aging_period: 32, aging_batch: 1 }
+        CmcpConfig {
+            p: 0.75,
+            aging_period: 32,
+            aging_batch: 1,
+        }
     }
 }
 
@@ -212,7 +216,9 @@ impl CmcpPolicy {
     /// Aging pass: demote the `aging_batch` longest-untouched members.
     fn age_pass(&mut self) {
         for _ in 0..self.config.aging_batch {
-            let Some(&(_, block)) = self.age.first() else { break };
+            let Some(&(_, block)) = self.age.first() else {
+                break;
+            };
             self.prio_remove(block);
             self.fifo_push(block);
             self.stats.aged_out += 1;
@@ -290,6 +296,16 @@ impl ReplacementPolicy for CmcpPolicy {
         }
     }
 
+    fn victim_group(&self, block: VirtPage) -> u8 {
+        if self.prio_live.contains_key(&block.0) {
+            2
+        } else if self.fifo_live.contains_key(&block.0) {
+            1
+        } else {
+            0
+        }
+    }
+
     fn resident(&self) -> usize {
         self.fifo_live.len() + self.prio_live.len()
     }
@@ -305,7 +321,14 @@ mod tests {
     use crate::policy::NullOracle;
 
     fn cmcp(p: f64, capacity: usize) -> CmcpPolicy {
-        CmcpPolicy::new(CmcpConfig { p, aging_period: 0, aging_batch: 1 }, capacity)
+        CmcpPolicy::new(
+            CmcpConfig {
+                p,
+                aging_period: 0,
+                aging_batch: 1,
+            },
+            capacity,
+        )
     }
 
     fn evict_one(p: &mut CmcpPolicy) -> Option<VirtPage> {
@@ -363,7 +386,11 @@ mod tests {
         p.on_insert(VirtPage(3), 9); // displaces block1 (count 2)
         assert_eq!(p.priority_len(), 2);
         assert!(p.fifo_len() == 1);
-        assert_eq!(evict_one(&mut p), Some(VirtPage(1)), "displaced member is on FIFO");
+        assert_eq!(
+            evict_one(&mut p),
+            Some(VirtPage(1)),
+            "displaced member is on FIFO"
+        );
     }
 
     #[test]
@@ -381,7 +408,7 @@ mod tests {
         p.on_insert(VirtPage(1), 6);
         p.on_insert(VirtPage(2), 6);
         p.on_insert(VirtPage(3), 1); // → FIFO
-        // More cores start mapping block 3.
+                                     // More cores start mapping block 3.
         p.on_map_count_change(VirtPage(3), 9);
         assert!(p.fifo_len() == 1, "displaced member took its place on FIFO");
         // Block 3 is now prioritized; the displaced 6-count block is the victim.
@@ -395,13 +422,21 @@ mod tests {
         p.on_insert(VirtPage(1), 2);
         p.on_insert(VirtPage(2), 3);
         p.on_map_count_change(VirtPage(1), 10);
-        assert_eq!(evict_one(&mut p), Some(VirtPage(2)), "block1 rose above block2");
+        assert_eq!(
+            evict_one(&mut p),
+            Some(VirtPage(2)),
+            "block1 rose above block2"
+        );
     }
 
     #[test]
     fn aging_demotes_oldest_member() {
         let mut p = CmcpPolicy::new(
-            CmcpConfig { p: 1.0, aging_period: 3, aging_batch: 1 },
+            CmcpConfig {
+                p: 1.0,
+                aging_period: 3,
+                aging_batch: 1,
+            },
             10,
         );
         p.on_insert(VirtPage(1), 9);
@@ -409,13 +444,21 @@ mod tests {
         p.on_insert(VirtPage(3), 9); // third insert triggers aging → block1 demoted
         assert_eq!(p.fifo_len(), 1);
         assert_eq!(p.stats.aged_out, 1);
-        assert_eq!(evict_one(&mut p), Some(VirtPage(1)), "aged-out block evicts first");
+        assert_eq!(
+            evict_one(&mut p),
+            Some(VirtPage(1)),
+            "aged-out block evicts first"
+        );
     }
 
     #[test]
     fn aging_refresh_protects_recently_reasserted_blocks() {
         let mut p = CmcpPolicy::new(
-            CmcpConfig { p: 1.0, aging_period: 3, aging_batch: 1 },
+            CmcpConfig {
+                p: 1.0,
+                aging_period: 3,
+                aging_batch: 1,
+            },
             10,
         );
         p.on_insert(VirtPage(1), 9);
@@ -453,7 +496,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "p must be within")]
     fn rejects_bad_ratio() {
-        CmcpPolicy::new(CmcpConfig { p: 1.5, ..Default::default() }, 10);
+        CmcpPolicy::new(
+            CmcpConfig {
+                p: 1.5,
+                ..Default::default()
+            },
+            10,
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl ReplacementPolicy for FifoPolicy {
     }
 
     fn on_insert(&mut self, block: VirtPage, _map_count: usize) {
-        debug_assert!(!self.live.contains_key(&block.0), "double insert of {block}");
+        debug_assert!(
+            !self.live.contains_key(&block.0),
+            "double insert of {block}"
+        );
         let gen = self.next_gen;
         self.next_gen += 1;
         self.live.insert(block.0, gen);

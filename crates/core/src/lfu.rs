@@ -170,7 +170,10 @@ mod tests {
             p.scan_tick(2, &mut o);
         }
         for b in 0..6u64 {
-            assert!(p.frequency(VirtPage(b)).unwrap() >= 1, "block {b} never sampled");
+            assert!(
+                p.frequency(VirtPage(b)).unwrap() >= 1,
+                "block {b} never sampled"
+            );
         }
     }
 }

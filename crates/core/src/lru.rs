@@ -48,7 +48,10 @@ impl LruPolicy {
 
     /// Current inactive-list length.
     pub fn inactive_len(&self) -> usize {
-        self.live.values().filter(|(l, _)| *l == ListId::Inactive).count()
+        self.live
+            .values()
+            .filter(|(l, _)| *l == ListId::Inactive)
+            .count()
     }
 
     /// Current active-list length.
@@ -146,7 +149,9 @@ impl ReplacementPolicy for LruPolicy {
         // reaches them.
         let active_share = budget / 2;
         for _ in 0..active_share {
-            let Some(block) = self.pop_oldest(ListId::Active) else { break };
+            let Some(block) = self.pop_oldest(ListId::Active) else {
+                break;
+            };
             if oracle.test_and_clear(VirtPage(block)) {
                 self.push(ListId::Active, block);
             } else {
@@ -155,7 +160,9 @@ impl ReplacementPolicy for LruPolicy {
             }
         }
         for _ in 0..budget.saturating_sub(active_share) {
-            let Some(block) = self.pop_oldest(ListId::Inactive) else { break };
+            let Some(block) = self.pop_oldest(ListId::Inactive) else {
+                break;
+            };
             if oracle.test_and_clear(VirtPage(block)) {
                 self.promotions += 1;
                 self.push(ListId::Active, block);
@@ -189,7 +196,11 @@ mod tests {
 
     impl SetOracle {
         fn new(hot: &[u64], sticky: bool) -> SetOracle {
-            SetOracle { hot: hot.iter().copied().collect(), reads: 0, sticky }
+            SetOracle {
+                hot: hot.iter().copied().collect(),
+                reads: 0,
+                sticky,
+            }
         }
     }
 

@@ -71,6 +71,18 @@ pub trait ReplacementPolicy: Send {
     /// oracle and update internal recency state.
     fn scan_tick(&mut self, _budget: usize, _oracle: &mut dyn AccessBitOracle) {}
 
+    /// Which internal queue currently holds `block`, for trace
+    /// attribution: 0 = untracked, 1 = FIFO/default list, 2 = CMCP
+    /// priority list. Policies without distinct queues report 1 for
+    /// every tracked block.
+    fn victim_group(&self, block: VirtPage) -> u8 {
+        if self.contains(block) {
+            1
+        } else {
+            0
+        }
+    }
+
     /// Number of blocks the policy currently tracks.
     fn resident(&self) -> usize;
 
@@ -113,7 +125,10 @@ impl PolicyKind {
             PolicyKind::Lfu => Box::new(crate::lfu::LfuPolicy::new()),
             PolicyKind::Random => Box::new(crate::random::RandomPolicy::new(0xC3C9)),
             PolicyKind::Cmcp { p } => Box::new(crate::cmcp::CmcpPolicy::new(
-                crate::cmcp::CmcpConfig { p, ..Default::default() },
+                crate::cmcp::CmcpConfig {
+                    p,
+                    ..Default::default()
+                },
                 capacity_blocks,
             )),
             PolicyKind::CmcpTuned(cfg) => {
@@ -135,7 +150,10 @@ impl PolicyKind {
             PolicyKind::Random => "RANDOM".into(),
             PolicyKind::Cmcp { p } => format!("CMCP(p={p})"),
             PolicyKind::CmcpTuned(cfg) => {
-                format!("CMCP(p={},aging={}/{})", cfg.p, cfg.aging_period, cfg.aging_batch)
+                format!(
+                    "CMCP(p={},aging={}/{})",
+                    cfg.p, cfg.aging_period, cfg.aging_batch
+                )
             }
             PolicyKind::AdaptiveCmcp => "CMCP(adaptive)".into(),
         }

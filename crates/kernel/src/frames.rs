@@ -25,8 +25,15 @@ impl FramePool {
         let span = block_size.pages_4k() as u32;
         // Stack is popped from the back; push in reverse so allocation
         // order is ascending (nicer to debug, irrelevant to correctness).
-        let free = (0..blocks as u32).rev().map(|i| PhysFrame(i * span)).collect();
-        FramePool { block_size, free: Mutex::new(free), total_blocks: blocks }
+        let free = (0..blocks as u32)
+            .rev()
+            .map(|i| PhysFrame(i * span))
+            .collect();
+        FramePool {
+            block_size,
+            free: Mutex::new(free),
+            total_blocks: blocks,
+        }
     }
 
     /// Block size served by this pool.
@@ -56,7 +63,10 @@ impl FramePool {
     /// of mis-sized runs early.
     pub fn free(&self, frame: PhysFrame) {
         let span = self.block_size.pages_4k() as u32;
-        assert!(frame.0.is_multiple_of(span), "freeing unaligned block head {frame}");
+        assert!(
+            frame.0.is_multiple_of(span),
+            "freeing unaligned block head {frame}"
+        );
         let mut free = self.free.lock();
         debug_assert!(!free.contains(&frame), "double free of {frame}");
         debug_assert!(free.len() < self.total_blocks, "pool overfull");

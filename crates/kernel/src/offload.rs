@@ -33,9 +33,18 @@ impl Syscall {
     /// IKC message for this call.
     pub fn message(self) -> IkcMessage {
         match self {
-            Syscall::Metadata => IkcMessage::Syscall { service: 8_000, payload: 256 },
-            Syscall::Read(bytes) => IkcMessage::Syscall { service: 12_000, payload: bytes },
-            Syscall::Write(bytes) => IkcMessage::Syscall { service: 15_000, payload: bytes },
+            Syscall::Metadata => IkcMessage::Syscall {
+                service: 8_000,
+                payload: 256,
+            },
+            Syscall::Read(bytes) => IkcMessage::Syscall {
+                service: 12_000,
+                payload: bytes,
+            },
+            Syscall::Write(bytes) => IkcMessage::Syscall {
+                service: 15_000,
+                payload: bytes,
+            },
         }
     }
 }
@@ -119,7 +128,10 @@ mod tests {
         // Leave a gap so the channel is idle again.
         clock.advance(10_000_000);
         let big = e.syscall(CoreId(0), &clock, Syscall::Write(4 << 20));
-        assert!(big > 5 * small, "4MB write must dwarf 4kB: {small} vs {big}");
+        assert!(
+            big > 5 * small,
+            "4MB write must dwarf 4kB: {small} vs {big}"
+        );
         assert_eq!(e.total_payload(), (4 << 10) + (4 << 20));
     }
 

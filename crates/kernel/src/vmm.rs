@@ -37,6 +37,7 @@ use cmcp_arch::{
 };
 use cmcp_core::{AccessBitOracle, ReplacementPolicy};
 use cmcp_pagetable::{MapOutcome, Pspt, RegularTables, TableScheme, Translation};
+use cmcp_trace::{EventKind, NullTracer, Recorder, MAINTENANCE_CORE};
 
 use crate::backing::BackingStore;
 use crate::config::{KernelConfig, SchemeChoice};
@@ -59,7 +60,13 @@ pub enum FaultKind {
 }
 
 /// The kernel memory manager for one simulated address space.
-pub struct Vmm {
+///
+/// Generic over the trace [`Recorder`]: the default [`NullTracer`]
+/// compiles every emission site down to nothing (`R::ENABLED` is a
+/// constant `false`), so untraced runs pay no cost for the
+/// instrumentation. Build a traced instance with
+/// [`Vmm::with_tracer`].
+pub struct Vmm<R: Recorder = NullTracer> {
     cfg: KernelConfig,
     scheme: SchemeObj,
     policy: Mutex<Box<dyn ReplacementPolicy>>,
@@ -84,6 +91,7 @@ pub struct Vmm {
     core_stats: Vec<CoreStats>,
     global: GlobalStats,
     offload: OffloadEngine,
+    tracer: R,
 }
 
 /// Static dispatch over the two schemes (keeps the fault path free of a
@@ -103,8 +111,15 @@ impl SchemeObj {
 }
 
 impl Vmm {
-    /// Builds the memory manager and its per-core clocks.
+    /// Builds an untraced memory manager and its per-core clocks.
     pub fn new(cfg: KernelConfig) -> Vmm {
+        Vmm::with_tracer(cfg, NullTracer)
+    }
+}
+
+impl<R: Recorder> Vmm<R> {
+    /// Builds the memory manager with an explicit trace recorder.
+    pub fn with_tracer(cfg: KernelConfig, tracer: R) -> Vmm<R> {
         assert!(cfg.cores > 0, "need at least one core");
         assert!(cfg.device_blocks > 0, "need at least one device block");
         let scheme = match cfg.scheme {
@@ -128,8 +143,21 @@ impl Vmm {
             core_stats: (0..cfg.cores).map(|_| CoreStats::default()).collect(),
             global: GlobalStats::default(),
             offload: OffloadEngine::new(&cfg.cost, cfg.cores),
+            tracer,
             cfg,
         }
+    }
+
+    /// The trace recorder (engines use it for barrier events; reporting
+    /// drains it post-run).
+    pub fn tracer(&self) -> &R {
+        &self.tracer
+    }
+
+    /// Virtual "now" of the maintenance hyperthreads (scan timer, PSPT
+    /// rebuilds): they react to the frontier of the application cores.
+    fn maintenance_now(&self) -> Cycles {
+        self.clocks.iter().map(CoreClock::now).max().unwrap_or(0)
     }
 
     /// The per-core virtual clocks (shared with the engine).
@@ -165,7 +193,11 @@ impl Vmm {
     /// Total queueing delay observed on page-table locks.
     pub fn lock_queue_cycles(&self) -> Cycles {
         self.pt_global_lock.total_queued()
-            + self.pt_shard_locks.iter().map(|l| l.total_queued()).sum::<Cycles>()
+            + self
+                .pt_shard_locks
+                .iter()
+                .map(|l| l.total_queued())
+                .sum::<Cycles>()
     }
 
     /// Currently resident blocks.
@@ -255,6 +287,15 @@ impl Vmm {
             }
         }
         self.global.rebuilds.fetch_add(1, Relaxed);
+        if R::ENABLED {
+            self.tracer.record(
+                MAINTENANCE_CORE,
+                self.maintenance_now(),
+                EventKind::Rebuild,
+                torn as u64,
+                0,
+            );
+        }
         Some(torn)
     }
 
@@ -292,7 +333,10 @@ impl Vmm {
             SchemeChoice::Regular => (&self.pt_global_lock, self.cfg.cost.regular_pt_lock),
             SchemeChoice::Pspt => {
                 let h = (head.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize;
-                (&self.pt_shard_locks[h % LOCK_SHARDS], self.cfg.cost.pspt_lock)
+                (
+                    &self.pt_shard_locks[h % LOCK_SHARDS],
+                    self.cfg.cost.pspt_lock,
+                )
             }
         }
     }
@@ -312,15 +356,35 @@ impl Vmm {
                 let st = &self.core_stats[req.index()];
                 st.shootdown_cycles.fetch_add(cost.requester, Relaxed);
                 st.remote_inv_sent.fetch_add(cost.targets as u64, Relaxed);
+                if R::ENABLED {
+                    self.tracer.record(
+                        req.0,
+                        self.clocks[req.index()].now(),
+                        EventKind::ShootdownSend,
+                        cost.requester,
+                        cost.targets as u64,
+                    );
+                }
             }
             for t in targets.iter() {
                 if Some(t) == requester {
                     continue;
                 }
                 self.clocks[t.index()].charge_remote(cost.per_target);
-                self.core_stats[t.index()].remote_inv_received.fetch_add(1, Relaxed);
+                self.core_stats[t.index()]
+                    .remote_inv_received
+                    .fetch_add(1, Relaxed);
                 self.mailboxes[t.index()].lock().push(page);
                 self.mailbox_flags[t.index()].store(true, Relaxed);
+                if R::ENABLED {
+                    self.tracer.record(
+                        t.0,
+                        self.clocks[t.index()].now(),
+                        EventKind::ShootdownAck,
+                        page.0,
+                        cost.per_target,
+                    );
+                }
             }
         }
         // Local invalidation on the requester, if it maps the page too.
@@ -336,10 +400,24 @@ impl Vmm {
     /// Evicts one victim block to free a frame. Called with the policy
     /// lock held and device RAM exhausted.
     fn evict_one(&self, policy: &mut Box<dyn ReplacementPolicy>, requester: CoreId) {
-        let mut oracle = KernelOracle { vmm: self, requester: Some(requester) };
+        let mut oracle = KernelOracle {
+            vmm: self,
+            requester: Some(requester),
+        };
         let victim = policy
             .select_victim(&mut oracle)
             .expect("device RAM exhausted but policy tracks no blocks");
+        if R::ENABLED {
+            let count = self.scheme.as_dyn().mapping_cores(victim).count() as u64;
+            let group = policy.victim_group(victim) as u64;
+            self.tracer.record(
+                requester.0,
+                self.clocks[requester.index()].now(),
+                EventKind::VictimSelect,
+                victim.0,
+                (count << 8) | group,
+            );
+        }
         // A victim with no mappings is possible right after a PSPT
         // rebuild: resident, but every PTE already torn down.
         let out = self.scheme.as_dyn().unmap_all(victim, self.cfg.block_size);
@@ -351,10 +429,27 @@ impl Vmm {
             dirty |= out.dirty;
         }
         if dirty {
-            let r = self.dma.transfer(clock.now(), self.block_bytes(), DmaDirection::DeviceToHost);
+            let r = self.dma.transfer_traced(
+                clock.now(),
+                self.block_bytes(),
+                DmaDirection::DeviceToHost,
+                &self.tracer,
+                requester.0,
+            );
             let wait = r.end.saturating_sub(clock.now());
             clock.advance(wait);
-            self.core_stats[requester.index()].dma_wait_cycles.fetch_add(wait, Relaxed);
+            self.core_stats[requester.index()]
+                .dma_wait_cycles
+                .fetch_add(wait, Relaxed);
+            if R::ENABLED {
+                self.tracer.record(
+                    requester.0,
+                    clock.now(),
+                    EventKind::DmaComplete,
+                    wait,
+                    DmaDirection::DeviceToHost.code(),
+                );
+            }
             self.backing.store(victim);
             self.global.writebacks.fetch_add(1, Relaxed);
         }
@@ -375,15 +470,26 @@ impl Vmm {
         let st = &self.core_stats[core.index()];
         st.page_faults.fetch_add(1, Relaxed);
         let t0 = clock.now();
+        if R::ENABLED {
+            self.tracer
+                .record(core.0, t0, EventKind::FaultStart, page.0, 0);
+        }
         clock.advance(self.cfg.cost.fault_base);
 
         // Page-table lock (virtual-time serialization). The queue bound
         // is the genuine worst case — every core convoying on one lock —
         // with headroom; it only binds against parallel-engine clock skew.
         let (lock, hold) = self.lock_for(head);
-        let res = lock.acquire_bounded(clock.now(), hold, 4 * self.cfg.cores as u64 * hold);
+        let t_req = clock.now();
+        let res = lock.acquire_bounded(t_req, hold, 4 * self.cfg.cores as u64 * hold);
         st.lock_wait_cycles.fetch_add(res.queue_delay, Relaxed);
         clock.advance_to(res.end);
+        if R::ENABLED {
+            self.tracer
+                .record(core.0, t_req, EventKind::LockAcquire, res.queue_delay, hold);
+            self.tracer
+                .record(core.0, res.end, EventKind::LockRelease, head.0, 0);
+        }
 
         // The policy mutex both protects policy state and serializes
         // residency transitions (matching the kernel's LRU-list lock).
@@ -391,7 +497,11 @@ impl Vmm {
         let existing = self.resident.lock().get(&head.0).copied();
         let kind = if let Some(frame) = existing {
             // Resident: PSPT minor fault (copy a sibling's PTE).
-            match self.scheme.as_dyn().map(core, head, frame, self.cfg.block_size, true) {
+            match self
+                .scheme
+                .as_dyn()
+                .map(core, head, frame, self.cfg.block_size, true)
+            {
                 Ok(MapOutcome::Copied { probes }) => {
                     clock.advance(
                         self.cfg.cost.pspt_probe * probes as u64
@@ -421,11 +531,25 @@ impl Vmm {
             };
             if self.backing.contains(head) {
                 // Real content on the host: DMA it in.
-                let r =
-                    self.dma.transfer(clock.now(), self.block_bytes(), DmaDirection::HostToDevice);
+                let r = self.dma.transfer_traced(
+                    clock.now(),
+                    self.block_bytes(),
+                    DmaDirection::HostToDevice,
+                    &self.tracer,
+                    core.0,
+                );
                 let wait = r.end.saturating_sub(clock.now());
                 clock.advance(wait);
                 st.dma_wait_cycles.fetch_add(wait, Relaxed);
+                if R::ENABLED {
+                    self.tracer.record(
+                        core.0,
+                        clock.now(),
+                        EventKind::DmaComplete,
+                        wait,
+                        DmaDirection::HostToDevice.code(),
+                    );
+                }
                 self.global.refaults.fetch_add(1, Relaxed);
             }
             self.scheme
@@ -437,7 +561,17 @@ impl Vmm {
             policy.on_insert(head, 1);
             FaultKind::Major
         };
-        st.fault_cycles.fetch_add(clock.now() - t0, Relaxed);
+        let spent = clock.now() - t0;
+        st.fault_cycles.fetch_add(spent, Relaxed);
+        if R::ENABLED {
+            let resolution = match kind {
+                FaultKind::Major => 0,
+                FaultKind::MinorCopy => 1,
+                FaultKind::Spurious => 2,
+            };
+            self.tracer
+                .record(core.0, clock.now(), EventKind::FaultEnd, resolution, spent);
+        }
         kind
     }
 
@@ -453,7 +587,10 @@ impl Vmm {
         } else {
             (policy.resident() / 8).max(32)
         };
-        let mut oracle = KernelOracle { vmm: self, requester: None };
+        let mut oracle = KernelOracle {
+            vmm: self,
+            requester: None,
+        };
         policy.scan_tick(budget, &mut oracle);
         self.global.scan_ticks.fetch_add(1, Relaxed);
     }
@@ -461,20 +598,44 @@ impl Vmm {
 
 /// The kernel-side implementation of [`AccessBitOracle`]: every query is
 /// a real PTE scan with real shootdowns.
-struct KernelOracle<'a> {
-    vmm: &'a Vmm,
+struct KernelOracle<'a, R: Recorder> {
+    vmm: &'a Vmm<R>,
     /// `Some(core)`: reclaim path, costs charged to the faulting core.
     /// `None`: the scan timer's dedicated hyperthreads.
     requester: Option<CoreId>,
 }
 
-impl AccessBitOracle for KernelOracle<'_> {
+impl<R: Recorder> AccessBitOracle for KernelOracle<'_, R> {
     fn test_and_clear(&mut self, block: VirtPage) -> bool {
-        let scan = self.vmm.scheme.as_dyn().test_and_clear_accessed(block, self.vmm.cfg.block_size);
-        self.vmm.global.scan_ptes.fetch_add(scan.ptes_examined as u64, Relaxed);
+        let scan = self
+            .vmm
+            .scheme
+            .as_dyn()
+            .test_and_clear_accessed(block, self.vmm.cfg.block_size);
+        self.vmm
+            .global
+            .scan_ptes
+            .fetch_add(scan.ptes_examined as u64, Relaxed);
         if let Some(core) = self.requester {
             self.vmm.clocks[core.index()]
                 .advance(self.vmm.cfg.cost.scan_pte * scan.ptes_examined as u64);
+        }
+        if R::ENABLED {
+            let (core, ts, charged) = match self.requester {
+                Some(c) => (
+                    c.0,
+                    self.vmm.clocks[c.index()].now(),
+                    self.vmm.cfg.cost.scan_pte * scan.ptes_examined as u64,
+                ),
+                None => (MAINTENANCE_CORE, self.vmm.maintenance_now(), 0),
+            };
+            self.vmm.tracer.record(
+                core,
+                ts,
+                EventKind::PolicyScan,
+                scan.ptes_examined as u64,
+                charged,
+            );
         }
         if scan.accessed && !scan.invalidate.is_empty() {
             // x86 requirement: a cleared accessed bit forces the cached
@@ -589,8 +750,9 @@ mod tests {
         v.handle_fault(CoreId(0), VirtPage(0), false);
         v.handle_fault(CoreId(0), VirtPage(1), false);
         v.handle_fault(CoreId(0), VirtPage(2), false); // evicts block 0
-        let recv: u64 =
-            (1..8).map(|c| v.core_stats()[c].remote_inv_received.load(Relaxed)).sum();
+        let recv: u64 = (1..8)
+            .map(|c| v.core_stats()[c].remote_inv_received.load(Relaxed))
+            .sum();
         assert_eq!(recv, 7, "all other cores interrupted");
         assert!(v.core_stats()[0].remote_inv_sent.load(Relaxed) >= 7);
     }
@@ -619,9 +781,14 @@ mod tests {
                 v.mark_accessed(CoreId(1), VirtPage(b), false);
             }
             v.scan_tick();
-            (0..4).map(|c| v.core_stats()[c].remote_inv_received.load(Relaxed)).sum()
+            (0..4)
+                .map(|c| v.core_stats()[c].remote_inv_received.load(Relaxed))
+                .sum()
         };
-        assert!(run(PolicyKind::Lru) > 0, "LRU scanning must shoot down TLBs");
+        assert!(
+            run(PolicyKind::Lru) > 0,
+            "LRU scanning must shoot down TLBs"
+        );
         assert_eq!(run(PolicyKind::Cmcp { p: 0.75 }), 0, "CMCP never scans");
         assert_eq!(run(PolicyKind::Fifo), 0, "FIFO never scans");
     }
@@ -637,11 +804,17 @@ mod tests {
             v.handle_fault(CoreId(c), VirtPage(0), false);
         }
         v.handle_fault(CoreId(0), VirtPage(1), false); // private
-        // Fault a third block: victim must be the private block 1, not
-        // the 4-core block 0.
+                                                       // Fault a third block: victim must be the private block 1, not
+                                                       // the 4-core block 0.
         v.handle_fault(CoreId(1), VirtPage(2), false);
-        assert!(v.translate(CoreId(0), VirtPage(0)).is_some(), "shared block survives");
-        assert!(v.translate(CoreId(0), VirtPage(1)).is_none(), "private block evicted");
+        assert!(
+            v.translate(CoreId(0), VirtPage(0)).is_some(),
+            "shared block survives"
+        );
+        assert!(
+            v.translate(CoreId(0), VirtPage(1)).is_none(),
+            "private block evicted"
+        );
     }
 
     #[test]

@@ -46,9 +46,13 @@ impl Pspt {
     /// PSPT for an address space spanning cores `0..n_cores`.
     pub fn new(n_cores: usize) -> Pspt {
         Pspt {
-            tables: (0..n_cores).map(|_| RwLock::new(PageTable::new())).collect(),
+            tables: (0..n_cores)
+                .map(|_| RwLock::new(PageTable::new()))
+                .collect(),
             cores: CoreSet::first_n(n_cores),
-            directory: (0..DIR_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            directory: (0..DIR_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -92,11 +96,14 @@ impl TableScheme for Pspt {
     }
 
     fn translate(&self, core: CoreId, page: VirtPage) -> Option<Translation> {
-        self.tables[core.index()].read().translate(page).map(|t| Translation {
-            frame: t.frame,
-            size: t.size,
-            writable: t.writable,
-        })
+        self.tables[core.index()]
+            .read()
+            .translate(page)
+            .map(|t| Translation {
+                frame: t.frame,
+                size: t.size,
+                writable: t.writable,
+            })
     }
 
     fn mark_accessed(&self, core: CoreId, page: VirtPage, write: bool) {
@@ -111,7 +118,11 @@ impl TableScheme for Pspt {
         size: PageSize,
         writable: bool,
     ) -> Result<MapOutcome, MapError> {
-        let flags = if writable { PteFlags::WRITABLE } else { PteFlags::empty() };
+        let flags = if writable {
+            PteFlags::WRITABLE
+        } else {
+            PteFlags::empty()
+        };
         // Hold the directory shard across the table update so that a
         // concurrent unmap_all of the same block cannot interleave.
         let mut dir = self.shard(head).lock();
@@ -121,7 +132,9 @@ impl TableScheme for Pspt {
             !existing.contains(core),
             "{core} faulted on a block it already maps ({head})"
         );
-        self.tables[core.index()].write().map(head, frame, size, flags)?;
+        self.tables[core.index()]
+            .write()
+            .map(head, frame, size, flags)?;
         entry.insert(core);
         if existing.is_empty() {
             Ok(MapOutcome::Fresh)
@@ -129,7 +142,9 @@ impl TableScheme for Pspt {
             // The faulting core consulted sibling tables to find a valid
             // PTE to copy; probing stops at the first mapper, so charge
             // the expected scan length (half the sibling count, min 1).
-            Ok(MapOutcome::Copied { probes: existing.count() })
+            Ok(MapOutcome::Copied {
+                probes: existing.count(),
+            })
         }
     }
 
@@ -148,14 +163,26 @@ impl TableScheme for Pspt {
                     _ => size.pages_4k(),
                 };
             } else {
-                debug_assert!(false, "directory said {core} maps {head} but table disagrees");
+                debug_assert!(
+                    false,
+                    "directory said {core} maps {head} but table disagrees"
+                );
             }
         }
-        Some(UnmapOutcome { mappers, dirty, accessed, ptes_removed: removed })
+        Some(UnmapOutcome {
+            mappers,
+            dirty,
+            accessed,
+            ptes_removed: removed,
+        })
     }
 
     fn mapping_cores(&self, head: VirtPage) -> CoreSet {
-        self.shard(head).lock().get(&head.0).copied().unwrap_or_else(CoreSet::empty)
+        self.shard(head)
+            .lock()
+            .get(&head.0)
+            .copied()
+            .unwrap_or_else(CoreSet::empty)
     }
 
     fn test_and_clear_accessed(&self, head: VirtPage, size: PageSize) -> ScanOutcome {
@@ -164,8 +191,9 @@ impl TableScheme for Pspt {
         let mut examined = 0;
         let mut invalidate = CoreSet::empty();
         for core in mappers.iter() {
-            let (acc, n) =
-                self.tables[core.index()].write().test_and_clear_accessed_block(head, size);
+            let (acc, n) = self.tables[core.index()]
+                .write()
+                .test_and_clear_accessed_block(head, size);
             examined += n;
             if acc {
                 any = true;
@@ -174,7 +202,11 @@ impl TableScheme for Pspt {
                 invalidate.insert(core);
             }
         }
-        ScanOutcome { accessed: any, invalidate, ptes_examined: examined }
+        ScanOutcome {
+            accessed: any,
+            invalidate,
+            ptes_examined: examined,
+        }
     }
 
     fn block_dirty(&self, head: VirtPage, size: PageSize) -> bool {
@@ -191,20 +223,26 @@ mod tests {
     #[test]
     fn private_tables_are_really_private() {
         let p = Pspt::new(4);
-        p.map(CoreId(0), VirtPage(10), PhysFrame(3), PageSize::K4, true).unwrap();
+        p.map(CoreId(0), VirtPage(10), PhysFrame(3), PageSize::K4, true)
+            .unwrap();
         assert!(p.translate(CoreId(0), VirtPage(10)).is_some());
-        assert!(p.translate(CoreId(1), VirtPage(10)).is_none(), "core1 has no PTE yet");
+        assert!(
+            p.translate(CoreId(1), VirtPage(10)).is_none(),
+            "core1 has no PTE yet"
+        );
     }
 
     #[test]
     fn second_mapper_copies_and_probes() {
         let p = Pspt::new(4);
         assert_eq!(
-            p.map(CoreId(0), VirtPage(10), PhysFrame(3), PageSize::K4, true).unwrap(),
+            p.map(CoreId(0), VirtPage(10), PhysFrame(3), PageSize::K4, true)
+                .unwrap(),
             MapOutcome::Fresh
         );
         assert_eq!(
-            p.map(CoreId(2), VirtPage(10), PhysFrame(3), PageSize::K4, true).unwrap(),
+            p.map(CoreId(2), VirtPage(10), PhysFrame(3), PageSize::K4, true)
+                .unwrap(),
             MapOutcome::Copied { probes: 1 }
         );
         assert_eq!(p.mapping_cores(VirtPage(10)).count(), 2);
@@ -214,7 +252,8 @@ mod tests {
     fn mapping_cores_is_precise() {
         let p = Pspt::new(8);
         for c in [0u16, 3, 7] {
-            p.map(CoreId(c), VirtPage(42), PhysFrame(9), PageSize::K4, true).unwrap();
+            p.map(CoreId(c), VirtPage(42), PhysFrame(9), PageSize::K4, true)
+                .unwrap();
         }
         let m = p.mapping_cores(VirtPage(42));
         assert_eq!(m.count(), 3);
@@ -225,8 +264,10 @@ mod tests {
     #[test]
     fn unmap_all_visits_only_mappers_and_aggregates_dirty() {
         let p = Pspt::new(8);
-        p.map(CoreId(1), VirtPage(42), PhysFrame(9), PageSize::K4, true).unwrap();
-        p.map(CoreId(5), VirtPage(42), PhysFrame(9), PageSize::K4, true).unwrap();
+        p.map(CoreId(1), VirtPage(42), PhysFrame(9), PageSize::K4, true)
+            .unwrap();
+        p.map(CoreId(5), VirtPage(42), PhysFrame(9), PageSize::K4, true)
+            .unwrap();
         p.mark_accessed(CoreId(5), VirtPage(42), true); // dirty on core5 only
         let out = p.unmap_all(VirtPage(42), PageSize::K4).unwrap();
         assert_eq!(out.mappers.count(), 2);
@@ -247,7 +288,8 @@ mod tests {
     fn scan_invalidates_only_cores_with_set_bit() {
         let p = Pspt::new(4);
         for c in 0..3u16 {
-            p.map(CoreId(c), VirtPage(7), PhysFrame(1), PageSize::K4, true).unwrap();
+            p.map(CoreId(c), VirtPage(7), PhysFrame(1), PageSize::K4, true)
+                .unwrap();
         }
         p.mark_accessed(CoreId(0), VirtPage(7), false);
         p.mark_accessed(CoreId(2), VirtPage(7), false);
@@ -255,7 +297,10 @@ mod tests {
         assert!(s.accessed);
         assert_eq!(s.ptes_examined, 3);
         assert!(s.invalidate.contains(CoreId(0)));
-        assert!(!s.invalidate.contains(CoreId(1)), "core1 never touched the page");
+        assert!(
+            !s.invalidate.contains(CoreId(1)),
+            "core1 never touched the page"
+        );
         assert!(s.invalidate.contains(CoreId(2)));
         // Second scan: bits were cleared.
         let s2 = p.test_and_clear_accessed(VirtPage(7), PageSize::K4);
@@ -267,12 +312,17 @@ mod tests {
     fn sharing_histogram_matches_figure6_semantics() {
         let p = Pspt::new(4);
         // Two private blocks, one shared by two cores, one by all four.
-        p.map(CoreId(0), VirtPage(0), PhysFrame(0), PageSize::K4, true).unwrap();
-        p.map(CoreId(1), VirtPage(1), PhysFrame(1), PageSize::K4, true).unwrap();
-        p.map(CoreId(0), VirtPage(2), PhysFrame(2), PageSize::K4, true).unwrap();
-        p.map(CoreId(1), VirtPage(2), PhysFrame(2), PageSize::K4, true).unwrap();
+        p.map(CoreId(0), VirtPage(0), PhysFrame(0), PageSize::K4, true)
+            .unwrap();
+        p.map(CoreId(1), VirtPage(1), PhysFrame(1), PageSize::K4, true)
+            .unwrap();
+        p.map(CoreId(0), VirtPage(2), PhysFrame(2), PageSize::K4, true)
+            .unwrap();
+        p.map(CoreId(1), VirtPage(2), PhysFrame(2), PageSize::K4, true)
+            .unwrap();
         for c in 0..4u16 {
-            p.map(CoreId(c), VirtPage(3), PhysFrame(3), PageSize::K4, true).unwrap();
+            p.map(CoreId(c), VirtPage(3), PhysFrame(3), PageSize::K4, true)
+                .unwrap();
         }
         assert_eq!(p.sharing_histogram(), vec![2, 1, 0, 1]);
     }
@@ -280,8 +330,22 @@ mod tests {
     #[test]
     fn works_with_64k_blocks() {
         let p = Pspt::new(2);
-        p.map(CoreId(0), VirtPage(0x40), PhysFrame(0x40), PageSize::K64, true).unwrap();
-        p.map(CoreId(1), VirtPage(0x40), PhysFrame(0x40), PageSize::K64, true).unwrap();
+        p.map(
+            CoreId(0),
+            VirtPage(0x40),
+            PhysFrame(0x40),
+            PageSize::K64,
+            true,
+        )
+        .unwrap();
+        p.map(
+            CoreId(1),
+            VirtPage(0x40),
+            PhysFrame(0x40),
+            PageSize::K64,
+            true,
+        )
+        .unwrap();
         p.mark_accessed(CoreId(1), VirtPage(0x4a), true);
         assert!(p.block_dirty(VirtPage(0x40), PageSize::K64));
         let out = p.unmap_all(VirtPage(0x40), PageSize::K64).unwrap();
@@ -298,8 +362,14 @@ mod tests {
                 let p = Arc::clone(&p);
                 std::thread::spawn(move || {
                     for b in 0..64u64 {
-                        p.map(CoreId(c), VirtPage(b), PhysFrame(b as u32), PageSize::K4, true)
-                            .unwrap();
+                        p.map(
+                            CoreId(c),
+                            VirtPage(b),
+                            PhysFrame(b as u32),
+                            PageSize::K4,
+                            true,
+                        )
+                        .unwrap();
                     }
                 })
             })

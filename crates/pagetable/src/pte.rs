@@ -93,7 +93,10 @@ pub struct Pte {
 impl Pte {
     /// A present entry pointing at `frame`.
     pub fn new(frame: PhysFrame, flags: PteFlags) -> Pte {
-        Pte { frame, flags: flags | PteFlags::PRESENT }
+        Pte {
+            frame,
+            flags: flags | PteFlags::PRESENT,
+        }
     }
 
     /// The referenced physical frame.

@@ -27,7 +27,10 @@ pub struct RegularTables {
 impl RegularTables {
     /// A shared table for an address space spanning cores `0..n_cores`.
     pub fn new(n_cores: usize) -> RegularTables {
-        RegularTables { table: RwLock::new(PageTable::new()), cores: CoreSet::first_n(n_cores) }
+        RegularTables {
+            table: RwLock::new(PageTable::new()),
+            cores: CoreSet::first_n(n_cores),
+        }
     }
 
     /// Total mapped 4 kB pages.
@@ -65,7 +68,11 @@ impl TableScheme for RegularTables {
         size: PageSize,
         writable: bool,
     ) -> Result<MapOutcome, MapError> {
-        let flags = if writable { PteFlags::WRITABLE } else { PteFlags::empty() };
+        let flags = if writable {
+            PteFlags::WRITABLE
+        } else {
+            PteFlags::empty()
+        };
         self.table.write().map(head, frame, size, flags)?;
         Ok(MapOutcome::Fresh)
     }
@@ -93,7 +100,11 @@ impl TableScheme for RegularTables {
         ScanOutcome {
             accessed,
             // A cleared bit must be followed by a broadcast shootdown.
-            invalidate: if accessed { self.cores } else { CoreSet::empty() },
+            invalidate: if accessed {
+                self.cores
+            } else {
+                CoreSet::empty()
+            },
             ptes_examined: examined,
         }
     }
@@ -110,7 +121,8 @@ mod tests {
     #[test]
     fn translate_is_core_independent() {
         let t = RegularTables::new(4);
-        t.map(CoreId(0), VirtPage(10), PhysFrame(3), PageSize::K4, true).unwrap();
+        t.map(CoreId(0), VirtPage(10), PhysFrame(3), PageSize::K4, true)
+            .unwrap();
         for c in 0..4 {
             let tr = t.translate(CoreId(c), VirtPage(10)).unwrap();
             assert_eq!(tr.frame, PhysFrame(3));
@@ -120,7 +132,8 @@ mod tests {
     #[test]
     fn unmap_reports_all_cores_as_mappers() {
         let t = RegularTables::new(8);
-        t.map(CoreId(2), VirtPage(10), PhysFrame(3), PageSize::K4, true).unwrap();
+        t.map(CoreId(2), VirtPage(10), PhysFrame(3), PageSize::K4, true)
+            .unwrap();
         let out = t.unmap_all(VirtPage(10), PageSize::K4).unwrap();
         assert_eq!(out.mappers.count(), 8, "regular PT must broadcast");
         assert!(!out.dirty);
@@ -129,7 +142,8 @@ mod tests {
     #[test]
     fn dirty_tracking_via_mark_accessed() {
         let t = RegularTables::new(2);
-        t.map(CoreId(0), VirtPage(5), PhysFrame(1), PageSize::K4, true).unwrap();
+        t.map(CoreId(0), VirtPage(5), PhysFrame(1), PageSize::K4, true)
+            .unwrap();
         t.mark_accessed(CoreId(1), VirtPage(5), true);
         assert!(t.block_dirty(VirtPage(5), PageSize::K4));
         let out = t.unmap_all(VirtPage(5), PageSize::K4).unwrap();
@@ -140,7 +154,8 @@ mod tests {
     #[test]
     fn scan_broadcasts_only_when_bit_was_set() {
         let t = RegularTables::new(4);
-        t.map(CoreId(0), VirtPage(5), PhysFrame(1), PageSize::K4, true).unwrap();
+        t.map(CoreId(0), VirtPage(5), PhysFrame(1), PageSize::K4, true)
+            .unwrap();
         let s = t.test_and_clear_accessed(VirtPage(5), PageSize::K4);
         assert!(!s.accessed);
         assert!(s.invalidate.is_empty());
@@ -153,7 +168,8 @@ mod tests {
     #[test]
     fn double_map_is_rejected() {
         let t = RegularTables::new(2);
-        t.map(CoreId(0), VirtPage(5), PhysFrame(1), PageSize::K4, true).unwrap();
+        t.map(CoreId(0), VirtPage(5), PhysFrame(1), PageSize::K4, true)
+            .unwrap();
         assert_eq!(
             t.map(CoreId(1), VirtPage(5), PhysFrame(1), PageSize::K4, true),
             Err(MapError::AlreadyMapped)

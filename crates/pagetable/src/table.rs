@@ -71,7 +71,10 @@ struct LeafTable {
 
 impl LeafTable {
     fn new() -> LeafTable {
-        LeafTable { ptes: vec![None; FANOUT], live: 0 }
+        LeafTable {
+            ptes: vec![None; FANOUT],
+            live: 0,
+        }
     }
 }
 
@@ -110,7 +113,10 @@ impl Default for PageTable {
 impl PageTable {
     /// An empty table.
     pub fn new() -> PageTable {
-        PageTable { root: Node::dir(), mapped_4k: 0 }
+        PageTable {
+            root: Node::dir(),
+            mapped_4k: 0,
+        }
     }
 
     /// Number of currently mapped 4 kB pages (a 2 MB mapping counts 512).
@@ -186,14 +192,20 @@ impl PageTable {
                     Some(_) => return Err(MapError::AlreadyMapped),
                     None => {}
                 }
-                *slot =
-                    Some(Box::new(Node::Leaf2M(Pte::new(frame, flags | PteFlags::LARGE))));
+                *slot = Some(Box::new(Node::Leaf2M(Pte::new(
+                    frame,
+                    flags | PteFlags::LARGE,
+                ))));
                 self.mapped_4k += PageSize::M2.pages_4k();
                 Ok(())
             }
             PageSize::K4 | PageSize::K64 => {
                 let n = size.pages_4k();
-                let extra = if size == PageSize::K64 { PteFlags::HINT_64K } else { PteFlags::empty() };
+                let extra = if size == PageSize::K64 {
+                    PteFlags::HINT_64K
+                } else {
+                    PteFlags::empty()
+                };
                 // All sub-pages live in the same PT (64 kB never crosses a
                 // 2 MB boundary thanks to natural alignment).
                 let pt = self.pt_for(vpage.0, true).ok_or(MapError::AlreadyMapped)?;
@@ -263,7 +275,11 @@ impl PageTable {
                 let pte = leaf.ptes[(vpage.0 & 0x1ff) as usize].as_ref()?;
                 Some(TableTranslation {
                     frame: pte.frame(),
-                    size: if pte.hint_64k() { PageSize::K64 } else { PageSize::K4 },
+                    size: if pte.hint_64k() {
+                        PageSize::K64
+                    } else {
+                        PageSize::K4
+                    },
                     writable: pte.writable(),
                 })
             }
@@ -301,14 +317,19 @@ impl PageTable {
     /// Hardware behaviour on a translated access: set the accessed (and,
     /// for writes, dirty) bit in the touched sub-entry.
     pub fn mark_accessed(&mut self, vpage: VirtPage, write: bool) -> bool {
-        self.with_pte(vpage, |pte| pte.mark_accessed(write)).is_some()
+        self.with_pte(vpage, |pte| pte.mark_accessed(write))
+            .is_some()
     }
 
     /// OS statistics scan over one mapping block: read-and-clear the
     /// accessed bit of every sub-entry (16 iterations for a 64 kB page —
     /// the cost the paper highlights in §4). Returns whether any was set,
     /// plus the number of PTEs examined (for cycle charging).
-    pub fn test_and_clear_accessed_block(&mut self, vpage: VirtPage, size: PageSize) -> (bool, usize) {
+    pub fn test_and_clear_accessed_block(
+        &mut self,
+        vpage: VirtPage,
+        size: PageSize,
+    ) -> (bool, usize) {
         let head = vpage.align_down(size);
         match size {
             PageSize::M2 => {
@@ -338,8 +359,10 @@ impl PageTable {
         let head = vpage.align_down(size);
         match size {
             PageSize::M2 => self.with_pte(head, |pte| pte.dirty()).unwrap_or(false),
-            PageSize::K4 | PageSize::K64 => (0..size.pages_4k() as u64)
-                .any(|k| self.with_pte(head.add(k), |pte| pte.dirty()).unwrap_or(false)),
+            PageSize::K4 | PageSize::K64 => (0..size.pages_4k() as u64).any(|k| {
+                self.with_pte(head.add(k), |pte| pte.dirty())
+                    .unwrap_or(false)
+            }),
         }
     }
 
@@ -410,7 +433,13 @@ mod tests {
     #[test]
     fn map_translate_unmap_4k() {
         let mut t = table();
-        t.map(VirtPage(100), PhysFrame(7), PageSize::K4, PteFlags::WRITABLE).unwrap();
+        t.map(
+            VirtPage(100),
+            PhysFrame(7),
+            PageSize::K4,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         let tr = t.translate(VirtPage(100)).unwrap();
         assert_eq!(tr.frame, PhysFrame(7));
         assert_eq!(tr.size, PageSize::K4);
@@ -425,7 +454,13 @@ mod tests {
     #[test]
     fn map_64k_creates_16_contiguous_subentries() {
         let mut t = table();
-        t.map(VirtPage(0x40), PhysFrame(0x100), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        t.map(
+            VirtPage(0x40),
+            PhysFrame(0x100),
+            PageSize::K64,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         for k in 0..16u64 {
             let tr = t.translate(VirtPage(0x40 + k)).unwrap();
             assert_eq!(tr.frame, PhysFrame(0x100 + k as u32), "sub-page {k}");
@@ -438,7 +473,13 @@ mod tests {
     #[test]
     fn map_2m_leaf() {
         let mut t = table();
-        t.map(VirtPage(0x200), PhysFrame(0x200), PageSize::M2, PteFlags::empty()).unwrap();
+        t.map(
+            VirtPage(0x200),
+            PhysFrame(0x200),
+            PageSize::M2,
+            PteFlags::empty(),
+        )
+        .unwrap();
         let tr = t.translate(VirtPage(0x200 + 77)).unwrap();
         assert_eq!(tr.frame, PhysFrame(0x200 + 77));
         assert_eq!(tr.size, PageSize::M2);
@@ -450,11 +491,21 @@ mod tests {
     fn alignment_is_enforced() {
         let mut t = table();
         assert_eq!(
-            t.map(VirtPage(0x41), PhysFrame(0x100), PageSize::K64, PteFlags::empty()),
+            t.map(
+                VirtPage(0x41),
+                PhysFrame(0x100),
+                PageSize::K64,
+                PteFlags::empty()
+            ),
             Err(MapError::UnalignedVirt)
         );
         assert_eq!(
-            t.map(VirtPage(0x40), PhysFrame(0x101), PageSize::K64, PteFlags::empty()),
+            t.map(
+                VirtPage(0x40),
+                PhysFrame(0x101),
+                PageSize::K64,
+                PteFlags::empty()
+            ),
             Err(MapError::UnalignedPhys)
         );
     }
@@ -462,10 +513,21 @@ mod tests {
     #[test]
     fn overlap_is_rejected() {
         let mut t = table();
-        t.map(VirtPage(0x40), PhysFrame(0), PageSize::K4, PteFlags::empty()).unwrap();
+        t.map(
+            VirtPage(0x40),
+            PhysFrame(0),
+            PageSize::K4,
+            PteFlags::empty(),
+        )
+        .unwrap();
         // A 64 kB block over the same range must be refused whole.
         assert_eq!(
-            t.map(VirtPage(0x40), PhysFrame(0x10), PageSize::K64, PteFlags::empty()),
+            t.map(
+                VirtPage(0x40),
+                PhysFrame(0x10),
+                PageSize::K64,
+                PteFlags::empty()
+            ),
             Err(MapError::AlreadyMapped)
         );
         // And the failed attempt must not have mapped anything extra.
@@ -477,7 +539,12 @@ mod tests {
     fn vpn_out_of_range_is_rejected() {
         let mut t = table();
         assert_eq!(
-            t.map(VirtPage(1 << 36), PhysFrame(0), PageSize::K4, PteFlags::empty()),
+            t.map(
+                VirtPage(1 << 36),
+                PhysFrame(0),
+                PageSize::K4,
+                PteFlags::empty()
+            ),
             Err(MapError::OutOfRange)
         );
         assert!(t.translate(VirtPage(1 << 36)).is_none());
@@ -488,7 +555,8 @@ mod tests {
         // The Phi quirk from paper §4: touching the (k+1)-th 4 kB region
         // of a 64 kB page sets A/D in that sub-entry only.
         let mut t = table();
-        t.map(VirtPage(0), PhysFrame(0), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K64, PteFlags::WRITABLE)
+            .unwrap();
         t.mark_accessed(VirtPage(5), true);
         // Only sub-entry 5 carries the bits.
         for k in 0..16u64 {
@@ -503,7 +571,8 @@ mod tests {
     #[test]
     fn block_scan_iterates_16_entries_for_64k() {
         let mut t = table();
-        t.map(VirtPage(0), PhysFrame(0), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K64, PteFlags::WRITABLE)
+            .unwrap();
         t.mark_accessed(VirtPage(9), false);
         let (any, examined) = t.test_and_clear_accessed_block(VirtPage(3), PageSize::K64);
         assert!(any);
@@ -515,17 +584,27 @@ mod tests {
     #[test]
     fn block_dirty_sees_any_subentry() {
         let mut t = table();
-        t.map(VirtPage(0), PhysFrame(0), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K64, PteFlags::WRITABLE)
+            .unwrap();
         assert!(!t.block_dirty(VirtPage(0), PageSize::K64));
         t.mark_accessed(VirtPage(15), true);
         assert!(t.block_dirty(VirtPage(0), PageSize::K64));
-        assert!(t.block_dirty(VirtPage(7), PageSize::K64), "any covered page queries the block");
+        assert!(
+            t.block_dirty(VirtPage(7), PageSize::K64),
+            "any covered page queries the block"
+        );
     }
 
     #[test]
     fn unmap_64k_aggregates_attribute_bits() {
         let mut t = table();
-        t.map(VirtPage(0x10), PhysFrame(0x20), PageSize::K64, PteFlags::WRITABLE).unwrap();
+        t.map(
+            VirtPage(0x10),
+            PhysFrame(0x20),
+            PageSize::K64,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         t.mark_accessed(VirtPage(0x1b), true); // dirty one sub-entry
         let pte = t.unmap(VirtPage(0x13), PageSize::K64).unwrap();
         assert!(pte.accessed());
@@ -536,7 +615,13 @@ mod tests {
     #[test]
     fn unmap_2m_returns_leaf() {
         let mut t = table();
-        t.map(VirtPage(0x400), PhysFrame(0x400), PageSize::M2, PteFlags::WRITABLE).unwrap();
+        t.map(
+            VirtPage(0x400),
+            PhysFrame(0x400),
+            PageSize::M2,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         t.mark_accessed(VirtPage(0x4ff), true);
         let pte = t.unmap(VirtPage(0x5aa), PageSize::M2).unwrap();
         assert!(pte.dirty());
@@ -549,9 +634,22 @@ mod tests {
         // 64kB, 2MB) within a single address block" — 4 kB and 64 kB
         // mappings share a PT; a 2 MB mapping occupies its own PD slot.
         let mut t = table();
-        t.map(VirtPage(0), PhysFrame(0), PageSize::K4, PteFlags::empty()).unwrap();
-        t.map(VirtPage(0x10), PhysFrame(0x10), PageSize::K64, PteFlags::empty()).unwrap();
-        t.map(VirtPage(0x200), PhysFrame(0x200), PageSize::M2, PteFlags::empty()).unwrap();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K4, PteFlags::empty())
+            .unwrap();
+        t.map(
+            VirtPage(0x10),
+            PhysFrame(0x10),
+            PageSize::K64,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        t.map(
+            VirtPage(0x200),
+            PhysFrame(0x200),
+            PageSize::M2,
+            PteFlags::empty(),
+        )
+        .unwrap();
         assert_eq!(t.translate(VirtPage(0)).unwrap().size, PageSize::K4);
         assert_eq!(t.translate(VirtPage(0x1f)).unwrap().size, PageSize::K64);
         assert_eq!(t.translate(VirtPage(0x3ff)).unwrap().size, PageSize::M2);
@@ -570,7 +668,8 @@ mod tests {
     fn sparse_address_space_spans_high_indices() {
         let mut t = table();
         let far = VirtPage((1 << 35) + 0x123);
-        t.map(far, PhysFrame(1), PageSize::K4, PteFlags::empty()).unwrap();
+        t.map(far, PhysFrame(1), PageSize::K4, PteFlags::empty())
+            .unwrap();
         assert_eq!(t.translate(far).unwrap().frame, PhysFrame(1));
         assert!(t.translate(VirtPage(far.0 + 1)).is_none());
     }

@@ -19,6 +19,7 @@ use std::collections::BinaryHeap;
 
 use cmcp_arch::CoreId;
 use cmcp_kernel::Vmm;
+use cmcp_trace::{EventKind, Recorder};
 
 use crate::report::RunReport;
 use crate::runner::{CoreRunner, StepResult};
@@ -28,17 +29,21 @@ use crate::trace::Trace;
 ///
 /// Panics if the trace shape is invalid (mismatched barrier counts or a
 /// core count different from the kernel's).
-pub fn run_deterministic(vmm: &Vmm, trace: &Trace) -> RunReport {
+pub fn run_deterministic<R: Recorder>(vmm: &Vmm<R>, trace: &Trace) -> RunReport {
     trace.validate().expect("invalid trace");
     let n = trace.cores.len();
-    assert_eq!(n, vmm.config().cores, "trace core count must match kernel config");
+    assert_eq!(
+        n,
+        vmm.config().cores,
+        "trace core count must match kernel config"
+    );
 
-    let mut runners: Vec<CoreRunner> =
-        (0..n).map(|c| CoreRunner::new(CoreId(c as u16), vmm)).collect();
+    let mut runners: Vec<CoreRunner> = (0..n)
+        .map(|c| CoreRunner::new(CoreId(c as u16), vmm))
+        .collect();
 
     // Min-heap of (clock, core); ties broken by core id for determinism.
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-        (0..n).map(|c| Reverse((0u64, c))).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|c| Reverse((0u64, c))).collect();
     let mut waiting: Vec<usize> = Vec::new(); // cores parked at the barrier
     let mut done = 0usize;
     let scan_period = vmm.scan_period();
@@ -46,6 +51,7 @@ pub fn run_deterministic(vmm: &Vmm, trace: &Trace) -> RunReport {
     let mut next_scan = scan_period;
     let rebuild_period = vmm.rebuild_period();
     let mut next_rebuild = rebuild_period;
+    let mut barrier_seq = 0u64;
 
     while let Some(Reverse((clock, core))) = heap.pop() {
         // Fire the statistics timer for every period boundary "now" has
@@ -79,9 +85,20 @@ pub fn run_deterministic(vmm: &Vmm, trace: &Trace) -> RunReport {
                         .max()
                         .unwrap_or(clock);
                     for &c in &waiting {
+                        if R::ENABLED {
+                            let arrived = vmm.clocks()[c].now();
+                            vmm.tracer().record(
+                                c as u16,
+                                release,
+                                EventKind::BarrierArrive,
+                                barrier_seq,
+                                release - arrived,
+                            );
+                        }
                         vmm.clocks()[c].advance_to(release);
                         heap.push(Reverse((release, c)));
                     }
+                    barrier_seq += 1;
                     waiting.clear();
                 }
             }
@@ -103,18 +120,23 @@ pub fn run_deterministic(vmm: &Vmm, trace: &Trace) -> RunReport {
     RunReport::collect(vmm, &runners, &trace.label, &config_label(vmm))
 }
 
-pub(crate) fn config_label(vmm: &Vmm) -> String {
+pub(crate) fn config_label<R: Recorder>(vmm: &Vmm<R>) -> String {
     let cfg = vmm.config();
-    format!("{} + {} @ {}", cfg.scheme, cfg.policy.label(), cfg.block_size)
+    format!(
+        "{} + {} @ {}",
+        cfg.scheme,
+        cfg.policy.label(),
+        cfg.block_size
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::Op;
     use cmcp_arch::{PageSize, VirtPage};
     use cmcp_core::PolicyKind;
     use cmcp_kernel::KernelConfig;
-    use crate::trace::Op;
 
     /// Two cores stream over private ranges with barriers between phases.
     fn private_sweep_trace(cores: usize, pages_per_core: u32, rounds: usize) -> Trace {
@@ -151,9 +173,7 @@ mod tests {
     fn runs_are_bit_identical() {
         let t = private_sweep_trace(4, 128, 4);
         let run = || {
-            let vmm = Vmm::new(
-                KernelConfig::new(4, 96).with_policy(PolicyKind::Cmcp { p: 0.5 }),
-            );
+            let vmm = Vmm::new(KernelConfig::new(4, 96).with_policy(PolicyKind::Cmcp { p: 0.5 }));
             let r = run_deterministic(&vmm, &t);
             (r.runtime_cycles, r.avg_page_faults(), r.global.evictions)
         };
@@ -170,7 +190,10 @@ mod tests {
         t.cores[0].ops.push(Op::touch(VirtPage(1), false, 1));
         let vmm = Vmm::new(KernelConfig::new(2, 16));
         run_deterministic(&vmm, &t);
-        assert!(vmm.clocks()[0].now() >= 1_000_000, "core0 waited at the barrier");
+        assert!(
+            vmm.clocks()[0].now() >= 1_000_000,
+            "core0 waited at the barrier"
+        );
     }
 
     #[test]
@@ -203,7 +226,11 @@ mod tests {
         }
         let vmm = Vmm::new(KernelConfig::new(1, 16).with_policy(PolicyKind::Lru));
         let r = run_deterministic(&vmm, &t);
-        assert!(r.global.scan_ticks >= 4, "timer must fire each period: {}", r.global.scan_ticks);
+        assert!(
+            r.global.scan_ticks >= 4,
+            "timer must fire each period: {}",
+            r.global.scan_ticks
+        );
     }
 
     #[test]
@@ -235,7 +262,11 @@ mod tests {
     fn syscall_op_blocks_the_core() {
         let mut t = Trace::new(1, "io");
         t.cores[0].ops.push(Op::touch(VirtPage(1), false, 1));
-        t.cores[0].ops.push(Op::Syscall { service: 10_000, payload: 1 << 20, write: true });
+        t.cores[0].ops.push(Op::Syscall {
+            service: 10_000,
+            payload: 1 << 20,
+            write: true,
+        });
         let vmm = Vmm::new(KernelConfig::new(1, 8));
         run_deterministic(&vmm, &t);
         assert_eq!(vmm.offload().total_calls(), 1);
@@ -260,7 +291,11 @@ mod tests {
         cfg.pspt_rebuild_period = 1_000_000;
         let vmm = Vmm::new(cfg);
         let r = run_deterministic(&vmm, &t);
-        assert!(r.global.rebuilds >= 1, "timer must fire: {}", r.global.rebuilds);
+        assert!(
+            r.global.rebuilds >= 1,
+            "timer must fire: {}",
+            r.global.rebuilds
+        );
         // Extra faults beyond the 1 cold major + 1 minor: the re-mapping
         // after each rebuild.
         let faults: u64 = r.per_core.iter().map(|c| c.page_faults).sum();

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use cmcp_arch::CoreId;
 use cmcp_kernel::Vmm;
+use cmcp_trace::{EventKind, Recorder};
 
 use crate::report::RunReport;
 use crate::runner::{CoreRunner, StepResult};
@@ -54,7 +55,10 @@ struct BarrierSet {
 
 impl BarrierSet {
     fn new(count: usize, parties: usize) -> BarrierSet {
-        BarrierSet { barriers: (0..count).map(|_| VBarrier::new()).collect(), parties }
+        BarrierSet {
+            barriers: (0..count).map(|_| VBarrier::new()).collect(),
+            parties,
+        }
     }
 
     /// Records `clock` arriving at barrier `idx`. Returns `Some(release)`
@@ -91,13 +95,20 @@ enum CoreState {
 /// Runs `trace` against `vmm` on `threads` worker threads.
 ///
 /// `threads = 0` selects the available parallelism.
-pub fn run_parallel(vmm: &Vmm, trace: &Trace, threads: usize) -> RunReport {
+pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) -> RunReport {
     trace.validate().expect("invalid trace");
     let n = trace.cores.len();
-    assert_eq!(n, vmm.config().cores, "trace core count must match kernel config");
+    assert_eq!(
+        n,
+        vmm.config().cores,
+        "trace core count must match kernel config"
+    );
 
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n)
     } else {
         threads.min(n)
     };
@@ -112,15 +123,17 @@ pub fn run_parallel(vmm: &Vmm, trace: &Trace, threads: usize) -> RunReport {
     let rebuild_period = vmm.rebuild_period();
     let next_rebuild = AtomicU64::new(rebuild_period);
 
-    let mut runner_slots: Vec<Option<CoreRunner>> =
-        (0..n).map(|c| Some(CoreRunner::new(CoreId(c as u16), vmm))).collect();
+    let mut runner_slots: Vec<Option<CoreRunner>> = (0..n)
+        .map(|c| Some(CoreRunner::new(CoreId(c as u16), vmm)))
+        .collect();
 
     // Only *running* cores bound the skew window: a core parked at a
     // barrier (or finished) has a frozen clock that others must
     // legitimately overtake to reach the rendezvous themselves.
-    let running: Vec<std::sync::atomic::AtomicBool> =
-        (0..n).map(|_| std::sync::atomic::AtomicBool::new(true)).collect();
-    let min_running_clock = |vmm: &Vmm| -> u64 {
+    let running: Vec<std::sync::atomic::AtomicBool> = (0..n)
+        .map(|_| std::sync::atomic::AtomicBool::new(true))
+        .collect();
+    let min_running_clock = |vmm: &Vmm<R>| -> u64 {
         let mut min = u64::MAX;
         for (i, c) in vmm.clocks().iter().enumerate() {
             if running[i].load(Ordering::Relaxed) {
@@ -143,8 +156,10 @@ pub fn run_parallel(vmm: &Vmm, trace: &Trace, threads: usize) -> RunReport {
             let running = &running;
             let min_running_clock = &min_running_clock;
             scope.spawn(move |_| {
-                let mut cores: Vec<(usize, &mut CoreRunner)> =
-                    chunk.into_iter().map(|(i, s)| (i, s.as_mut().unwrap())).collect();
+                let mut cores: Vec<(usize, &mut CoreRunner)> = chunk
+                    .into_iter()
+                    .map(|(i, s)| (i, s.as_mut().unwrap()))
+                    .collect();
                 let mut state: Vec<CoreState> = vec![CoreState::Running; cores.len()];
                 let mut next_barrier: Vec<usize> = vec![0; cores.len()];
                 let mut live = cores.len();
@@ -157,6 +172,16 @@ pub fn run_parallel(vmm: &Vmm, trace: &Trace, threads: usize) -> RunReport {
                             CoreState::Finished => continue,
                             CoreState::Blocked(b) => {
                                 if let Some(release) = barriers.poll(b) {
+                                    if R::ENABLED {
+                                        let arrived = vmm.clocks()[core_idx].now();
+                                        vmm.tracer().record(
+                                            core_idx as u16,
+                                            release,
+                                            EventKind::BarrierArrive,
+                                            b as u64,
+                                            release.saturating_sub(arrived),
+                                        );
+                                    }
                                     vmm.clocks()[core_idx].advance_to(release);
                                     state[k] = CoreState::Running;
                                     running[core_idx].store(true, Ordering::Relaxed);
@@ -212,6 +237,15 @@ pub fn run_parallel(vmm: &Vmm, trace: &Trace, threads: usize) -> RunReport {
                                 let clock = vmm.clocks()[core_idx].now();
                                 match barriers.arrive(b, clock) {
                                     Some(release) => {
+                                        if R::ENABLED {
+                                            vmm.tracer().record(
+                                                core_idx as u16,
+                                                release,
+                                                EventKind::BarrierArrive,
+                                                b as u64,
+                                                release.saturating_sub(clock),
+                                            );
+                                        }
                                         vmm.clocks()[core_idx].advance_to(release)
                                     }
                                     None => {
@@ -237,16 +271,21 @@ pub fn run_parallel(vmm: &Vmm, trace: &Trace, threads: usize) -> RunReport {
     .expect("worker thread panicked");
 
     let runners: Vec<CoreRunner> = runner_slots.into_iter().map(|s| s.unwrap()).collect();
-    RunReport::collect(vmm, &runners, &trace.label, &crate::engine::config_label(vmm))
+    RunReport::collect(
+        vmm,
+        &runners,
+        &trace.label,
+        &crate::engine::config_label(vmm),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::Op;
     use cmcp_arch::VirtPage;
     use cmcp_core::PolicyKind;
     use cmcp_kernel::KernelConfig;
-    use crate::trace::Op;
 
     fn shared_and_private_trace(cores: usize, rounds: usize) -> Trace {
         let mut t = Trace::new(cores, "par-test");

@@ -2,6 +2,7 @@
 
 use cmcp_arch::{Cycles, TlbStats};
 use cmcp_kernel::{CoreStatsSnapshot, GlobalStatsSnapshot, Vmm};
+use cmcp_trace::{Breakdown, CoreTotals, Recorder};
 
 use crate::runner::CoreRunner;
 
@@ -30,11 +31,20 @@ pub struct RunReport {
     pub dma_bytes: (u64, u64),
     /// PSPT sharing histogram (Figure 6), if the scheme provides one.
     pub sharing_histogram: Option<Vec<usize>>,
+    /// Per-core fault-path cycle decomposition, present when the run was
+    /// traced. Validated against the kernel counters unless events were
+    /// dropped (ring wraparound).
+    pub breakdown: Option<Breakdown>,
 }
 
 impl RunReport {
     /// Assembles the report after every runner finished.
-    pub fn collect(vmm: &Vmm, runners: &[CoreRunner], label: &str, config: &str) -> RunReport {
+    pub fn collect<R: Recorder>(
+        vmm: &Vmm<R>,
+        runners: &[CoreRunner],
+        label: &str,
+        config: &str,
+    ) -> RunReport {
         let clocks = vmm.clocks();
         let per_core: Vec<CoreStatsSnapshot> = vmm
             .core_stats()
@@ -51,6 +61,26 @@ impl RunReport {
             })
             .collect();
         let runtime_cycles = per_core.iter().map(|c| c.cycles).max().unwrap_or(0);
+        let breakdown = if R::ENABLED {
+            let events = vmm.tracer().events();
+            let dropped = vmm.tracer().dropped();
+            let totals: Vec<CoreTotals> = per_core
+                .iter()
+                .map(|c| CoreTotals {
+                    page_faults: c.page_faults,
+                    fault_cycles: c.fault_cycles,
+                    dma_wait_cycles: c.dma_wait_cycles,
+                    shootdown_cycles: c.shootdown_cycles,
+                    lock_wait_cycles: c.lock_wait_cycles,
+                })
+                .collect();
+            let b = Breakdown::from_events(&events, per_core.len(), dropped)
+                .validate_against(&totals)
+                .expect("traced breakdown must sum to the kernel counters");
+            Some(b)
+        } else {
+            None
+        };
         RunReport {
             label: label.to_string(),
             config: config.to_string(),
@@ -62,6 +92,7 @@ impl RunReport {
             lock_queued_cycles: vmm.lock_queue_cycles(),
             dma_bytes: (vmm.dma().bytes_in(), vmm.dma().bytes_out()),
             sharing_histogram: vmm.sharing_histogram(),
+            breakdown,
             per_core,
         }
     }
@@ -93,11 +124,21 @@ mod tests {
 
     #[test]
     fn averages_over_cores() {
-        let mut r = RunReport::default();
-        r.per_core = vec![
-            CoreStatsSnapshot { page_faults: 10, dtlb_misses: 100, ..Default::default() },
-            CoreStatsSnapshot { page_faults: 30, dtlb_misses: 300, ..Default::default() },
-        ];
+        let r = RunReport {
+            per_core: vec![
+                CoreStatsSnapshot {
+                    page_faults: 10,
+                    dtlb_misses: 100,
+                    ..Default::default()
+                },
+                CoreStatsSnapshot {
+                    page_faults: 30,
+                    dtlb_misses: 300,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
         assert_eq!(r.avg_page_faults(), 20.0);
         assert_eq!(r.avg_dtlb_misses(), 200.0);
         assert_eq!(r.avg_remote_invalidations(), 0.0);

@@ -9,6 +9,7 @@ use std::collections::HashSet;
 
 use cmcp_arch::{CoreId, Tlb, TlbLookup, VirtPage};
 use cmcp_kernel::Vmm;
+use cmcp_trace::Recorder;
 
 use crate::trace::{CoreTrace, Op};
 
@@ -43,7 +44,7 @@ pub struct CoreRunner {
 
 impl CoreRunner {
     /// A runner for `core` against `vmm`'s configuration.
-    pub fn new(core: CoreId, vmm: &Vmm) -> CoreRunner {
+    pub fn new<R: Recorder>(core: CoreId, vmm: &Vmm<R>) -> CoreRunner {
         CoreRunner {
             core,
             tlb: Tlb::knc(vmm.cost()),
@@ -62,22 +63,28 @@ impl CoreRunner {
 
     /// Applies pending remote TLB invalidations (their cycle cost was
     /// charged by the shootdown; here the entries actually disappear).
-    fn drain_invalidations(&mut self, vmm: &Vmm) {
+    fn drain_invalidations<R: Recorder>(&mut self, vmm: &Vmm<R>) {
         if !vmm.has_pending_invalidations(self.core) {
             return;
         }
         vmm.drain_invalidations(self.core, &mut self.inval_buf);
+        let now = if R::ENABLED {
+            vmm.clocks()[self.core.index()].now()
+        } else {
+            0
+        };
         for head in self.inval_buf.drain(..) {
             // Invalidate every TLB entry covering the block.
             for k in 0..self.block_span {
-                self.tlb.invalidate(head.add(k));
+                self.tlb
+                    .invalidate_traced(head.add(k), vmm.tracer(), self.core.0, now);
             }
             self.written.remove(&head.0);
         }
     }
 
     /// Executes one page touch. Returns whether it took a page fault.
-    fn touch(&mut self, vmm: &Vmm, page: VirtPage, write: bool, work: u32) -> bool {
+    fn touch<R: Recorder>(&mut self, vmm: &Vmm<R>, page: VirtPage, write: bool, work: u32) -> bool {
         let size = vmm.config().block_size;
         let cost = vmm.cost();
         let clock = &vmm.clocks()[self.core.index()];
@@ -117,13 +124,18 @@ impl CoreRunner {
 
     /// Runs the next chunk of the trace: at most [`STREAM_CHUNK`] page
     /// touches, one compute op, or up to (and including) one barrier.
-    pub fn step(&mut self, vmm: &Vmm, trace: &CoreTrace) -> StepResult {
+    pub fn step<R: Recorder>(&mut self, vmm: &Vmm<R>, trace: &CoreTrace) -> StepResult {
         self.drain_invalidations(vmm);
         let Some(op) = trace.ops.get(self.op_idx) else {
             return StepResult::Done;
         };
         match *op {
-            Op::Stream { start, pages, write, work_per_page } => {
+            Op::Stream {
+                start,
+                pages,
+                write,
+                work_per_page,
+            } => {
                 // A page fault ends the chunk: faults advance this core's
                 // clock by orders of magnitude more than a TLB hit, and
                 // ending the step lets the engine hand control to the
@@ -151,7 +163,11 @@ impl CoreRunner {
                 self.op_idx += 1;
                 StepResult::Ran
             }
-            Op::Syscall { service, payload, write } => {
+            Op::Syscall {
+                service,
+                payload,
+                write,
+            } => {
                 let call = if write {
                     cmcp_kernel::Syscall::Write(payload)
                 } else {
@@ -197,7 +213,12 @@ mod tests {
         let s = r.tlb_stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.l1_hits, 1);
-        assert_eq!(v.core_stats()[0].page_faults.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            v.core_stats()[0]
+                .page_faults
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
     }
 
     #[test]

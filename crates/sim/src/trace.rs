@@ -48,7 +48,12 @@ pub enum Op {
 impl Op {
     /// A single-page touch.
     pub fn touch(page: VirtPage, write: bool, work: u32) -> Op {
-        Op::Stream { start: page, pages: 1, write, work_per_page: work }
+        Op::Stream {
+            start: page,
+            pages: 1,
+            write,
+            work_per_page: work,
+        }
     }
 }
 
@@ -108,7 +113,11 @@ pub struct Trace {
 impl Trace {
     /// An empty trace for `n` cores.
     pub fn new(n: usize, label: impl Into<String>) -> Trace {
-        Trace { cores: vec![CoreTrace::default(); n], label: label.into(), declared_pages: 0 }
+        Trace {
+            cores: vec![CoreTrace::default(); n],
+            label: label.into(),
+            declared_pages: 0,
+        }
     }
 
     /// Checks the cross-core barrier structure: every core must have the
@@ -180,14 +189,32 @@ mod tests {
     #[test]
     fn touch_is_single_page_stream() {
         let op = Op::touch(VirtPage(5), true, 3);
-        assert_eq!(op, Op::Stream { start: VirtPage(5), pages: 1, write: true, work_per_page: 3 });
+        assert_eq!(
+            op,
+            Op::Stream {
+                start: VirtPage(5),
+                pages: 1,
+                write: true,
+                work_per_page: 3
+            }
+        );
     }
 
     #[test]
     fn footprint_counts_distinct_pages() {
         let mut t = Trace::new(2, "test");
-        t.cores[0].ops.push(Op::Stream { start: VirtPage(0), pages: 4, write: false, work_per_page: 1 });
-        t.cores[1].ops.push(Op::Stream { start: VirtPage(2), pages: 4, write: false, work_per_page: 1 });
+        t.cores[0].ops.push(Op::Stream {
+            start: VirtPage(0),
+            pages: 4,
+            write: false,
+            work_per_page: 1,
+        });
+        t.cores[1].ops.push(Op::Stream {
+            start: VirtPage(2),
+            pages: 4,
+            write: false,
+            work_per_page: 1,
+        });
         assert_eq!(t.footprint_pages(), 6); // pages 0..6
         assert_eq!(t.total_touches(), 8);
     }
@@ -196,7 +223,12 @@ mod tests {
     fn footprint_blocks_rounds_to_block_grid() {
         let mut t = Trace::new(1, "test");
         // Pages 15..17 straddle a 64 kB boundary (blocks 0 and 1).
-        t.cores[0].ops.push(Op::Stream { start: VirtPage(15), pages: 2, write: false, work_per_page: 1 });
+        t.cores[0].ops.push(Op::Stream {
+            start: VirtPage(15),
+            pages: 2,
+            write: false,
+            work_per_page: 1,
+        });
         assert_eq!(t.footprint_blocks(PageSize::K4), 2);
         assert_eq!(t.footprint_blocks(PageSize::K64), 2);
         assert_eq!(t.footprint_blocks(PageSize::M2), 1);
@@ -219,7 +251,12 @@ mod tests {
     #[test]
     fn page_set_expands_streams() {
         let mut c = CoreTrace::default();
-        c.ops.push(Op::Stream { start: VirtPage(10), pages: 3, write: false, work_per_page: 1 });
+        c.ops.push(Op::Stream {
+            start: VirtPage(10),
+            pages: 3,
+            write: false,
+            work_per_page: 1,
+        });
         c.ops.push(Op::touch(VirtPage(11), true, 1));
         let set = c.page_set();
         assert_eq!(set.len(), 3);

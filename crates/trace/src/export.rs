@@ -1,0 +1,211 @@
+//! Trace serialization: newline-delimited JSON for machine consumption
+//! and Chrome `trace_event` JSON for `chrome://tracing` / Perfetto.
+//!
+//! Both formats are rendered by hand — every field is an integer or a
+//! static name, so going through a `Value` tree would only add
+//! allocation. One virtual cycle is exported as one microsecond; the
+//! KNC runs at ~1.05 GHz, so the displayed scale is ~1000x real time,
+//! which keeps sub-microsecond fault phases visible in the viewer.
+
+use std::fmt::Write as _;
+
+use crate::{Event, EventKind, MAINTENANCE_CORE};
+
+/// Renders events as JSONL: one `{"ts":..,"core":..,"kind":"..",
+/// "a":..,"b":..}` object per line, in the given order.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{{\"ts\":{},\"core\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+            e.ts,
+            e.core,
+            e.kind.name(),
+            e.a,
+            e.b
+        );
+    }
+    out
+}
+
+/// Chrome trace viewer thread id used for maintenance events (`tid`
+/// must fit the viewer's expectations better than 65535-as-core).
+pub const CHROME_MAINTENANCE_TID: u16 = u16::MAX;
+
+/// Renders events as a Chrome `trace_event` JSON document.
+///
+/// Fault windows become `"X"` (complete) events — `FaultStart` is
+/// matched with the next `FaultEnd` on the same core, which is exact
+/// because a simulated core handles one fault at a time. Everything
+/// else becomes an `"i"` (instant) event carrying its payload words in
+/// `args`. Cores map to threads of a single process; the maintenance
+/// ring appears as a thread named `scan-timer`.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |line: String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+
+    // Thread naming metadata: one entry per core seen, plus scan-timer.
+    let mut seen: Vec<u16> = events.iter().map(|e| e.core).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    for core in &seen {
+        let name = if *core == MAINTENANCE_CORE {
+            "scan-timer".to_string()
+        } else {
+            format!("core {core}")
+        };
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{name}\"}}}}",
+                tid(*core)
+            ),
+            &mut first,
+        );
+    }
+
+    // Open fault per core (one outstanding fault max per core).
+    let mut open: std::collections::HashMap<u16, &Event> = std::collections::HashMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::FaultStart => {
+                open.insert(e.core, e);
+            }
+            EventKind::FaultEnd => {
+                let start_ts = open.remove(&e.core).map_or_else(
+                    || e.ts.saturating_sub(e.b), // unmatched: reconstruct from span
+                    |s| s.ts,
+                );
+                emit(
+                    format!(
+                        "{{\"name\":\"fault\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"resolution\":{},\"cycles\":{}}}}}",
+                        tid(e.core),
+                        start_ts,
+                        e.ts.saturating_sub(start_ts),
+                        e.a,
+                        e.b
+                    ),
+                    &mut first,
+                );
+            }
+            _ => {
+                emit(
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+                        e.kind.name(),
+                        tid(e.core),
+                        e.ts,
+                        e.a,
+                        e.b
+                    ),
+                    &mut first,
+                );
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn tid(core: u16) -> u16 {
+    if core == MAINTENANCE_CORE {
+        CHROME_MAINTENANCE_TID
+    } else {
+        core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                ts: 10,
+                core: 0,
+                kind: EventKind::FaultStart,
+                a: 99,
+                b: 0,
+            },
+            Event {
+                ts: 15,
+                core: 0,
+                kind: EventKind::DmaComplete,
+                a: 4,
+                b: 0,
+            },
+            Event {
+                ts: 30,
+                core: 0,
+                kind: EventKind::FaultEnd,
+                a: 0,
+                b: 20,
+            },
+            Event {
+                ts: 40,
+                core: MAINTENANCE_CORE,
+                kind: EventKind::PolicyScan,
+                a: 8,
+                b: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_parsable_object_per_line() {
+        let text = to_jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let v: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(v.get("ts").and_then(|t| t.as_u64()), Some(10));
+        assert_eq!(
+            v.get("kind"),
+            Some(&serde_json::Value::Str("fault_start".into()))
+        );
+    }
+
+    #[test]
+    fn chrome_trace_pairs_fault_spans() {
+        let text = to_chrome_trace(&sample());
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let serde_json::Value::Array(evs) = v.get("traceEvents").unwrap() else {
+            panic!("traceEvents is not an array");
+        };
+        let fault = evs
+            .iter()
+            .find(|e| e.get("ph") == Some(&serde_json::Value::Str("X".into())))
+            .expect("one complete event");
+        assert_eq!(fault.get("ts").and_then(|t| t.as_u64()), Some(10));
+        assert_eq!(fault.get("dur").and_then(|d| d.as_u64()), Some(20));
+        // The maintenance scan shows up as an instant on the named tid.
+        assert!(text.contains("scan-timer"));
+        assert!(text.contains("\"policy_scan\""));
+    }
+
+    #[test]
+    fn unmatched_fault_end_reconstructs_its_start() {
+        let events = [Event {
+            ts: 100,
+            core: 1,
+            kind: EventKind::FaultEnd,
+            a: 0,
+            b: 25,
+        }];
+        let text = to_chrome_trace(&events);
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let serde_json::Value::Array(evs) = v.get("traceEvents").unwrap() else {
+            panic!("traceEvents is not an array");
+        };
+        let fault = evs.iter().find(|e| e.get("dur").is_some()).unwrap();
+        assert_eq!(fault.get("ts").and_then(|t| t.as_u64()), Some(75));
+    }
+}

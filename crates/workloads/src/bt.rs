@@ -32,12 +32,26 @@ pub struct BtConfig {
 impl BtConfig {
     /// Scaled stand-in for NPB class B.
     pub fn class_b() -> BtConfig {
-        BtConfig { grid: Grid3 { nx: 64, ny: 64, nz: 64 }, iterations: 3 }
+        BtConfig {
+            grid: Grid3 {
+                nx: 64,
+                ny: 64,
+                nz: 64,
+            },
+            iterations: 3,
+        }
     }
 
     /// Scaled stand-in for NPB class C.
     pub fn class_c() -> BtConfig {
-        BtConfig { grid: Grid3 { nx: 96, ny: 96, nz: 96 }, iterations: 2 }
+        BtConfig {
+            grid: Grid3 {
+                nx: 96,
+                ny: 96,
+                nz: 96,
+            },
+            iterations: 2,
+        }
     }
 }
 
@@ -60,8 +74,20 @@ pub fn bt_trace(cores: usize, cfg: &BtConfig) -> Trace {
         let (klo, khi) = Grid3::partition(g.nz, cores, c);
         if klo < khi {
             let core = log.core(c);
-            core.range(&u, row(0, klo), row(g.ny - 1, khi - 1) + g.nx as u64, true, 1);
-            core.range(&rhs, row(0, klo), row(g.ny - 1, khi - 1) + g.nx as u64, true, 1);
+            core.range(
+                &u,
+                row(0, klo),
+                row(g.ny - 1, khi - 1) + g.nx as u64,
+                true,
+                1,
+            );
+            core.range(
+                &rhs,
+                row(0, klo),
+                row(g.ny - 1, khi - 1) + g.nx as u64,
+                true,
+                1,
+            );
         }
     }
     log.barrier_all();
@@ -122,8 +148,20 @@ pub fn bt_trace(cores: usize, cfg: &BtConfig) -> Trace {
             let (klo, khi) = Grid3::partition(g.nz, cores, c);
             if klo < khi {
                 let core = log.core(c);
-                core.range(&u, row(0, klo), row(g.ny - 1, khi - 1) + g.nx as u64, true, 35);
-                core.range(&rhs, row(0, klo), row(g.ny - 1, khi - 1) + g.nx as u64, false, 18);
+                core.range(
+                    &u,
+                    row(0, klo),
+                    row(g.ny - 1, khi - 1) + g.nx as u64,
+                    true,
+                    35,
+                );
+                core.range(
+                    &rhs,
+                    row(0, klo),
+                    row(g.ny - 1, khi - 1) + g.nx as u64,
+                    false,
+                    18,
+                );
             }
         }
         log.barrier_all();
@@ -138,7 +176,14 @@ mod tests {
     use super::*;
 
     fn small() -> BtConfig {
-        BtConfig { grid: Grid3 { nx: 32, ny: 32, nz: 16 }, iterations: 2 }
+        BtConfig {
+            grid: Grid3 {
+                nx: 32,
+                ny: 32,
+                nz: 16,
+            },
+            iterations: 2,
+        }
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub struct EpConfig {
 impl EpConfig {
     /// A scaled class-B stand-in.
     pub fn class_b() -> EpConfig {
-        EpConfig { m: 18, seed: 271_828_183 }
+        EpConfig {
+            m: 18,
+            seed: 271_828_183,
+        }
     }
 }
 
@@ -74,8 +77,9 @@ pub fn ep_gaussian_counts(pairs: u64, seed: u64) -> (u64, [u64; 10]) {
 pub fn ep_trace(cores: usize, cfg: &EpConfig) -> Trace {
     let mut space = AddressSpace::new();
     // Per-core state: deviate buffer (a few pages) + tallies.
-    let buffers: Vec<_> =
-        (0..cores).map(|c| space.alloc(&format!("ep_buf{c}"), 2048, 8)).collect();
+    let buffers: Vec<_> = (0..cores)
+        .map(|c| space.alloc(&format!("ep_buf{c}"), 2048, 8))
+        .collect();
     let tallies = space.alloc("ep_tallies", (cores * 16) as u64, 8);
 
     let mut log = TraceLogger::new(cores, "ep");
@@ -87,14 +91,21 @@ pub fn ep_trace(cores: usize, cfg: &EpConfig) -> Trace {
     for c in 0..cores {
         let core = log.core(c);
         for _ in 0..batches {
-            core.range(&buffers[c], 0, 2048, true, (work_per_batch / 2048).max(1) as u32);
+            core.range(
+                &buffers[c],
+                0,
+                2048,
+                true,
+                (work_per_batch / 2048).max(1) as u32,
+            );
         }
         // Tally write (own slice) + reduction read of everyone's.
         core.range(&tallies, (c * 16) as u64, (c * 16 + 16) as u64, true, 4);
     }
     log.barrier_all();
     for c in 0..cores {
-        log.core(c).range(&tallies, 0, (cores * 16) as u64, false, 1);
+        log.core(c)
+            .range(&tallies, 0, (cores * 16) as u64, false, 1);
     }
     log.barrier_all();
     let mut trace = log.finish();
@@ -124,7 +135,11 @@ mod tests {
         assert_eq!(tallies.iter().sum::<u64>(), accepted);
         // max(|x|,|y|) of a standard Gaussian pair: P(<1) ≈ 0.466,
         // P(<2) ≈ 0.911.
-        assert!(tallies[0] > accepted * 2 / 5, "bin0 {} of {accepted}", tallies[0]);
+        assert!(
+            tallies[0] > accepted * 2 / 5,
+            "bin0 {} of {accepted}",
+            tallies[0]
+        );
         assert!(
             tallies[0] + tallies[1] > accepted * 85 / 100,
             "bins 0-1 cover ~91%: {} of {accepted}",
@@ -135,7 +150,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(ep_gaussian_counts(10_000, 3), ep_gaussian_counts(10_000, 3));
-        assert_ne!(ep_gaussian_counts(10_000, 3).1, ep_gaussian_counts(10_000, 4).1);
+        assert_ne!(
+            ep_gaussian_counts(10_000, 3).1,
+            ep_gaussian_counts(10_000, 4).1
+        );
     }
 
     #[test]
@@ -144,7 +162,11 @@ mod tests {
         assert!(t.validate().is_ok());
         // A few pages per core: hierarchical memory management has
         // nothing to do here — the paper's reason for excluding EP.
-        assert!(t.footprint_pages() < 8 * 8, "footprint {} pages", t.footprint_pages());
+        assert!(
+            t.footprint_pages() < 8 * 8,
+            "footprint {} pages",
+            t.footprint_pages()
+        );
         assert!(t.total_touches() > 1000, "but plenty of compute batches");
     }
 }

@@ -37,7 +37,10 @@ impl FtConfig {
 pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
     let n = re.len();
     assert_eq!(n, im.len());
-    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power-of-two length"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -84,7 +87,11 @@ pub fn fft_inplace(re: &mut [f64], im: &mut [f64], inverse: bool) {
 /// the array in transposed order across *all* slabs — the all-to-all
 /// that makes FT infeasible out-of-core.
 pub fn ft_trace(cores: usize, cfg: &FtConfig) -> Trace {
-    let g = Grid3 { nx: cfg.n, ny: cfg.n, nz: cfg.n };
+    let g = Grid3 {
+        nx: cfg.n,
+        ny: cfg.n,
+        nz: cfg.n,
+    };
     let cells = g.cells() as u64;
     let mut space = AddressSpace::new();
     // Complex field (re+im interleaved, 16 B/cell) and a scratch array
@@ -99,7 +106,13 @@ pub fn ft_trace(cores: usize, cfg: &FtConfig) -> Trace {
     for c in 0..cores {
         let (klo, khi) = Grid3::partition(g.nz, cores, c);
         if klo < khi {
-            log.core(c).range(&u, row(0, klo), row(g.ny - 1, khi - 1) + g.nx as u64, true, 4);
+            log.core(c).range(
+                &u,
+                row(0, klo),
+                row(g.ny - 1, khi - 1) + g.nx as u64,
+                true,
+                4,
+            );
         }
     }
     log.barrier_all();
@@ -146,7 +159,8 @@ pub fn ft_trace(cores: usize, cfg: &FtConfig) -> Trace {
         for c in 0..cores {
             let (klo, khi) = Grid3::partition(g.nz, cores, c);
             if klo < khi {
-                log.core(c).range(&u, row(0, klo), row(0, klo) + g.nx as u64, false, 2);
+                log.core(c)
+                    .range(&u, row(0, klo), row(0, klo) + g.nx as u64, false, 2);
             }
         }
         log.barrier_all();
@@ -163,8 +177,12 @@ mod tests {
     #[test]
     fn fft_inverse_round_trips() {
         let n = 256;
-        let orig_re: Vec<f64> = (0..n).map(|i| ((i * 37) % 23) as f64 / 23.0 - 0.4).collect();
-        let orig_im: Vec<f64> = (0..n).map(|i| ((i * 11) % 19) as f64 / 19.0 - 0.6).collect();
+        let orig_re: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 23) as f64 / 23.0 - 0.4)
+            .collect();
+        let orig_im: Vec<f64> = (0..n)
+            .map(|i| ((i * 11) % 19) as f64 / 19.0 - 0.6)
+            .collect();
         let mut re = orig_re.clone();
         let mut im = orig_im.clone();
         fft_inplace(&mut re, &mut im, false);
@@ -179,8 +197,9 @@ mod tests {
     fn fft_of_pure_tone_is_a_spike() {
         let n = 128usize;
         let freq = 5;
-        let mut re: Vec<f64> =
-            (0..n).map(|i| (2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64).cos()).collect();
+        let mut re: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64).cos())
+            .collect();
         let mut im = vec![0.0; n];
         fft_inplace(&mut re, &mut im, false);
         // Energy concentrates in bins ±freq with magnitude n/2.
@@ -218,7 +237,10 @@ mod tests {
         assert!(got >= expect && got <= expect + 8, "{got} vs ~{expect}");
         // Whole-array passes with transposes: touches/page stays small.
         let reuse = t.total_touches() as f64 / t.footprint_pages() as f64;
-        assert!(reuse < 24.0, "FT streams the arrays: {reuse:.1} touches/page");
+        assert!(
+            reuse < 24.0,
+            "FT streams the arrays: {reuse:.1} touches/page"
+        );
     }
 
     #[test]
@@ -229,6 +251,9 @@ mod tests {
         let hist = crate::synthetic::sharing_histogram(&t);
         let multi: usize = hist[1..].iter().sum();
         let total: usize = hist.iter().sum();
-        assert!(multi * 2 > total, "most FT pages are multi-core: {multi}/{total}");
+        assert!(
+            multi * 2 > total,
+            "most FT pages are multi-core: {multi}/{total}"
+        );
     }
 }

@@ -148,7 +148,11 @@ mod tests {
 
     #[test]
     fn idx_is_x_fastest() {
-        let g = Grid3 { nx: 4, ny: 3, nz: 2 };
+        let g = Grid3 {
+            nx: 4,
+            ny: 3,
+            nz: 2,
+        };
         assert_eq!(g.idx(0, 0, 0), 0);
         assert_eq!(g.idx(1, 0, 0), 1);
         assert_eq!(g.idx(0, 1, 0), 4);
@@ -173,10 +177,15 @@ mod tests {
 
     #[test]
     fn ssor_reduces_residual() {
-        let g = Grid3 { nx: 14, ny: 12, nz: 10 };
+        let g = Grid3 {
+            nx: 14,
+            ny: 12,
+            nz: 10,
+        };
         let mut u = vec![0.0; g.cells()];
-        let rhs: Vec<f64> =
-            (0..g.cells()).map(|c| ((c * 29) % 13) as f64 / 13.0 - 0.5).collect();
+        let rhs: Vec<f64> = (0..g.cells())
+            .map(|c| ((c * 29) % 13) as f64 / 13.0 - 0.5)
+            .collect();
         let r1 = ssor_sweep(g, &mut u, &rhs, 1.2);
         let mut r_last = r1;
         for _ in 0..10 {
@@ -194,7 +203,9 @@ mod tests {
         let n = 64;
         let a: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -1.0 }).collect();
         let b = vec![4.0; n];
-        let c: Vec<f64> = (0..n).map(|i| if i == n - 1 { 0.0 } else { -1.0 }).collect();
+        let c: Vec<f64> = (0..n)
+            .map(|i| if i == n - 1 { 0.0 } else { -1.0 })
+            .collect();
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
         // d = A·x_true
         let mut d = vec![0.0; n];

@@ -32,7 +32,12 @@ pub struct IsConfig {
 impl IsConfig {
     /// A scaled class-B stand-in.
     pub fn class_b() -> IsConfig {
-        IsConfig { total_keys_log2: 20, max_key_log2: 16, iterations: 3, seed: 314_159 }
+        IsConfig {
+            total_keys_log2: 20,
+            max_key_log2: 16,
+            iterations: 3,
+            seed: 314_159,
+        }
     }
 }
 
@@ -181,14 +186,25 @@ mod tests {
         let max_key = 1u32 << 12;
         let keys = generate_keys(20_000, max_key, 3);
         let hi_tail = keys.iter().filter(|&&k| k > max_key * 7 / 8).count();
-        let lo_mid = keys.iter().filter(|&&k| k > max_key / 8 && k < max_key * 6 / 8).count();
+        let lo_mid = keys
+            .iter()
+            .filter(|&&k| k > max_key / 8 && k < max_key * 6 / 8)
+            .count();
         assert!(hi_tail < keys.len() / 50, "heavy high tail: {hi_tail}");
         assert!(lo_mid > keys.len() / 2, "mass must sit mid-range: {lo_mid}");
     }
 
     #[test]
     fn trace_shares_the_histogram_widely() {
-        let t = is_trace(8, &IsConfig { total_keys_log2: 14, max_key_log2: 12, iterations: 1, seed: 1 });
+        let t = is_trace(
+            8,
+            &IsConfig {
+                total_keys_log2: 14,
+                max_key_log2: 12,
+                iterations: 1,
+                seed: 1,
+            },
+        );
         assert!(t.validate().is_ok());
         let hist = crate::synthetic::sharing_histogram(&t);
         // The histogram pages are scattered into by every core.

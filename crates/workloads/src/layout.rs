@@ -62,7 +62,10 @@ impl AddressSpace {
     /// An empty layout starting at the computation-area base (1 GB, clear
     /// of the kernel/regular mappings which PSPT leaves shared).
     pub fn new() -> AddressSpace {
-        AddressSpace { next_page: (1u64 << 30) >> 12, regions: Vec::new() }
+        AddressSpace {
+            next_page: (1u64 << 30) >> 12,
+            regions: Vec::new(),
+        }
     }
 
     /// Reserves a region for `len` elements of `elem_bytes` each.
@@ -74,7 +77,12 @@ impl AddressSpace {
         let bytes = len * elem_bytes;
         let pages = bytes.div_ceil(4096);
         self.next_page = base + pages;
-        let region = Region { base: VirtPage(base), pages, elem_bytes, len };
+        let region = Region {
+            base: VirtPage(base),
+            pages,
+            elem_bytes,
+            len,
+        };
         self.regions.push((name.to_string(), region));
         region
     }
@@ -139,6 +147,10 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "out of bounds")]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_assert! is compiled out in release builds"
+    )]
     fn page_of_bounds_checked_in_debug() {
         let mut a = AddressSpace::new();
         let r = a.alloc("v", 10, 8);

@@ -65,7 +65,12 @@ impl CoreLogger {
             Some(_) => self.flush(),
             None => {}
         }
-        self.pending = Some(Pending { start: page, pages: 1, write, work_total: work as u64 });
+        self.pending = Some(Pending {
+            start: page,
+            pages: 1,
+            write,
+            work_total: work as u64,
+        });
     }
 
     /// Logs an access to element `idx` of `region`.
@@ -83,7 +88,12 @@ impl CoreLogger {
         let elems = hi - lo;
         let work_per_page = ((elems * work_per_elem as u64) / pages).max(1) as u32;
         self.flush();
-        self.ops.push(Op::Stream { start, pages: pages as u32, write, work_per_page });
+        self.ops.push(Op::Stream {
+            start,
+            pages: pages as u32,
+            write,
+            work_per_page,
+        });
     }
 
     /// Logs pure compute time.
@@ -95,7 +105,11 @@ impl CoreLogger {
     /// Logs a host-offloaded system call (e.g. SCALE's history writes).
     pub fn syscall(&mut self, service: u64, payload: u64, write: bool) {
         self.flush();
-        self.ops.push(Op::Syscall { service, payload, write });
+        self.ops.push(Op::Syscall {
+            service,
+            payload,
+            write,
+        });
     }
 
     /// Logs a barrier.
@@ -121,7 +135,10 @@ pub struct TraceLogger {
 impl TraceLogger {
     /// A logger for `n` cores.
     pub fn new(n: usize, label: impl Into<String>) -> TraceLogger {
-        TraceLogger { cores: (0..n).map(|_| CoreLogger::default()).collect(), label: label.into() }
+        TraceLogger {
+            cores: (0..n).map(|_| CoreLogger::default()).collect(),
+            label: label.into(),
+        }
     }
 
     /// The logger for one core.
@@ -166,7 +183,12 @@ mod tests {
         assert_eq!(t.ops.len(), 1);
         assert_eq!(
             t.ops[0],
-            Op::Stream { start: VirtPage(5), pages: 1, write: false, work_per_page: 20 }
+            Op::Stream {
+                start: VirtPage(5),
+                pages: 1,
+                write: false,
+                work_per_page: 20
+            }
         );
     }
 
@@ -180,7 +202,12 @@ mod tests {
         assert_eq!(t.ops.len(), 1);
         assert_eq!(
             t.ops[0],
-            Op::Stream { start: VirtPage(10), pages: 10, write: true, work_per_page: 3 }
+            Op::Stream {
+                start: VirtPage(10),
+                pages: 10,
+                write: true,
+                work_per_page: 3
+            }
         );
     }
 
@@ -213,7 +240,12 @@ mod tests {
         let t = l.finish();
         assert_eq!(t.ops.len(), 1);
         match t.ops[0] {
-            Op::Stream { pages, write, work_per_page, .. } => {
+            Op::Stream {
+                pages,
+                write,
+                work_per_page,
+                ..
+            } => {
                 assert_eq!(pages, 8);
                 assert!(!write);
                 // 4096 elems × 2 work / 8 pages = 1024 per page.

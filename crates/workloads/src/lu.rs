@@ -29,12 +29,26 @@ pub struct LuConfig {
 impl LuConfig {
     /// Scaled stand-in for NPB class B.
     pub fn class_b() -> LuConfig {
-        LuConfig { grid: Grid3 { nx: 64, ny: 64, nz: 64 }, sweeps: 3 }
+        LuConfig {
+            grid: Grid3 {
+                nx: 64,
+                ny: 64,
+                nz: 64,
+            },
+            sweeps: 3,
+        }
     }
 
     /// Scaled stand-in for NPB class C.
     pub fn class_c() -> LuConfig {
-        LuConfig { grid: Grid3 { nx: 96, ny: 96, nz: 96 }, sweeps: 2 }
+        LuConfig {
+            grid: Grid3 {
+                nx: 96,
+                ny: 96,
+                nz: 96,
+            },
+            sweeps: 2,
+        }
     }
 }
 
@@ -50,8 +64,9 @@ pub fn lu_trace(cores: usize, cfg: &LuConfig) -> Trace {
     let rhs = space.alloc("rhs", cells, 40);
 
     let mut log = TraceLogger::new(cores, "lu");
-    let slabs: Vec<(usize, usize)> =
-        (0..cores).map(|c| Grid3::partition(g.ny, cores, c)).collect();
+    let slabs: Vec<(usize, usize)> = (0..cores)
+        .map(|c| Grid3::partition(g.ny, cores, c))
+        .collect();
 
     // Row (j, k) occupies elements [row_base, row_base + nx).
     let row = |j: usize, k: usize| (g.idx(0, j, k)) as u64;
@@ -87,8 +102,11 @@ pub fn lu_trace(cores: usize, cfg: &LuConfig) -> Trace {
                         continue;
                     }
                     let core = log.core(c);
-                    let js: Vec<usize> =
-                        if backward { (jlo..jhi).rev().collect() } else { (jlo..jhi).collect() };
+                    let js: Vec<usize> = if backward {
+                        (jlo..jhi).rev().collect()
+                    } else {
+                        (jlo..jhi).collect()
+                    };
                     for j in js {
                         // Current row: read-modify-write of u, read rhs.
                         // NPB LU relaxes 5×5 blocks (~200 flops/cell on
@@ -129,7 +147,14 @@ mod tests {
     use super::*;
 
     fn small() -> LuConfig {
-        LuConfig { grid: Grid3 { nx: 32, ny: 32, nz: 16 }, sweeps: 2 }
+        LuConfig {
+            grid: Grid3 {
+                nx: 32,
+                ny: 32,
+                nz: 16,
+            },
+            sweeps: 2,
+        }
     }
 
     #[test]
@@ -147,7 +172,11 @@ mod tests {
         // Adjacent cores overlap...
         for c in 0..3 {
             let shared = sets[c].intersection(&sets[c + 1]).count();
-            assert!(shared > 0, "cores {c} and {} must share boundary pages", c + 1);
+            assert!(
+                shared > 0,
+                "cores {c} and {} must share boundary pages",
+                c + 1
+            );
         }
         // ...but most pages stay within a small sharer count.
         let mut sharers = std::collections::HashMap::new();

@@ -43,7 +43,11 @@ impl MgConfig {
 /// −1), which would defeat the multigrid coarse-grid correction.
 fn jacobi_sweep(n: usize, u: &[f64], rhs: &[f64]) -> Vec<f64> {
     const OMEGA: f64 = 6.0 / 7.0;
-    let g = Grid3 { nx: n, ny: n, nz: n };
+    let g = Grid3 {
+        nx: n,
+        ny: n,
+        nz: n,
+    };
     let mut out = vec![0.0; u.len()];
     for k in 0..n {
         for j in 0..n {
@@ -65,7 +69,11 @@ fn jacobi_sweep(n: usize, u: &[f64], rhs: &[f64]) -> Vec<f64> {
 
 /// Residual 2-norm of `∇²u − rhs` (7-point, periodic).
 pub fn residual_norm(n: usize, u: &[f64], rhs: &[f64]) -> f64 {
-    let g = Grid3 { nx: n, ny: n, nz: n };
+    let g = Grid3 {
+        nx: n,
+        ny: n,
+        nz: n,
+    };
     let mut norm = 0.0;
     for k in 0..n {
         for j in 0..n {
@@ -89,8 +97,16 @@ pub fn residual_norm(n: usize, u: &[f64], rhs: &[f64]) -> f64 {
 /// Full-weighting restriction to the next-coarser (n/2)³ grid.
 fn restrict(n: usize, fine: &[f64]) -> Vec<f64> {
     let half = n / 2;
-    let gf = Grid3 { nx: n, ny: n, nz: n };
-    let gc = Grid3 { nx: half, ny: half, nz: half };
+    let gf = Grid3 {
+        nx: n,
+        ny: n,
+        nz: n,
+    };
+    let gc = Grid3 {
+        nx: half,
+        ny: half,
+        nz: half,
+    };
     let mut coarse = vec![0.0; half * half * half];
     for k in 0..half {
         for j in 0..half {
@@ -117,13 +133,25 @@ fn restrict(n: usize, fine: &[f64]) -> Vec<f64> {
 /// V-cycle, trilinear is.)
 fn prolong_add(n: usize, coarse: &[f64], u: &mut [f64]) {
     let half = n / 2;
-    let gf = Grid3 { nx: n, ny: n, nz: n };
-    let gc = Grid3 { nx: half, ny: half, nz: half };
+    let gf = Grid3 {
+        nx: n,
+        ny: n,
+        nz: n,
+    };
+    let gc = Grid3 {
+        nx: half,
+        ny: half,
+        nz: half,
+    };
     // Fine cell 2i sits 1/4 before coarse centre i, fine cell 2i+1 sits
     // 1/4 past it: weights (3/4, 1/4) toward the neighbour on that side.
     let pair = |x: usize| -> [(usize, f64); 2] {
         let c = x / 2;
-        let nb = if x.is_multiple_of(2) { (c + half - 1) % half } else { (c + 1) % half };
+        let nb = if x.is_multiple_of(2) {
+            (c + half - 1) % half
+        } else {
+            (c + 1) % half
+        };
         [(c, 0.75), (nb, 0.25)]
     };
     for k in 0..n {
@@ -156,7 +184,11 @@ pub fn v_cycle(n: usize, u: &mut Vec<f64>, rhs: &[f64]) {
         return;
     }
     // Residual, restrict, recurse, prolong, post-smooth.
-    let g = Grid3 { nx: n, ny: n, nz: n };
+    let g = Grid3 {
+        nx: n,
+        ny: n,
+        nz: n,
+    };
     let mut resid = vec![0.0; u.len()];
     for k in 0..n {
         for j in 0..n {
@@ -201,7 +233,9 @@ pub fn mg_trace(cores: usize, cfg: &MgConfig) -> Trace {
     }
 
     let mut log = TraceLogger::new(cores, "mg");
-    let sweep = |log: &mut TraceLogger, level: &(usize, crate::layout::Region, crate::layout::Region), writes_u: bool| {
+    let sweep = |log: &mut TraceLogger,
+                 level: &(usize, crate::layout::Region, crate::layout::Region),
+                 writes_u: bool| {
         let (n, u, r) = level;
         for c in 0..cores {
             let (klo, khi) = Grid3::partition(*n, cores, c);
@@ -260,7 +294,11 @@ mod tests {
         // plain relaxation stalls (error modes with eigenvalues near 1)
         // and the coarse-grid correction is what converges. Zero-mean by
         // construction, so the periodic problem is solvable.
-        let g = Grid3 { nx: n, ny: n, nz: n };
+        let g = Grid3 {
+            nx: n,
+            ny: n,
+            nz: n,
+        };
         let mut rhs = vec![0.0; n * n * n];
         let w = 2.0 * std::f64::consts::PI / n as f64;
         for k in 0..n {

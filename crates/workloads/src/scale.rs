@@ -33,12 +33,22 @@ pub struct ScaleConfig {
 impl ScaleConfig {
     /// The paper's "SCALE (sml)" 512 MB setup, scaled down.
     pub fn small() -> ScaleConfig {
-        ScaleConfig { nx: 1024, ny: 512, fields: 6, steps: 6 }
+        ScaleConfig {
+            nx: 1024,
+            ny: 512,
+            fields: 6,
+            steps: 6,
+        }
     }
 
     /// The paper's "SCALE (big)" 1.2 GB setup, scaled down.
     pub fn big() -> ScaleConfig {
-        ScaleConfig { nx: 1536, ny: 1024, fields: 8, steps: 4 }
+        ScaleConfig {
+            nx: 1536,
+            ny: 1024,
+            fields: 8,
+            steps: 4,
+        }
     }
 }
 
@@ -62,8 +72,9 @@ pub fn scale_trace(cores: usize, cfg: &ScaleConfig) -> Trace {
     }
 
     let mut log = TraceLogger::new(cores, "scale");
-    let slabs: Vec<(usize, usize)> =
-        (0..cores).map(|c| Grid3::partition(cfg.ny, cores, c)).collect();
+    let slabs: Vec<(usize, usize)> = (0..cores)
+        .map(|c| Grid3::partition(cfg.ny, cores, c))
+        .collect();
     let row = |j: usize| (j * cfg.nx) as u64;
     let nx = cfg.nx as u64;
 
@@ -145,7 +156,12 @@ mod tests {
     use super::*;
 
     fn small() -> ScaleConfig {
-        ScaleConfig { nx: 256, ny: 64, fields: 3, steps: 4 }
+        ScaleConfig {
+            nx: 256,
+            ny: 64,
+            fields: 3,
+            steps: 4,
+        }
     }
 
     #[test]
@@ -181,7 +197,13 @@ mod tests {
     #[test]
     fn footprint_scales_with_fields() {
         let t3 = scale_trace(2, &small());
-        let t6 = scale_trace(2, &ScaleConfig { fields: 6, ..small() });
+        let t6 = scale_trace(
+            2,
+            &ScaleConfig {
+                fields: 6,
+                ..small()
+            },
+        );
         assert!(t6.footprint_pages() > t3.footprint_pages() * 3 / 2);
     }
 

@@ -77,7 +77,12 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len() as u64);
         }
-        CsrMatrix { row_ptr, col_idx, vals, n }
+        CsrMatrix {
+            row_ptr,
+            col_idx,
+            vals,
+            n,
+        }
     }
 
     /// Number of stored entries.
@@ -225,7 +230,12 @@ mod tests {
         // And the returned x really solves the system.
         let mut ax = vec![0.0; 500];
         a.spmv(&res.x, &mut ax);
-        let err: f64 = ax.iter().zip(&b).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+        let err: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-5, "residual check failed: {err}");
     }
 

@@ -113,8 +113,14 @@ mod tests {
     #[test]
     fn c_class_is_larger_than_b() {
         for (b, c) in [
-            (Workload::Cg(WorkloadClass::B), Workload::Cg(WorkloadClass::C)),
-            (Workload::Lu(WorkloadClass::B), Workload::Lu(WorkloadClass::C)),
+            (
+                Workload::Cg(WorkloadClass::B),
+                Workload::Cg(WorkloadClass::C),
+            ),
+            (
+                Workload::Lu(WorkloadClass::B),
+                Workload::Lu(WorkloadClass::C),
+            ),
         ] {
             let tb = b.trace(2);
             let tc = c.trace(2);
@@ -133,8 +139,10 @@ mod tests {
 
     #[test]
     fn all_returns_paper_order() {
-        let labels: Vec<&str> =
-            Workload::all(WorkloadClass::B).iter().map(|w| w.label()).collect();
+        let labels: Vec<&str> = Workload::all(WorkloadClass::B)
+            .iter()
+            .map(|w| w.label())
+            .collect();
         assert_eq!(labels, vec!["bt.B", "lu.B", "cg.B", "SCALE (sml)"]);
     }
 }

@@ -30,12 +30,7 @@ pub fn private_stream(cores: usize, pages_per_core: u32, rounds: usize) -> Trace
 }
 
 /// A hot region read by every core each round plus private cold streams.
-pub fn shared_hot(
-    cores: usize,
-    shared_pages: u32,
-    private_pages: u32,
-    rounds: usize,
-) -> Trace {
+pub fn shared_hot(cores: usize, shared_pages: u32, private_pages: u32, rounds: usize) -> Trace {
     let mut log = TraceLogger::new(cores, "synthetic-shared-hot");
     let shared_base = VirtPage(0x10_0000);
     for round in 0..rounds {
@@ -46,7 +41,8 @@ pub fn shared_hot(
                 core.touch_page(shared_base.add(k), false, 4);
             }
             // Private cold stream, different pages every round.
-            let base = VirtPage(0x20_0000 + ((c as u64) << 20) + round as u64 * private_pages as u64);
+            let base =
+                VirtPage(0x20_0000 + ((c as u64) << 20) + round as u64 * private_pages as u64);
             for k in 0..private_pages as u64 {
                 core.touch_page(base.add(k), true, 4);
             }
@@ -86,7 +82,12 @@ pub fn adversarial_cmcp(
 }
 
 /// A uniform random page stream (seeded), for policy stress tests.
-pub fn random_uniform(cores: usize, distinct_pages: u64, touches_per_core: u64, seed: u64) -> Trace {
+pub fn random_uniform(
+    cores: usize,
+    distinct_pages: u64,
+    touches_per_core: u64,
+    seed: u64,
+) -> Trace {
     let mut log = TraceLogger::new(cores, "synthetic-random");
     let mut state = seed.max(1);
     let mut next = move || {
@@ -130,7 +131,10 @@ pub fn sharing_histogram(t: &Trace) -> Vec<usize> {
 /// A trace with explicit per-core op lists (testing aid).
 pub fn from_ops(ops_per_core: Vec<Vec<Op>>, label: &str) -> Trace {
     Trace {
-        cores: ops_per_core.into_iter().map(|ops| cmcp_sim::CoreTrace { ops }).collect(),
+        cores: ops_per_core
+            .into_iter()
+            .map(|ops| cmcp_sim::CoreTrace { ops })
+            .collect(),
         label: label.to_string(),
         declared_pages: 0,
     }

@@ -11,9 +11,17 @@ use cmcp::workloads::synthetic;
 use cmcp::{PolicyKind, SimulationBuilder, Trace};
 
 fn compare(name: &str, trace: &Trace, ratio: f64) {
-    println!("{name} ({} cores, {:.0}% memory):", trace.cores.len(), ratio * 100.0);
+    println!(
+        "{name} ({} cores, {:.0}% memory):",
+        trace.cores.len(),
+        ratio * 100.0
+    );
     let mut fifo_cycles = 0;
-    for policy in [PolicyKind::Fifo, PolicyKind::Cmcp { p: 0.75 }, PolicyKind::Lru] {
+    for policy in [
+        PolicyKind::Fifo,
+        PolicyKind::Cmcp { p: 0.75 },
+        PolicyKind::Lru,
+    ] {
         let report = SimulationBuilder::trace(trace.clone())
             .policy(policy)
             .memory_ratio(ratio)

@@ -12,7 +12,10 @@ fn main() {
     let cores = 24;
     let trace = workload.trace(cores);
     println!("{workload} on {cores} cores, PSPT + FIFO\n");
-    println!("{:>8} {:>12} {:>12} {:>12}   winner", "memory", "4kB (ms)", "64kB (ms)", "2MB (ms)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}   winner",
+        "memory", "4kB (ms)", "64kB (ms)", "2MB (ms)"
+    );
 
     for ratio in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5] {
         let mut times = Vec::new();

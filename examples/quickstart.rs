@@ -13,7 +13,10 @@ fn main() {
     // The paper's CG constraint: 37 % of the declared memory requirement.
     let memory = 0.37;
 
-    println!("workload: {workload}, {cores} cores, {:.0}% memory\n", memory * 100.0);
+    println!(
+        "workload: {workload}, {cores} cores, {:.0}% memory\n",
+        memory * 100.0
+    );
 
     // Baseline: enough device RAM that no data movement ever happens.
     let baseline = SimulationBuilder::workload(workload).cores(cores).run();

@@ -18,7 +18,9 @@ fn main() {
         // Unconstrained run: the whole footprint stays mapped, so the
         // histogram covers every page the application touches.
         let report = SimulationBuilder::workload(workload).cores(cores).run();
-        let hist = report.sharing_histogram.expect("PSPT maintains the histogram");
+        let hist = report
+            .sharing_histogram
+            .expect("PSPT maintains the histogram");
         let total: usize = hist.iter().sum();
         println!("{} — {} pages:", workload.label(), total);
         let mut cumulative = 0.0;

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Benchmarks run a brief warmup then a fixed number of timed samples and
+//! print the per-iteration mean. `cargo bench -- --test` (the CI smoke
+//! mode) runs each benchmark body exactly once, matching real criterion's
+//! behavior. No statistical analysis, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the binary was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run each benchmark once to check it works (`--test`, or executed
+    /// by the test harness rather than `cargo bench`).
+    Test,
+    /// Time the benchmark and report the mean.
+    Bench,
+}
+
+fn mode_from_args() -> Mode {
+    let mut bench = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => return Mode::Test,
+            "--bench" => bench = true,
+            // Filters, --save-baseline, etc. are accepted and ignored.
+            _ => {}
+        }
+    }
+    if bench {
+        Mode::Bench
+    } else {
+        Mode::Test
+    }
+}
+
+/// Benchmark registry and runner; the `c` in `fn bench(c: &mut Criterion)`.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: mode_from_args(),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self.mode, self.sample_size, name, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let name = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion.mode, samples, &name, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from the benchmarked parameter alone.
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new<P: Display>(function: &str, param: P) -> Self {
+        BenchmarkId(format!("{function}/{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Total time and iteration count accumulated by `iter`.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value live via `black_box`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Calibrate: run until ~10ms elapses to pick an iteration count.
+        let start = Instant::now();
+        let mut calib = 0u64;
+        while start.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            calib += 1;
+        }
+        let t = Instant::now();
+        for _ in 0..calib {
+            black_box(routine());
+        }
+        self.elapsed += t.elapsed();
+        self.iters += calib;
+    }
+}
+
+fn run_one(mode: Mode, samples: usize, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mode,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    match mode {
+        Mode::Test => {
+            f(&mut b);
+            println!("test {name} ... ok");
+        }
+        Mode::Bench => {
+            for _ in 0..samples {
+                f(&mut b);
+            }
+            let per_iter = if b.iters == 0 {
+                Duration::ZERO
+            } else {
+                b.elapsed / u32::try_from(b.iters.min(u32::MAX as u64)).unwrap_or(u32::MAX)
+            };
+            println!("{name}: {per_iter:?}/iter ({} iters)", b.iters);
+        }
+    }
+}
+
+/// Collects benchmark functions into a single runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            mode: Mode::Test,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        assert_eq!(BenchmarkId::from_parameter(64).0, "64");
+        assert_eq!(BenchmarkId::new("fill", 8).0, "fill/8");
+    }
+}

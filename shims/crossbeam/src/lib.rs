@@ -1,0 +1,82 @@
+//! Offline stand-in for the `crossbeam` crate (see `shims/README.md`).
+//!
+//! Only `crossbeam::scope` is consumed by this workspace (the parallel
+//! simulation engine). It is implemented on `std::thread::scope`, which
+//! provides the same structured-concurrency guarantee. One semantic
+//! difference: if a worker panics, the panic propagates when the scope
+//! exits instead of surfacing as `Err` — callers here immediately
+//! `.expect()` the result anyway, so the observable behaviour (abort with
+//! the worker's panic message) is equivalent.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Handle for spawning threads inside a [`scope`] call.
+///
+/// Passed *by value* to every spawned closure (crossbeam passes `&Scope`;
+/// every call site in this workspace ignores the argument, so the shim
+/// uses the simpler `Copy` handle).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a [`Scope`] so nested
+    /// spawns work, mirroring crossbeam's signature shape.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(handle))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can be
+/// spawned; joins them all before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_handle() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Collection strategies: `vec`, `btree_set`, `hash_set`.
+
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// `Vec<T>` with a length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// `BTreeSet<T>` targeting a size drawn from `len` (attempt-capped, so
+/// small element domains yield smaller sets instead of looping forever).
+pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, len }
+}
+
+/// `HashSet<T>` targeting a size drawn from `len` (attempt-capped).
+pub fn hash_set<S: Strategy>(element: S, len: Range<usize>) -> HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = draw_len(&self.len, rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = draw_len(&self.len, rng);
+        let mut set = BTreeSet::new();
+        for _ in 0..target * 8 {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// Strategy returned by [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = draw_len(&self.len, rng);
+        let mut set = HashSet::new();
+        for _ in 0..target * 8 {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+fn draw_len(len: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(len.start < len.end, "empty length range");
+    len.start + (rng.next_u64() as usize) % (len.end - len.start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn vec_len_in_range() {
+        let strat = vec(0u64..100, 3..7);
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn sets_are_capped_by_small_domains() {
+        // Only 2 distinct bools exist; target sizes above 2 must not hang.
+        let strat = hash_set(any::<bool>(), 1..10);
+        let mut rng = TestRng::for_case("hs", 0);
+        for _ in 0..50 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 2);
+        }
+        let strat = btree_set(0u16..4, 1..10);
+        for _ in 0..50 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 4);
+        }
+    }
+}

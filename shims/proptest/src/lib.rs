@@ -1,0 +1,459 @@
+//! Offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the strategy/`proptest!` surface this workspace uses with a
+//! deterministic splitmix64 generator seeded from the test name, so runs
+//! are reproducible. No shrinking: a failing case reports its inputs via
+//! the `Debug` formatting embedded in the failure message instead.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// `prop::collection::*` and friends, mirroring the real crate's paths.
+pub mod prop {
+    /// Collection strategies (`vec`, `btree_set`, `hash_set`).
+    pub mod collection {
+        pub use crate::collection::{btree_set, hash_set, vec};
+    }
+}
+
+pub mod collection;
+
+mod rng;
+pub use rng::TestRng;
+
+/// Per-test configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case; carries the rendered assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+///
+/// Unlike the real crate there is no shrinking tree; `generate` yields
+/// the final value directly.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given options (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Macro plumbing: erases a strategy's concrete type while pinning its
+/// `Value` projection, so `prop_oneof!` elements unify by inference.
+#[doc(hidden)]
+pub fn boxed<S: Strategy + 'static>(strat: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strat)
+}
+
+/// Uniform choice among strategies, like the real `prop_oneof!` without
+/// weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::boxed($strat)),+])
+    };
+}
+
+// ---- Range strategies ----
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add(rng.next_u64() as u128 % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo as u128).wrapping_add(rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let unit = rng.next_f64() as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ---- Tuple strategies ----
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4)
+);
+
+// ---- any::<T>() ----
+
+/// Strategy over a type's full value domain; built by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The whole-domain strategy for `T` (`bool`, `usize`, and the fixed-width
+/// integers are supported).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- The proptest! macro and assertions ----
+
+/// Declares property tests. Supports the workspace's usage:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(any::<bool>(), 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                $crate::run_property(
+                    stringify!($name),
+                    &$cfg,
+                    |__rng| {
+                        $(let $arg = $crate::generate_one(&($strat), __rng);)+
+                        // Rendered before the body can move the bindings.
+                        let __inputs = ::std::format!(
+                            ::std::concat!($(::std::stringify!($arg), " = {:?}, "),+),
+                            $(&$arg),+
+                        );
+                        let __case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __case().map_err(|e| (e, __inputs))
+                    },
+                );
+            }
+        )*
+    };
+    // Without a config header.
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])+
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {:?} != {:?}: {}",
+                    l, r, ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Macro plumbing: draws one value from a strategy. A `Sized` generic
+/// (rather than UFCS on the trait) so type inference is never tempted by
+/// an unsizing coercion to `dyn Strategy`.
+#[doc(hidden)]
+pub fn generate_one<S: Strategy>(strat: &S, rng: &mut TestRng) -> S::Value {
+    strat.generate(rng)
+}
+
+/// Macro runtime: runs `case` for `cfg.cases` deterministic seeds and
+/// panics with inputs + message on the first failure.
+pub fn run_property<F>(name: &str, cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,
+{
+    for i in 0..cfg.cases {
+        let mut rng = TestRng::for_case(name, i as u64);
+        if let Err((TestCaseError(msg), inputs)) = case(&mut rng) {
+            panic!("property `{name}` failed on case {i}:\n  inputs: {inputs}\n  {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+            let s = (-8i32..9).generate(&mut rng);
+            assert!((-8..9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), (10u32..20).prop_map(|x| x * 2),];
+        let mut rng = TestRng::for_case("oneof", 0);
+        let mut saw_just = false;
+        let mut saw_mapped = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                1 => saw_just = true,
+                v if (20..40).contains(&v) && v % 2 == 0 => saw_mapped = true,
+                v => panic!("unexpected value {v}"),
+            }
+        }
+        assert!(saw_just && saw_mapped);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_multiple_args(
+            x in 0u64..100,
+            flag in any::<bool>(),
+            v in prop::collection::vec((0u64..8, any::<bool>()), 1..10),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        #[should_panic(expected = "property `always_fails` failed")]
+        fn always_fails(x in 0u64..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+}

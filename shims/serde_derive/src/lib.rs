@@ -1,0 +1,151 @@
+//! Offline stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! Derives the shim-`serde` `Serialize`/`Deserialize` traits for structs
+//! with named fields — the only shape this workspace derives on. Parsing
+//! is done directly over the `proc_macro` token stream (no `syn`/`quote`,
+//! which the offline sandbox cannot fetch); generated code is emitted as
+//! source text and re-parsed, the simplest correct pipeline at this scale.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `[attrs] [vis] struct Name { [attrs] [vis] field: Type, ... }`.
+///
+/// Panics (a compile error at the derive site) on enums, tuple structs,
+/// and generic structs: the workspace never derives on those, and a loud
+/// failure beats silently wrong codegen.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility, find `struct`.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the following [...] group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(_)) => {} // `pub`, `crate`, ...
+            Some(TokenTree::Group(_)) => {} // `pub(crate)`'s parens
+            other => panic!("serde_derive shim: unexpected token before `struct`: {other:?}"),
+        }
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct name, got {other:?}"),
+    };
+
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic structs are not supported (struct {name})")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive shim: tuple/unit structs are not supported (struct {name})")
+            }
+            Some(_) => {}
+            None => panic!("serde_derive shim: struct {name} has no braced field list"),
+        }
+    };
+
+    // Fields: `[attrs] [vis] name : Type ,` — the type is skipped by
+    // consuming tokens until a comma at angle-bracket depth 0 (commas
+    // inside parenthesized/bracketed types are hidden inside groups).
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match toks.next() {
+                None => break None,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = toks.peek() {
+                        toks.next(); // pub(crate)
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                other => panic!("serde_derive shim: unexpected field token {other:?}"),
+            }
+        };
+        let Some(field) = field else { break };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{field}`, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+
+    StructShape { name, fields }
+}
+
+/// `#[derive(Serialize)]` for named-field structs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let entries: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` for named-field structs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let fields: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     v.get(\"{f}\")\
+                      .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?\
+                 )?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}

@@ -4,7 +4,12 @@ use cmcp_arch::{CostModel, PageSize};
 use cmcp_core::PolicyKind;
 use cmcp_kernel::{KernelConfig, SchemeChoice, Vmm};
 use cmcp_sim::{run_deterministic, run_parallel, RunReport, Trace};
+use cmcp_trace::{Event, Recorder, RingTracer};
 use cmcp_workloads::Workload;
+
+/// Default per-core event-ring capacity for traced runs: large enough
+/// that the tier-1 workloads complete without wraparound.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
 
 /// Which engine executes the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +38,18 @@ pub struct SimulationBuilder {
     engine: EngineMode,
     scan_budget: usize,
     pspt_rebuild_period: u64,
+    trace_capacity: usize,
+}
+
+/// A traced run: the usual report (with its validated breakdown) plus
+/// the raw event stream for export.
+pub struct TracedRun {
+    /// The ordinary run report; `report.breakdown` is `Some`.
+    pub report: RunReport,
+    /// Every captured event, sorted by (timestamp, core, kind).
+    pub events: Vec<Event>,
+    /// Events lost to ring wraparound (0 unless the capacity was too small).
+    pub dropped: u64,
 }
 
 enum TraceSource {
@@ -74,6 +91,7 @@ impl SimulationBuilder {
             engine: EngineMode::Deterministic,
             scan_budget: 0,
             pspt_rebuild_period: 0,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -144,8 +162,16 @@ impl SimulationBuilder {
         self
     }
 
-    /// Generates the trace, sizes the memory, runs the simulation.
-    pub fn run(self) -> RunReport {
+    /// Per-core event-ring capacity used by [`SimulationBuilder::run_traced`]
+    /// (default [`DEFAULT_TRACE_CAPACITY`]). Smaller rings drop the oldest
+    /// events on wraparound, which disables breakdown validation.
+    pub fn trace_capacity(mut self, events_per_core: usize) -> Self {
+        assert!(events_per_core > 0, "trace capacity must be positive");
+        self.trace_capacity = events_per_core;
+        self
+    }
+
+    fn materialize(&self) -> (Trace, KernelConfig) {
         let trace = match &self.source {
             TraceSource::Workload(w) => w.trace(self.cores),
             TraceSource::Explicit(t) => t.clone(),
@@ -165,14 +191,40 @@ impl SimulationBuilder {
             device_blocks,
             scheme: self.scheme,
             policy: self.policy,
-            cost: self.cost,
+            cost: self.cost.clone(),
             scan_budget: self.scan_budget,
             pspt_rebuild_period: self.pspt_rebuild_period,
         };
-        let vmm = Vmm::new(cfg);
+        (trace, cfg)
+    }
+
+    fn dispatch<R: Recorder>(&self, vmm: &Vmm<R>, trace: &Trace) -> RunReport {
         match self.engine {
-            EngineMode::Deterministic => run_deterministic(&vmm, &trace),
-            EngineMode::Parallel(threads) => run_parallel(&vmm, &trace, threads),
+            EngineMode::Deterministic => run_deterministic(vmm, trace),
+            EngineMode::Parallel(threads) => run_parallel(vmm, trace, threads),
+        }
+    }
+
+    /// Generates the trace, sizes the memory, runs the simulation.
+    pub fn run(self) -> RunReport {
+        let (trace, cfg) = self.materialize();
+        let vmm = Vmm::new(cfg);
+        self.dispatch(&vmm, &trace)
+    }
+
+    /// Like [`SimulationBuilder::run`], but records the fault-path event
+    /// stream into per-core rings and returns it alongside the report.
+    /// `report.breakdown` is populated and — when no events were dropped —
+    /// validated against the kernel counters.
+    pub fn run_traced(self) -> TracedRun {
+        let (trace, cfg) = self.materialize();
+        let cores = cfg.cores;
+        let vmm = Vmm::with_tracer(cfg, RingTracer::new(cores, self.trace_capacity));
+        let report = self.dispatch(&vmm, &trace);
+        TracedRun {
+            report,
+            events: vmm.tracer().events(),
+            dropped: vmm.tracer().dropped(),
         }
     }
 }
@@ -202,7 +254,10 @@ mod tests {
     fn explicit_blocks_override_ratio() {
         let t = synthetic::private_stream(1, 16, 2);
         let r = SimulationBuilder::trace(t).device_blocks(4).run();
-        assert!(r.global.evictions >= 12, "16-page sweep into 4 blocks thrashes");
+        assert!(
+            r.global.evictions >= 12,
+            "16-page sweep into 4 blocks thrashes"
+        );
     }
 
     #[test]

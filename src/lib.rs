@@ -43,17 +43,19 @@
 
 mod builder;
 
-pub use builder::{EngineMode, SimulationBuilder};
+pub use builder::{EngineMode, SimulationBuilder, TracedRun, DEFAULT_TRACE_CAPACITY};
 
 pub use cmcp_arch as arch;
 pub use cmcp_core as policies;
 pub use cmcp_kernel as kernel;
 pub use cmcp_pagetable as pagetable;
 pub use cmcp_sim as sim;
+pub use cmcp_trace as trace;
 pub use cmcp_workloads as workloads;
 
 pub use cmcp_arch::{CostModel, PageSize};
 pub use cmcp_core::{CmcpConfig, CmcpPolicy, PolicyKind};
 pub use cmcp_kernel::{KernelConfig, SchemeChoice, Vmm};
 pub use cmcp_sim::{RunReport, Trace};
+pub use cmcp_trace::{Breakdown, Event, EventKind, NullTracer, Recorder, RingTracer};
 pub use cmcp_workloads::{Workload, WorkloadClass};

@@ -2,12 +2,20 @@
 //! on everything functional (what faulted, what moved, what is resident)
 //! even though their timing interleavings differ.
 
-use cmcp::{EngineMode, PolicyKind, SchemeChoice, SimulationBuilder, Trace};
 use cmcp::workloads::scale::{scale_trace, ScaleConfig};
 use cmcp::workloads::synthetic;
+use cmcp::{EngineMode, PolicyKind, SchemeChoice, SimulationBuilder, Trace};
 
 fn scale() -> Trace {
-    scale_trace(8, &ScaleConfig { nx: 256, ny: 64, fields: 3, steps: 3 })
+    scale_trace(
+        8,
+        &ScaleConfig {
+            nx: 256,
+            ny: 64,
+            fields: 3,
+            steps: 3,
+        },
+    )
 }
 
 #[test]
@@ -16,7 +24,9 @@ fn unconstrained_runs_agree_exactly() {
     // must produce identical fault counts, byte counts, and histograms.
     let t = scale();
     let det = SimulationBuilder::trace(t.clone()).run();
-    let par = SimulationBuilder::trace(t).engine(EngineMode::Parallel(4)).run();
+    let par = SimulationBuilder::trace(t)
+        .engine(EngineMode::Parallel(4))
+        .run();
     let faults = |r: &cmcp::RunReport| r.per_core.iter().map(|c| c.page_faults).sum::<u64>();
     assert_eq!(faults(&det), faults(&par));
     assert_eq!(det.global.evictions, par.global.evictions);
@@ -47,7 +57,10 @@ fn constrained_runs_agree_statistically() {
         "fault totals must be close: {f_det} vs {f_par}"
     );
     let rt = det.runtime_cycles as f64 / par.runtime_cycles as f64;
-    assert!((0.6..=1.67).contains(&rt), "runtimes must be close: {rt:.2}");
+    assert!(
+        (0.6..=1.67).contains(&rt),
+        "runtimes must be close: {rt:.2}"
+    );
 }
 
 #[test]
@@ -69,7 +82,12 @@ fn parallel_engine_handles_every_policy() {
             .run();
         assert!(r.runtime_cycles > 0, "{}", policy.label());
         let touches: u64 = r.per_core.iter().map(|c| c.dtlb_accesses).sum();
-        assert_eq!(touches, t.total_touches(), "{}: every touch executed", policy.label());
+        assert_eq!(
+            touches,
+            t.total_touches(),
+            "{}: every touch executed",
+            policy.label()
+        );
     }
 }
 
@@ -82,7 +100,10 @@ fn parallel_engine_handles_regular_tables() {
         .engine(EngineMode::Parallel(0)) // auto thread count
         .run();
     assert!(r.global.evictions > 0);
-    assert!(r.sharing_histogram.is_none(), "regular tables have no histogram");
+    assert!(
+        r.sharing_histogram.is_none(),
+        "regular tables have no histogram"
+    );
 }
 
 #[test]

@@ -12,13 +12,20 @@ fn scale_offloads_history_writes() {
     let w = Workload::Scale(WorkloadClass::B);
     let trace = w.trace(4);
     let has_syscalls = trace.cores.iter().any(|c| {
-        c.ops.iter().any(|op| matches!(op, cmcp::sim::Op::Syscall { .. }))
+        c.ops
+            .iter()
+            .any(|op| matches!(op, cmcp::sim::Op::Syscall { .. }))
     });
     assert!(has_syscalls, "SCALE must emit offloaded I/O");
     // Small run to exercise the path end to end (use a trimmed config).
     let small = cmcp::workloads::scale::scale_trace(
         4,
-        &cmcp::workloads::scale::ScaleConfig { nx: 256, ny: 64, fields: 2, steps: 4 },
+        &cmcp::workloads::scale::ScaleConfig {
+            nx: 256,
+            ny: 64,
+            fields: 2,
+            steps: 4,
+        },
     );
     let r = SimulationBuilder::trace(small.clone()).run();
     assert!(r.runtime_cycles > 0);
@@ -26,7 +33,8 @@ fn scale_offloads_history_writes() {
     // an identical trace with the syscalls stripped finishes faster.
     let mut stripped = small.clone();
     for c in &mut stripped.cores {
-        c.ops.retain(|op| !matches!(op, cmcp::sim::Op::Syscall { .. }));
+        c.ops
+            .retain(|op| !matches!(op, cmcp::sim::Op::Syscall { .. }));
     }
     let r2 = SimulationBuilder::trace(stripped).run();
     assert!(
@@ -46,9 +54,14 @@ fn ep_is_immune_to_memory_pressure() {
     // Half of CG's declared requirement — a crushing constraint for CG…
     let device_blocks = cg.declared_blocks(cmcp::PageSize::K4) / 2;
     let t = ep_trace(8, &EpConfig { m: 14, seed: 2 });
-    assert!(t.footprint_pages() < device_blocks, "EP fits with room to spare");
+    assert!(
+        t.footprint_pages() < device_blocks,
+        "EP fits with room to spare"
+    );
     let full = SimulationBuilder::trace(t.clone()).run();
-    let constrained = SimulationBuilder::trace(t).device_blocks(device_blocks).run();
+    let constrained = SimulationBuilder::trace(t)
+        .device_blocks(device_blocks)
+        .run();
     // Identical fault counts: the working set always fits.
     let f = |r: &cmcp::RunReport| r.per_core.iter().map(|c| c.page_faults).sum::<u64>();
     assert_eq!(f(&full), f(&constrained));
@@ -61,7 +74,9 @@ fn ep_is_immune_to_memory_pressure() {
 fn mg_collapses_harder_than_cg_under_pressure() {
     let cores = 8;
     let rel = |trace: cmcp::Trace| {
-        let base = SimulationBuilder::trace(trace.clone()).memory_ratio(10.0).run();
+        let base = SimulationBuilder::trace(trace.clone())
+            .memory_ratio(10.0)
+            .run();
         let half = SimulationBuilder::trace(trace)
             .policy(PolicyKind::Fifo)
             .memory_ratio(0.5)
@@ -79,17 +94,25 @@ fn mg_collapses_harder_than_cg_under_pressure() {
 /// PSPT rebuilding refreshes the sharing histogram.
 #[test]
 fn rebuild_resets_core_map_counts() {
-    use cmcp::kernel::{KernelConfig, Vmm};
     use cmcp::arch::{CoreId, VirtPage};
+    use cmcp::kernel::{KernelConfig, Vmm};
     let v = Vmm::new(KernelConfig::new(4, 16));
     for c in 0..4u16 {
         v.handle_fault(CoreId(c), VirtPage(0), false);
     }
-    assert_eq!(v.sharing_histogram().unwrap()[3], 1, "block mapped by 4 cores");
+    assert_eq!(
+        v.sharing_histogram().unwrap()[3],
+        1,
+        "block mapped by 4 cores"
+    );
     let torn = v.rebuild_pspt().unwrap();
     assert_eq!(torn, 1);
     let hist = v.sharing_histogram().unwrap();
-    assert_eq!(hist.iter().sum::<usize>(), 0, "no mappings survive the rebuild");
+    assert_eq!(
+        hist.iter().sum::<usize>(),
+        0,
+        "no mappings survive the rebuild"
+    );
     // One core refaults: count re-forms at 1, and the frame was reused
     // (no new allocation, no DMA).
     v.handle_fault(CoreId(2), VirtPage(0), false);
@@ -119,10 +142,13 @@ fn rebuild_preserves_dirty_writeback_debt() {
 /// Rebuilding under regular tables is a no-op.
 #[test]
 fn rebuild_is_noop_for_regular_tables() {
-    use cmcp::kernel::{KernelConfig, SchemeChoice, Vmm};
     use cmcp::arch::{CoreId, VirtPage};
+    use cmcp::kernel::{KernelConfig, SchemeChoice, Vmm};
     let v = Vmm::new(KernelConfig::new(2, 4).with_scheme(SchemeChoice::Regular));
     v.handle_fault(CoreId(0), VirtPage(0), false);
     assert!(v.rebuild_pspt().is_none());
-    assert!(v.translate(CoreId(0), VirtPage(0)).is_some(), "mapping untouched");
+    assert!(
+        v.translate(CoreId(0), VirtPage(0)).is_some(),
+        "mapping untouched"
+    );
 }

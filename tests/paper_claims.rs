@@ -3,20 +3,34 @@
 //! trace generation → deterministic engine → kernel fault path → page
 //! tables → TLBs → policies.
 
-use cmcp::{
-    PageSize, PolicyKind, RunReport, SchemeChoice, SimulationBuilder,
-};
 use cmcp::workloads::cg::{cg_trace, CgConfig};
 use cmcp::workloads::scale::{scale_trace, ScaleConfig};
+use cmcp::{PageSize, PolicyKind, RunReport, SchemeChoice, SimulationBuilder};
 
 const CORES: usize = 16;
 
 fn small_cg() -> cmcp::Trace {
-    cg_trace(CORES, &CgConfig { n: 4096, nnz_per_row: 12, iterations: 3, seed: 77 })
+    cg_trace(
+        CORES,
+        &CgConfig {
+            n: 4096,
+            nnz_per_row: 12,
+            iterations: 3,
+            seed: 77,
+        },
+    )
 }
 
 fn small_scale() -> cmcp::Trace {
-    scale_trace(CORES, &ScaleConfig { nx: 512, ny: 128, fields: 4, steps: 4 })
+    scale_trace(
+        CORES,
+        &ScaleConfig {
+            nx: 512,
+            ny: 128,
+            fields: 4,
+            steps: 4,
+        },
+    )
 }
 
 fn run(trace: &cmcp::Trace, scheme: SchemeChoice, policy: PolicyKind, ratio: f64) -> RunReport {
@@ -146,7 +160,10 @@ fn cg_retains_performance_at_half_memory() {
     let base = SimulationBuilder::trace(t.clone()).run();
     let half = run(&t, SchemeChoice::Pspt, PolicyKind::Fifo, 0.5);
     let rel = base.runtime_cycles as f64 / half.runtime_cycles as f64;
-    assert!(rel > 0.7, "CG at 50% memory keeps >70% performance, got {rel:.2}");
+    assert!(
+        rel > 0.7,
+        "CG at 50% memory keeps >70% performance, got {rel:.2}"
+    );
 }
 
 /// Determinism: the whole pipeline is bit-reproducible.

@@ -23,8 +23,7 @@ enum Event {
 fn event_strategy() -> impl Strategy<Value = Event> {
     prop_oneof![
         (0u64..256, 1usize..32).prop_map(|(block, count)| Event::Insert { block, count }),
-        (any::<usize>(), 1usize..32)
-            .prop_map(|(pick, count)| Event::CountChange { pick, count }),
+        (any::<usize>(), 1usize..32).prop_map(|(pick, count)| Event::CountChange { pick, count }),
         Just(Event::Evict),
     ]
 }
@@ -89,9 +88,18 @@ fn run_script(kind: PolicyKind, events: &[Event]) {
             }
         }
         // Invariant: the policy tracks exactly the resident set.
-        assert_eq!(policy.resident(), resident.len(), "{} desynced", policy.name());
+        assert_eq!(
+            policy.resident(),
+            resident.len(),
+            "{} desynced",
+            policy.name()
+        );
         for &b in &resident {
-            assert!(policy.contains(VirtPage(b)), "{} lost block {b}", policy.name());
+            assert!(
+                policy.contains(VirtPage(b)),
+                "{} lost block {b}",
+                policy.name()
+            );
         }
     }
 }

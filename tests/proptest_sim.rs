@@ -10,8 +10,8 @@ use cmcp::{PolicyKind, SchemeChoice, SimulationBuilder};
 /// Random but well-formed traces: same barrier count everywhere.
 fn trace_strategy() -> impl Strategy<Value = Trace> {
     (
-        2usize..5,                                   // cores
-        1usize..4,                                   // phases
+        2usize..5, // cores
+        1usize..4, // phases
         prop::collection::vec((0u64..96, 1u32..10, any::<bool>()), 1..12),
     )
         .prop_map(|(cores, phases, chunks)| {
