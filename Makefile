@@ -1,7 +1,7 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 # Everything runs offline: external crates are in-repo shims (shims/README.md).
 
-.PHONY: verify fmt lint test bench-smoke ci
+.PHONY: verify fmt lint test test-serial stress bench-smoke bench-parallel ci
 
 # The canonical acceptance gate: release build + full test suite.
 verify:
@@ -16,8 +16,21 @@ lint:
 test:
 	cargo test -q
 
+# The CI matrix's serial leg: surfaces cross-test interference.
+test-serial:
+	cargo test -q -- --test-threads=1
+
+# Parallel-engine stress tests at 8 workers (release: the point is load).
+stress:
+	cargo test -q --release --test parallel_stress --test engine_equivalence
+
 # One pass over the policies benchmark bodies (no measurement).
 bench-smoke:
 	cargo bench -p cmcp-bench --bench policies -- --test
 
-ci: fmt lint verify bench-smoke
+# Full measurement of host-parallelism scaling; rewrites the committed
+# results/BENCH_parallel.json baseline.
+bench-parallel:
+	cargo bench -p cmcp-bench --bench parallel_scaling -- --bench
+
+ci: fmt lint verify test-serial stress bench-smoke

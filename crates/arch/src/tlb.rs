@@ -260,6 +260,18 @@ impl Tlb {
         TlbLookup::Miss
     }
 
+    /// Records an additional full walk for an access whose fault had to
+    /// be retried: the mapping the fault handler installed was torn down
+    /// by a concurrent eviction before this walk could re-read it, so
+    /// the instruction walks — and misses — again. Counts a miss and the
+    /// walk penalty but not a new access (the touch itself is retired
+    /// once), keeping both `faults <= misses` and access conservation
+    /// exact under the parallel engine.
+    pub fn rewalk(&mut self) {
+        self.stats.misses += 1;
+        self.pending_cycles += self.walk_cost;
+    }
+
     /// Installs a translation after a successful page walk.
     pub fn fill(&mut self, page: VirtPage, size: PageSize) {
         self.stamp += 1;
@@ -354,6 +366,18 @@ mod tests {
         assert_eq!(s.accesses, 2);
         assert_eq!(s.misses, 1);
         assert_eq!(s.l1_hits, 1);
+    }
+
+    #[test]
+    fn rewalk_counts_a_miss_but_not_an_access() {
+        let mut t = tlb();
+        assert_eq!(t.access(VirtPage(7), PageSize::K4), TlbLookup::Miss);
+        let walk_cycles = t.drain_cycles();
+        t.rewalk();
+        let s = t.stats();
+        assert_eq!(s.accesses, 1, "the touch retires once");
+        assert_eq!(s.misses, 2, "the retried instruction walks again");
+        assert_eq!(t.drain_cycles(), walk_cycles, "and pays the walk again");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Host wall-clock scaling of the parallel engine on the CG workload.
+//!
+//! Runs the same trace on the deterministic engine and on the parallel
+//! engine at 1/2/4/8 worker threads. This measures *host* performance —
+//! the sharded frame pool, striped residency maps, and batched policy
+//! updates — not virtual time, which is identical across engines in the
+//! no-pressure regime and statistically identical under pressure.
+//!
+//! In `--bench` mode the harness also writes
+//! `results/BENCH_parallel.json` so future changes can be compared
+//! against this baseline.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cmcp::workloads::cg::{cg_trace, CgConfig};
+use cmcp::{EngineMode, PolicyKind, RunReport, SimulationBuilder, Trace};
+
+const CORES: usize = 8;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BASELINE_SAMPLES: usize = 5;
+
+/// A CG instance small enough to sample repeatedly but large enough
+/// that the fault path (not trace generation) dominates.
+fn workload() -> Trace {
+    cg_trace(
+        CORES,
+        &CgConfig {
+            n: 6144,
+            nnz_per_row: 16,
+            iterations: 2,
+            seed: 0xC6B,
+        },
+    )
+}
+
+fn run(trace: &Trace, mode: EngineMode) -> RunReport {
+    SimulationBuilder::trace(trace.clone())
+        .policy(PolicyKind::Cmcp { p: 0.5 })
+        .memory_ratio(0.75)
+        .engine(mode)
+        .run()
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.bench_function("deterministic", |b| {
+        b.iter(|| black_box(run(&trace, EngineMode::Deterministic).runtime_cycles));
+    });
+    for threads in THREAD_COUNTS {
+        group.bench_function(BenchmarkId::new("parallel", threads), |b| {
+            b.iter(|| black_box(run(&trace, EngineMode::Parallel(threads)).runtime_cycles));
+        });
+    }
+    group.finish();
+
+    // Cargo passes `--bench` even when the harness runs in `--test`
+    // smoke mode, so gate the baseline rewrite on the absence of
+    // `--test` too — CI smoke runs must not clobber the committed file.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test") {
+        write_baseline(&trace);
+    }
+}
+
+/// Times each configuration directly and records the means, so the
+/// baseline file does not depend on the bench harness's output format.
+fn write_baseline(trace: &Trace) {
+    let sample_ms = |mode: EngineMode| -> f64 {
+        run(trace, mode); // warmup
+        let start = Instant::now();
+        for _ in 0..BASELINE_SAMPLES {
+            black_box(run(trace, mode).runtime_cycles);
+        }
+        start.elapsed().as_secs_f64() * 1e3 / BASELINE_SAMPLES as f64
+    };
+    let det_ms = sample_ms(EngineMode::Deterministic);
+    let par_ms: Vec<(usize, f64)> = THREAD_COUNTS
+        .iter()
+        .map(|&t| (t, sample_ms(EngineMode::Parallel(t))))
+        .collect();
+
+    let entries: Vec<String> = par_ms
+        .iter()
+        .map(|(t, ms)| format!("    \"parallel_{t}\": {ms:.3}"))
+        .collect();
+    let speedup_8 = par_ms[0].1 / par_ms.last().unwrap().1;
+    // Thread-level speedup needs host CPUs; record how many this
+    // baseline had so readers can interpret the scaling column.
+    let host_cpus = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let json = format!(
+        "{{\n  \"workload\": \"cg n=6144 nnz=16 iters=2\",\n  \"cores\": {CORES},\n  \
+         \"policy\": \"cmcp p=0.5\",\n  \"memory_ratio\": 0.75,\n  \
+         \"samples\": {BASELINE_SAMPLES},\n  \"host_cpus\": {host_cpus},\n  \
+         \"mean_wall_ms\": {{\n    \
+         \"deterministic\": {det_ms:.3},\n{}\n  }},\n  \
+         \"speedup_8t_over_1t\": {speedup_8:.3}\n}}\n",
+        entries.join(",\n"),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_parallel.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use std::collections::{HashMap, VecDeque};
 
 use cmcp_arch::VirtPage;
 
-use crate::policy::{AccessBitOracle, ReplacementPolicy};
+use crate::policy::{AccessBitOracle, PolicyEvent, ReplacementPolicy};
 
 /// FIFO over resident blocks.
 ///
@@ -66,6 +66,15 @@ impl ReplacementPolicy for FifoPolicy {
     fn on_evict(&mut self, block: VirtPage) {
         let removed = self.live.remove(&block.0);
         debug_assert!(removed.is_some(), "evicting untracked {block}");
+    }
+
+    fn record_batch(&mut self, events: &[PolicyEvent]) {
+        // FIFO never looks at map counts, so only inserts matter.
+        for &ev in events {
+            if let PolicyEvent::Insert { block, map_count } = ev {
+                self.on_insert(block, map_count);
+            }
+        }
     }
 
     fn resident(&self) -> usize {

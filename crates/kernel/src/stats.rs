@@ -26,6 +26,9 @@ pub struct CoreStats {
     pub shootdown_cycles: AtomicU64,
     /// Cycles spent queueing on page-table locks.
     pub lock_wait_cycles: AtomicU64,
+    /// Host-side residency stripe-lock acquisitions on this core's fault
+    /// path (zero virtual cost — host parallelism bookkeeping only).
+    pub shard_lock_acquires: AtomicU64,
 }
 
 impl CoreStats {
@@ -39,6 +42,7 @@ impl CoreStats {
             dma_wait_cycles: self.dma_wait_cycles.load(Relaxed),
             shootdown_cycles: self.shootdown_cycles.load(Relaxed),
             lock_wait_cycles: self.lock_wait_cycles.load(Relaxed),
+            shard_lock_acquires: self.shard_lock_acquires.load(Relaxed),
             dtlb_misses: 0,
             dtlb_accesses: 0,
             cycles: 0,
@@ -64,6 +68,8 @@ pub struct CoreStatsSnapshot {
     pub shootdown_cycles: u64,
     /// Cycles queueing on page-table locks.
     pub lock_wait_cycles: u64,
+    /// Residency stripe-lock acquisitions (host-side, zero virtual cost).
+    pub shard_lock_acquires: u64,
     /// Data TLB misses (page walks) — Table 1.
     pub dtlb_misses: u64,
     /// Translated accesses.

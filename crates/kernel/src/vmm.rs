@@ -25,17 +25,17 @@
 //! implementation, which performs real PTE scans and pays for the remote
 //! TLB invalidations x86 requires.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use cmcp_arch::{
     dma::DmaDirection, CoreClock, CoreId, CoreSet, CostModel, Cycles, DmaModel, PageSize,
-    RingModel, VirtPage, VirtualResource,
+    PhysFrame, RingModel, VirtPage, VirtualResource,
 };
-use cmcp_core::{AccessBitOracle, ReplacementPolicy};
+use cmcp_core::{AccessBitOracle, PolicyEvent, ReplacementPolicy};
 use cmcp_pagetable::{MapOutcome, Pspt, RegularTables, TableScheme, Translation};
 use cmcp_trace::{EventKind, NullTracer, Recorder, MAINTENANCE_CORE};
 
@@ -46,6 +46,33 @@ use crate::offload::{OffloadEngine, Syscall};
 use crate::stats::{CoreStats, GlobalStats};
 
 const LOCK_SHARDS: usize = 64;
+
+/// Lock stripes over the residency metadata. A fixed power of two keyed
+/// by the same page hash as the virtual PSPT locks, so the mapping from
+/// block to stripe is a pure function of the configuration — never of
+/// host thread count — and deterministic runs stay bit-identical.
+const RESIDENT_SHARDS: usize = 64;
+
+/// Bounded back-off for the allocation loop: a dry pool with an empty
+/// policy can only be a transient (another core holds the last frames
+/// between `alloc` and publishing its insert); this many consecutive
+/// failures means the configuration genuinely has fewer blocks than
+/// in-flight faults.
+const ALLOC_RETRY_LIMIT: u32 = 1 << 22;
+
+/// One lock stripe of the residency metadata: the resident blocks that
+/// hash to this stripe and their deferred write-back debt. Keeping
+/// `pending_dirty` in the same stripe as the map means every residency
+/// transition touches exactly one host lock.
+#[derive(Debug, Default)]
+struct ResidentShard {
+    /// block head → frame head for resident blocks of this stripe.
+    map: HashMap<u64, PhysFrame>,
+    /// Blocks whose dirty bits were harvested by a PSPT rebuild before
+    /// they could be written back: they still owe a write-back when
+    /// eventually evicted.
+    pending_dirty: HashSet<u64>,
+}
 
 /// Classification of a handled fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,12 +101,29 @@ pub struct Vmm<R: Recorder = NullTracer> {
     backing: BackingStore,
     dma: DmaModel,
     ring: RingModel,
-    /// block head → frame head for resident blocks.
-    resident: Mutex<HashMap<u64, cmcp_arch::PhysFrame>>,
-    /// Blocks whose dirty bits were harvested by a PSPT rebuild before
-    /// they could be written back: they still owe a write-back when
-    /// eventually evicted.
-    pending_dirty: Mutex<std::collections::HashSet<u64>>,
+    /// Lock-striped residency metadata, indexed by block hash.
+    resident: Vec<Mutex<ResidentShard>>,
+    /// Per-stripe resident counts (relaxed), so stats reads never sweep
+    /// the stripe locks.
+    resident_len: Vec<AtomicUsize>,
+    /// Per-core buffers of deferred policy events, flushed in one policy
+    /// lock acquisition per `batch_limit` events.
+    batch_bufs: Vec<Mutex<Vec<(u64, PolicyEvent)>>>,
+    /// Per-core buffered-event counts, maintained under the buffer lock
+    /// but readable without it — flushes skip empty buffers and
+    /// `maybe_flush` decides without locking anything.
+    batch_pending: Vec<AtomicUsize>,
+    /// Global order stamp for deferred events, taken while the block's
+    /// stripe lock is held so same-block events are totally ordered.
+    batch_seq: AtomicU64,
+    /// Events a core may buffer before forcing a flush; 1 = flush after
+    /// every fault (the deterministic engine's setting).
+    batch_limit: AtomicUsize,
+    /// Merge area for flushes; only touched under the policy lock.
+    flush_scratch: Mutex<Vec<(u64, PolicyEvent)>>,
+    /// Reused event slice handed to `record_batch`; only touched under
+    /// the policy lock.
+    flush_events: Mutex<Vec<PolicyEvent>>,
     /// Regular tables: one address-space-wide lock.
     pt_global_lock: VirtualResource,
     /// PSPT: sharded fine-grained locks.
@@ -129,12 +173,26 @@ impl<R: Recorder> Vmm<R> {
         Vmm {
             scheme,
             policy: Mutex::new(cfg.policy.build(cfg.device_blocks)),
-            pool: FramePool::new(cfg.block_size, cfg.device_blocks),
+            // One freelist shard per core (capped): a pure function of
+            // the config, so identical runs allocate identically.
+            pool: FramePool::with_shards(
+                cfg.block_size,
+                cfg.device_blocks,
+                cfg.cores.min(RESIDENT_SHARDS),
+            ),
             backing: BackingStore::new(),
             dma: DmaModel::with_clients(&cfg.cost, cfg.cores),
             ring: RingModel::new(cfg.cores, &cfg.cost),
-            resident: Mutex::new(HashMap::new()),
-            pending_dirty: Mutex::new(std::collections::HashSet::new()),
+            resident: (0..RESIDENT_SHARDS)
+                .map(|_| Mutex::new(ResidentShard::default()))
+                .collect(),
+            resident_len: (0..RESIDENT_SHARDS).map(|_| AtomicUsize::new(0)).collect(),
+            batch_bufs: (0..cfg.cores).map(|_| Mutex::new(Vec::new())).collect(),
+            batch_pending: (0..cfg.cores).map(|_| AtomicUsize::new(0)).collect(),
+            batch_seq: AtomicU64::new(0),
+            batch_limit: AtomicUsize::new(1),
+            flush_scratch: Mutex::new(Vec::new()),
+            flush_events: Mutex::new(Vec::new()),
             pt_global_lock: VirtualResource::new(),
             pt_shard_locks: (0..LOCK_SHARDS).map(|_| VirtualResource::new()).collect(),
             clocks: Arc::new((0..cfg.cores).map(|_| CoreClock::new()).collect()),
@@ -200,9 +258,122 @@ impl<R: Recorder> Vmm<R> {
                 .sum::<Cycles>()
     }
 
-    /// Currently resident blocks.
+    /// Currently resident blocks. A relaxed sum over the per-stripe
+    /// counters: exact when the kernel is quiescent (between faults, or
+    /// post-run), approximate mid-race — never sweeps the stripe locks.
     pub fn resident_blocks(&self) -> usize {
-        self.resident.lock().len()
+        self.resident_len.iter().map(|n| n.load(Relaxed)).sum()
+    }
+
+    /// Sets how many policy events a core may buffer before a flush is
+    /// forced. The deterministic engine leaves this at 1 (flush after
+    /// every fault, preserving the exact historical policy-call order);
+    /// the parallel engine raises it so the policy mutex is taken once
+    /// per batch instead of once per reference.
+    pub fn set_policy_batch(&self, limit: usize) {
+        self.batch_limit.store(limit.max(1), Relaxed);
+    }
+
+    /// Flushes every core's buffered policy events (one policy-lock
+    /// acquisition). Engines call this at run end so post-run policy
+    /// queries see a fully applied event stream.
+    pub fn flush_policy_events(&self) {
+        let mut policy = self.policy.lock();
+        self.flush_locked(&mut policy);
+    }
+
+    /// Drains all per-core buffers into the policy, merged in global
+    /// stamp order. Caller holds the policy lock. The pending counters
+    /// let the common case — one core's buffer holds everything — skip
+    /// the other buffers' locks and the merge sort entirely.
+    fn flush_locked(&self, policy: &mut Box<dyn ReplacementPolicy>) {
+        let mut events = self.flush_events.lock();
+        events.clear();
+        let mut nonempty = 0usize;
+        let mut only = 0usize;
+        for (c, n) in self.batch_pending.iter().enumerate() {
+            if n.load(Relaxed) > 0 {
+                nonempty += 1;
+                only = c;
+            }
+        }
+        match nonempty {
+            0 => return,
+            1 => {
+                // A single core's pushes are already in stamp order.
+                let mut buf = self.batch_bufs[only].lock();
+                events.extend(buf.drain(..).map(|(_, ev)| ev));
+                self.batch_pending[only].store(0, Relaxed);
+            }
+            _ => {
+                let mut scratch = self.flush_scratch.lock();
+                scratch.clear();
+                for (c, buf) in self.batch_bufs.iter().enumerate() {
+                    if self.batch_pending[c].load(Relaxed) > 0 {
+                        let mut b = buf.lock();
+                        scratch.append(&mut b);
+                        self.batch_pending[c].store(0, Relaxed);
+                    }
+                }
+                scratch.sort_unstable_by_key(|&(seq, _)| seq);
+                events.extend(scratch.iter().map(|&(_, ev)| ev));
+                scratch.clear();
+            }
+        }
+        if !events.is_empty() {
+            policy.record_batch(&events);
+        }
+    }
+
+    /// Buffers a policy event for `core`. Must be called while holding
+    /// the lock of the stripe the event's block lives in, so the global
+    /// stamp orders same-block events correctly.
+    fn push_policy_event(&self, core: CoreId, ev: PolicyEvent) {
+        let seq = self.batch_seq.fetch_add(1, Relaxed);
+        let mut buf = self.batch_bufs[core.index()].lock();
+        buf.push((seq, ev));
+        self.batch_pending[core.index()].store(buf.len(), Relaxed);
+    }
+
+    /// Flushes if `core`'s buffer reached the batch limit. Called with
+    /// no stripe lock held.
+    fn maybe_flush(&self, core: CoreId) {
+        if self.batch_pending[core.index()].load(Relaxed) >= self.batch_limit.load(Relaxed) {
+            self.flush_policy_events();
+        }
+    }
+
+    #[inline]
+    fn resident_shard_of(&self, head: VirtPage) -> usize {
+        // Same multiply-shift hash as the virtual PSPT locks: the stripe
+        // is a function of the page alone.
+        let h = (head.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize;
+        h % RESIDENT_SHARDS
+    }
+
+    /// Takes a residency stripe lock on the fault path: counted per core
+    /// and traced (zero virtual cycles — host locks cost no simulated
+    /// time; the event exists so host-contention analyses line up with
+    /// the kernel counters).
+    fn lock_resident_shard(
+        &self,
+        core: CoreId,
+        shard: usize,
+    ) -> parking_lot::MutexGuard<'_, ResidentShard> {
+        let guard = self.resident[shard].lock();
+        self.core_stats[core.index()]
+            .shard_lock_acquires
+            .fetch_add(1, Relaxed);
+        if R::ENABLED {
+            self.tracer.record(
+                core.0,
+                self.clocks[core.index()].now(),
+                EventKind::ShardLock,
+                shard as u64,
+                0,
+            );
+        }
+        guard
     }
 
     /// Figure 6's histogram (PSPT only): blocks by mapping-core count.
@@ -269,20 +440,36 @@ impl<R: Recorder> Vmm<R> {
         if !matches!(self.cfg.scheme, SchemeChoice::Pspt) {
             return None;
         }
-        let heads: Vec<u64> = self.resident.lock().keys().copied().collect();
+        // Stripe by stripe, under that stripe's lock: no snapshot of the
+        // whole resident set is ever materialized (the old code cloned
+        // every key into a fresh Vec on each pass), and faults on the
+        // other 63 stripes proceed concurrently.
         let mut torn = 0;
-        for head in &heads {
-            let head = VirtPage(*head);
-            if let Some(out) = self.scheme.as_dyn().unmap_all(head, self.cfg.block_size) {
-                torn += 1;
-                // The rebuild runs on the dedicated maintenance
-                // hyperthreads (like the scan timer); targets still pay
-                // their interrupt cost.
-                self.shootdown(None, head, &out.mappers);
-                // Unmapping discards the PTE dirty bits; remember the
-                // write-back debt for the eventual eviction.
-                if out.dirty {
-                    self.pending_dirty.lock().insert(head.0);
+        for (idx, shard) in self.resident.iter().enumerate() {
+            let mut guard = shard.lock();
+            if R::ENABLED && !guard.map.is_empty() {
+                self.tracer.record(
+                    MAINTENANCE_CORE,
+                    self.maintenance_now(),
+                    EventKind::ShardLock,
+                    idx as u64,
+                    0,
+                );
+            }
+            let ResidentShard { map, pending_dirty } = &mut *guard;
+            for &head in map.keys() {
+                let head = VirtPage(head);
+                if let Some(out) = self.scheme.as_dyn().unmap_all(head, self.cfg.block_size) {
+                    torn += 1;
+                    // The rebuild runs on the dedicated maintenance
+                    // hyperthreads (like the scan timer); targets still pay
+                    // their interrupt cost.
+                    self.shootdown(None, head, &out.mappers);
+                    // Unmapping discards the PTE dirty bits; remember the
+                    // write-back debt for the eventual eviction.
+                    if out.dirty {
+                        pending_dirty.insert(head.0);
+                    }
                 }
             }
         }
@@ -397,16 +584,46 @@ impl<R: Recorder> Vmm<R> {
         }
     }
 
-    /// Evicts one victim block to free a frame. Called with the policy
-    /// lock held and device RAM exhausted.
-    fn evict_one(&self, policy: &mut Box<dyn ReplacementPolicy>, requester: CoreId) {
+    /// Acquires a free frame for `requester`, evicting under the policy
+    /// lock while the pool is dry. The policy lock is *not* held while
+    /// allocating, so concurrent fault handlers only serialize when
+    /// reclaim is actually needed.
+    fn alloc_frame(&self, requester: CoreId) -> PhysFrame {
+        let mut dry_spins = 0u32;
+        loop {
+            if let Some(frame) = self.pool.alloc_for(requester.index()) {
+                return frame;
+            }
+            if self.try_evict_one(requester) {
+                continue;
+            }
+            // Pool dry but the policy tracks nothing: every frame is in
+            // flight on some other core between its `alloc` and its
+            // resident-map publish. Back off and retry; if this persists
+            // the device RAM is genuinely too small for the core count.
+            dry_spins += 1;
+            assert!(
+                dry_spins < ALLOC_RETRY_LIMIT,
+                "device RAM exhausted but policy tracks no blocks"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    /// Evicts one victim block to free a frame. Returns `false` when the
+    /// policy has nothing to offer (transiently possible mid-race).
+    fn try_evict_one(&self, requester: CoreId) -> bool {
+        let mut policy = self.policy.lock();
+        // The victim decision must see every insert that already
+        // happened, so the buffers flush first.
+        self.flush_locked(&mut policy);
         let mut oracle = KernelOracle {
             vmm: self,
             requester: Some(requester),
         };
-        let victim = policy
-            .select_victim(&mut oracle)
-            .expect("device RAM exhausted but policy tracks no blocks");
+        let Some(victim) = policy.select_victim(&mut oracle) else {
+            return false;
+        };
         if R::ENABLED {
             let count = self.scheme.as_dyn().mapping_cores(victim).count() as u64;
             let group = policy.victim_group(victim) as u64;
@@ -418,11 +635,24 @@ impl<R: Recorder> Vmm<R> {
                 (count << 8) | group,
             );
         }
+        // Take the victim's stripe for the whole teardown and remove it
+        // from the resident map *first*: a concurrent minor fault on the
+        // victim must go down the major path rather than re-map a frame
+        // that is about to be recycled. (Lock order policy → stripe is
+        // safe: the fault path never waits for the policy while holding
+        // a stripe lock — events are buffered instead.)
+        let shard_idx = self.resident_shard_of(victim);
+        let mut shard = self.lock_resident_shard(requester, shard_idx);
+        let frame = shard
+            .map
+            .remove(&victim.0)
+            .expect("victim tracked in resident map");
+        self.resident_len[shard_idx].fetch_sub(1, Relaxed);
+        let mut dirty = shard.pending_dirty.remove(&victim.0);
         // A victim with no mappings is possible right after a PSPT
         // rebuild: resident, but every PTE already torn down.
         let out = self.scheme.as_dyn().unmap_all(victim, self.cfg.block_size);
         let clock = &self.clocks[requester.index()];
-        let mut dirty = self.pending_dirty.lock().remove(&victim.0);
         if let Some(out) = &out {
             clock.advance(self.cfg.cost.pte_update * out.ptes_removed as u64);
             self.shootdown(Some(requester), victim, &out.mappers);
@@ -453,14 +683,11 @@ impl<R: Recorder> Vmm<R> {
             self.backing.store(victim);
             self.global.writebacks.fetch_add(1, Relaxed);
         }
-        let frame = self
-            .resident
-            .lock()
-            .remove(&victim.0)
-            .expect("victim tracked in resident map");
+        drop(shard);
         policy.on_evict(victim);
         self.global.evictions.fetch_add(1, Relaxed);
-        self.pool.free(frame);
+        self.pool.free_for(frame, requester.index());
+        true
     }
 
     /// Handles a page fault raised by `core` on the 4 kB page `page`.
@@ -491,44 +718,64 @@ impl<R: Recorder> Vmm<R> {
                 .record(core.0, res.end, EventKind::LockRelease, head.0, 0);
         }
 
-        // The policy mutex both protects policy state and serializes
-        // residency transitions (matching the kernel's LRU-list lock).
-        let mut policy = self.policy.lock();
-        let existing = self.resident.lock().get(&head.0).copied();
-        let kind = if let Some(frame) = existing {
-            // Resident: PSPT minor fault (copy a sibling's PTE).
-            match self
-                .scheme
-                .as_dyn()
-                .map(core, head, frame, self.cfg.block_size, true)
-            {
-                Ok(MapOutcome::Copied { probes }) => {
-                    clock.advance(
-                        self.cfg.cost.pspt_probe * probes as u64
-                            + self.cfg.cost.pte_update * self.subentries(),
-                    );
-                    let count = self.scheme.as_dyn().mapping_cores(head).count();
-                    policy.on_map_count_change(head, count);
-                    FaultKind::MinorCopy
+        // Residency transitions serialize on the block's stripe lock;
+        // policy notifications are deferred into the per-core batch
+        // buffer and applied under one policy-lock acquisition per
+        // `batch_limit` events.
+        let shard_idx = self.resident_shard_of(head);
+        let kind = loop {
+            let mut shard = self.lock_resident_shard(core, shard_idx);
+            if let Some(frame) = shard.map.get(&head.0).copied() {
+                // Resident: PSPT minor fault (copy a sibling's PTE).
+                match self
+                    .scheme
+                    .as_dyn()
+                    .map(core, head, frame, self.cfg.block_size, true)
+                {
+                    Ok(MapOutcome::Copied { probes }) => {
+                        clock.advance(
+                            self.cfg.cost.pspt_probe * probes as u64
+                                + self.cfg.cost.pte_update * self.subentries(),
+                        );
+                        let count = self.scheme.as_dyn().mapping_cores(head).count();
+                        self.push_policy_event(
+                            core,
+                            PolicyEvent::MapCount {
+                                block: head,
+                                map_count: count,
+                            },
+                        );
+                        break FaultKind::MinorCopy;
+                    }
+                    Ok(MapOutcome::Fresh) => {
+                        // Resident but unmapped everywhere: the PTEs were
+                        // torn down by a PSPT rebuild; re-establish this
+                        // core's mapping (the frame never moved).
+                        clock.advance(self.cfg.cost.pte_update * self.subentries());
+                        self.push_policy_event(
+                            core,
+                            PolicyEvent::MapCount {
+                                block: head,
+                                map_count: 1,
+                            },
+                        );
+                        break FaultKind::MinorCopy;
+                    }
+                    Err(_) => break FaultKind::Spurious,
                 }
-                Ok(MapOutcome::Fresh) => {
-                    // Resident but unmapped everywhere: the PTEs were torn
-                    // down by a PSPT rebuild; re-establish this core's
-                    // mapping (the frame never moved).
-                    clock.advance(self.cfg.cost.pte_update * self.subentries());
-                    policy.on_map_count_change(head, 1);
-                    FaultKind::MinorCopy
-                }
-                Err(_) => FaultKind::Spurious,
             }
-        } else {
-            // Not resident: allocate, evicting until a frame is free.
-            let frame = loop {
-                match self.pool.alloc() {
-                    Some(f) => break f,
-                    None => self.evict_one(&mut policy, core),
-                }
-            };
+            // Not resident: allocate (evicting when dry) with the stripe
+            // lock released, then re-check — another core may have
+            // faulted the same block in meanwhile.
+            drop(shard);
+            let frame = self.alloc_frame(core);
+            shard = self.lock_resident_shard(core, shard_idx);
+            if shard.map.contains_key(&head.0) {
+                // Lost the race: hand the frame back and retry as minor.
+                drop(shard);
+                self.pool.free_for(frame, core.index());
+                continue;
+            }
             if self.backing.contains(head) {
                 // Real content on the host: DMA it in.
                 let r = self.dma.transfer_traced(
@@ -557,10 +804,18 @@ impl<R: Recorder> Vmm<R> {
                 .map(core, head, frame, self.cfg.block_size, true)
                 .expect("fresh block maps cleanly");
             clock.advance(self.cfg.cost.pte_update * self.subentries());
-            self.resident.lock().insert(head.0, frame);
-            policy.on_insert(head, 1);
-            FaultKind::Major
+            shard.map.insert(head.0, frame);
+            self.resident_len[shard_idx].fetch_add(1, Relaxed);
+            self.push_policy_event(
+                core,
+                PolicyEvent::Insert {
+                    block: head,
+                    map_count: 1,
+                },
+            );
+            break FaultKind::Major;
         };
+        self.maybe_flush(core);
         let spent = clock.now() - t0;
         st.fault_cycles.fetch_add(spent, Relaxed);
         if R::ENABLED {
@@ -582,6 +837,8 @@ impl<R: Recorder> Vmm<R> {
         if !policy.wants_periodic_scan() {
             return;
         }
+        // The scan must see every insert that already happened.
+        self.flush_locked(&mut policy);
         let budget = if self.cfg.scan_budget > 0 {
             self.cfg.scan_budget
         } else {

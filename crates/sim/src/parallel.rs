@@ -14,7 +14,7 @@
 //! arrivals record their clock, the last arrival publishes the maximum,
 //! and everyone resumes at that time.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use cmcp_arch::CoreId;
 use cmcp_kernel::Vmm;
@@ -30,6 +30,11 @@ use crate::trace::Trace;
 /// so unbounded skew would inflate queueing delays. One window is a few
 /// dozen fault latencies — enough to keep every worker busy.
 const SKEW_WINDOW: u64 = 100_000;
+
+/// Policy updates buffered per core before the fault path takes the
+/// policy mutex. Large enough to amortize the lock, small enough that
+/// eviction decisions never run far behind the residency state.
+const POLICY_BATCH: usize = 32;
 
 /// One rendezvous barrier in virtual time.
 struct VBarrier {
@@ -84,6 +89,23 @@ impl BarrierSet {
     }
 }
 
+/// Signals the surviving workers when one panics. Without this a dead
+/// worker's cores stay `running` with frozen clocks, the skew horizon
+/// freezes, and every other worker spins forever — the run wedges
+/// instead of failing (and under a capturing test harness the panic
+/// message never even prints). The flag flips on unwind; survivors bail
+/// out at the top of their loop, the scope join completes, and the
+/// original panic propagates.
+struct AbortOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum CoreState {
     Running,
@@ -115,6 +137,12 @@ pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) ->
     let barrier_count = trace.cores[0].barriers();
     let barriers = BarrierSet::new(barrier_count, n);
 
+    // Batch policy updates so the fault path touches the policy mutex
+    // once per K faults instead of once per fault. Order inside a batch
+    // is sequence-stamped, so totals are unaffected; only the host-side
+    // contention profile changes.
+    vmm.set_policy_batch(POLICY_BATCH);
+
     // The scan timer in parallel mode: any worker whose minimum local
     // clock crosses the boundary fires the tick (CAS-elected). PSPT
     // rebuilding uses the same election.
@@ -130,9 +158,8 @@ pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) ->
     // Only *running* cores bound the skew window: a core parked at a
     // barrier (or finished) has a frozen clock that others must
     // legitimately overtake to reach the rendezvous themselves.
-    let running: Vec<std::sync::atomic::AtomicBool> = (0..n)
-        .map(|_| std::sync::atomic::AtomicBool::new(true))
-        .collect();
+    let running: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
+    let aborted = AtomicBool::new(false);
     let min_running_clock = |vmm: &Vmm<R>| -> u64 {
         let mut min = u64::MAX;
         for (i, c) in vmm.clocks().iter().enumerate() {
@@ -154,8 +181,10 @@ pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) ->
             let next_scan = &next_scan;
             let next_rebuild = &next_rebuild;
             let running = &running;
+            let aborted = &aborted;
             let min_running_clock = &min_running_clock;
             scope.spawn(move |_| {
+                let _abort_guard = AbortOnPanic(aborted);
                 let mut cores: Vec<(usize, &mut CoreRunner)> = chunk
                     .into_iter()
                     .map(|(i, s)| (i, s.as_mut().unwrap()))
@@ -163,7 +192,7 @@ pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) ->
                 let mut state: Vec<CoreState> = vec![CoreState::Running; cores.len()];
                 let mut next_barrier: Vec<usize> = vec![0; cores.len()];
                 let mut live = cores.len();
-                while live > 0 {
+                while live > 0 && !aborted.load(Ordering::Acquire) {
                     let mut progressed = false;
                     let horizon = min_running_clock(vmm).saturating_add(SKEW_WINDOW);
                     for k in 0..cores.len() {
@@ -269,6 +298,10 @@ pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) ->
         }
     })
     .expect("worker thread panicked");
+
+    // Drain every core's residual policy buffer so the report (and any
+    // later deterministic comparison) sees the complete insert stream.
+    vmm.flush_policy_events();
 
     let runners: Vec<CoreRunner> = runner_slots.into_iter().map(|s| s.unwrap()).collect();
     RunReport::collect(

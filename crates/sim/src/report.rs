@@ -72,6 +72,7 @@ impl RunReport {
                     dma_wait_cycles: c.dma_wait_cycles,
                     shootdown_cycles: c.shootdown_cycles,
                     lock_wait_cycles: c.lock_wait_cycles,
+                    shard_lock_acquires: c.shard_lock_acquires,
                 })
                 .collect();
             let b = Breakdown::from_events(&events, per_core.len(), dropped)

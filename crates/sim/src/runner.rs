@@ -103,13 +103,28 @@ impl CoreRunner {
                 }
             }
             TlbLookup::Miss => {
-                if vmm.translate(self.core, page).is_none() {
+                // Walk, fault, and refill are not atomic against other
+                // cores in the parallel engine: a concurrent eviction can
+                // pick this block as victim and tear the fresh mapping
+                // down before the walk re-reads it. The hardware would
+                // simply fault again, so retry until a translation
+                // sticks; each retry is a genuine extra fault (the block
+                // really was evicted before first use). Single iteration
+                // in the deterministic engine, where no eviction can
+                // interleave with a step.
+                let tr = loop {
+                    if let Some(tr) = vmm.translate(self.core, page) {
+                        break tr;
+                    }
+                    if faulted {
+                        // Retry round: pair the extra fault with the extra
+                        // walk it implies, so faults never outnumber
+                        // misses in anyone's books.
+                        self.tlb.rewalk();
+                    }
                     vmm.handle_fault(self.core, page, write);
                     faulted = true;
-                }
-                let tr = vmm
-                    .translate(self.core, page)
-                    .expect("fault handler must install a translation");
+                };
                 self.tlb.fill(page, tr.size);
                 vmm.mark_accessed(self.core, page, write);
                 if write {

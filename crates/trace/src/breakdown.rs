@@ -29,6 +29,8 @@ pub struct CoreTotals {
     pub shootdown_cycles: u64,
     /// Cycles queued on the page-table lock.
     pub lock_wait_cycles: u64,
+    /// Host-side residency stripe-lock acquisitions (zero cycles).
+    pub shard_lock_acquires: u64,
 }
 
 /// One core's traced cycle decomposition.
@@ -59,6 +61,9 @@ pub struct CoreBreakdown {
     pub ack_cycles: u64,
     /// Own-TLB entries invalidated while draining the mailbox.
     pub tlb_invalidations: u64,
+    /// Host-side residency stripe-lock acquisitions (`ShardLock` count;
+    /// contributes no cycles — host locks are free in virtual time).
+    pub shard_lock_acquires: u64,
     /// Cycles spent waiting at barriers.
     pub barrier_wait_cycles: u64,
 }
@@ -107,6 +112,7 @@ impl Breakdown {
                 EventKind::PolicyScan => row.policy_scan_cycles += e.b,
                 EventKind::TlbInvalidate => row.tlb_invalidations += 1,
                 EventKind::BarrierArrive => row.barrier_wait_cycles += e.b,
+                EventKind::ShardLock => row.shard_lock_acquires += 1,
                 EventKind::LockRelease
                 | EventKind::VictimSelect
                 | EventKind::DmaEnqueue
@@ -153,6 +159,11 @@ impl Breakdown {
                 ("lock_wait_cycles", row.lock_wait_cycles, t.lock_wait_cycles),
                 ("shootdown_cycles", row.shootdown_cycles, t.shootdown_cycles),
                 ("dma_wait_cycles", row.dma_wait_cycles, t.dma_wait_cycles),
+                (
+                    "shard_lock_acquires",
+                    row.shard_lock_acquires,
+                    t.shard_lock_acquires,
+                ),
             ];
             for (name, traced, counted) in checks {
                 if traced != counted {
@@ -233,6 +244,7 @@ mod tests {
             dma_wait_cycles: 40,
             shootdown_cycles: 0,
             lock_wait_cycles: 10,
+            shard_lock_acquires: 0,
         }];
         let b = Breakdown::from_events(&events, 1, 0)
             .validate_against(&totals)
@@ -263,6 +275,36 @@ mod tests {
         assert_eq!(b.dropped_events, 3);
         // Direct validation refuses outright.
         assert!(Breakdown::from_events(&[], 1, 3).validate(&totals).is_err());
+    }
+
+    #[test]
+    fn shard_locks_are_counted_but_cost_nothing() {
+        let events = [
+            e(0, EventKind::ShardLock, 17, 0),
+            e(0, EventKind::ShardLock, 3, 0),
+            e(0, EventKind::FaultEnd, 0, 50),
+        ];
+        let totals = [CoreTotals {
+            fault_cycles: 50,
+            shard_lock_acquires: 2,
+            ..CoreTotals::default()
+        }];
+        let b = Breakdown::from_events(&events, 1, 0)
+            .validate_against(&totals)
+            .unwrap();
+        assert!(b.validated);
+        assert_eq!(b.per_core[0].shard_lock_acquires, 2);
+        assert_eq!(b.per_core[0].other_cycles, 50, "host locks are free");
+        // A count mismatch is caught.
+        let wrong = [CoreTotals {
+            fault_cycles: 50,
+            shard_lock_acquires: 1,
+            ..CoreTotals::default()
+        }];
+        let err = Breakdown::from_events(&events, 1, 0)
+            .validate(&wrong)
+            .unwrap_err();
+        assert!(err.contains("shard_lock_acquires"), "unexpected: {err}");
     }
 
     #[test]

@@ -90,6 +90,11 @@ pub enum EventKind {
     BarrierArrive = 11,
     /// A full PSPT rebuild ran. `a` = blocks rebuilt.
     Rebuild = 12,
+    /// A host-side residency stripe lock was taken on the fault path.
+    /// `a` = stripe index, `b` = 0 — host locks add **zero** virtual
+    /// cycles; the event exists so host-contention analyses line up
+    /// with `CoreStats.shard_lock_acquires` exactly.
+    ShardLock = 13,
 }
 
 impl EventKind {
@@ -109,6 +114,7 @@ impl EventKind {
             EventKind::TlbInvalidate => "tlb_invalidate",
             EventKind::BarrierArrive => "barrier_arrive",
             EventKind::Rebuild => "rebuild",
+            EventKind::ShardLock => "shard_lock",
         }
     }
 
@@ -127,6 +133,7 @@ impl EventKind {
             10 => EventKind::TlbInvalidate,
             11 => EventKind::BarrierArrive,
             12 => EventKind::Rebuild,
+            13 => EventKind::ShardLock,
             _ => return None,
         })
     }

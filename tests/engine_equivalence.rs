@@ -2,9 +2,13 @@
 //! on everything functional (what faulted, what moved, what is resident)
 //! even though their timing interleavings differ.
 
+use proptest::prelude::*;
+
+use cmcp::arch::VirtPage;
+use cmcp::sim::Op;
 use cmcp::workloads::scale::{scale_trace, ScaleConfig};
 use cmcp::workloads::synthetic;
-use cmcp::{EngineMode, PolicyKind, SchemeChoice, SimulationBuilder, Trace};
+use cmcp::{EngineMode, PolicyKind, RunReport, SchemeChoice, SimulationBuilder, Trace};
 
 fn scale() -> Trace {
     scale_trace(
@@ -104,6 +108,88 @@ fn parallel_engine_handles_regular_tables() {
         r.sharing_histogram.is_none(),
         "regular tables have no histogram"
     );
+}
+
+/// Random ample-memory traces: small footprints, short runtimes (well
+/// under the scan period), same barrier count on every core — so no
+/// evictions happen and the functional aggregates are interleaving-free.
+fn ample_trace_strategy() -> impl Strategy<Value = Trace> {
+    (
+        2usize..6,
+        prop::collection::vec((0u64..96, 1u32..12, any::<bool>()), 1..6),
+    )
+        .prop_map(|(cores, chunks)| {
+            let mut t = Trace::new(cores, "equiv-prop");
+            for c in 0..cores {
+                for (i, &(start, pages, write)) in chunks.iter().enumerate() {
+                    let s = start + (c as u64 * 17 + i as u64 * 5) % 64;
+                    t.cores[c].ops.push(Op::Stream {
+                        start: VirtPage(s),
+                        pages,
+                        write,
+                        work_per_page: 2,
+                    });
+                }
+                t.cores[c].ops.push(Op::Barrier);
+            }
+            t
+        })
+}
+
+/// The functional aggregates both engines must agree on exactly when
+/// memory is ample: faults, evictions, shootdown traffic, DMA bytes.
+fn functional_totals(r: &RunReport) -> (u64, u64, u64, u64, (u64, u64)) {
+    (
+        r.per_core.iter().map(|c| c.page_faults).sum::<u64>(),
+        r.global.evictions,
+        r.per_core
+            .iter()
+            .map(|c| c.remote_inv_received)
+            .sum::<u64>(),
+        r.per_core.iter().map(|c| c.remote_inv_sent).sum::<u64>(),
+        r.dma_bytes,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any ample-memory trace and any policy, the parallel engine's
+    /// functional aggregates exactly match the deterministic engine's,
+    /// and two parallel runs agree with each other (the totals are
+    /// schedule-independent, not merely close).
+    #[test]
+    fn parallel_aggregates_match_deterministic(
+        trace in ample_trace_strategy(),
+        policy in prop_oneof![
+            Just(PolicyKind::Fifo),
+            Just(PolicyKind::Lru),
+            Just(PolicyKind::Clock),
+            Just(PolicyKind::Lfu),
+            Just(PolicyKind::Random),
+            Just(PolicyKind::Cmcp { p: 0.5 }),
+            Just(PolicyKind::AdaptiveCmcp),
+        ],
+    ) {
+        let run = |mode| {
+            SimulationBuilder::trace(trace.clone())
+                .policy(policy)
+                .memory_ratio(1.5)
+                .engine(mode)
+                .run()
+        };
+        let det = run(EngineMode::Deterministic);
+        let par_a = run(EngineMode::Parallel(4));
+        let par_b = run(EngineMode::Parallel(4));
+        prop_assert_eq!(det.global.evictions, 0, "ample memory must not evict");
+        prop_assert_eq!(functional_totals(&det), functional_totals(&par_a));
+        prop_assert_eq!(functional_totals(&par_a), functional_totals(&par_b));
+        // Conservation: every touch executed, faults bounded by touches.
+        let touches: u64 = par_a.per_core.iter().map(|c| c.dtlb_accesses).sum();
+        prop_assert_eq!(touches, trace.total_touches());
+        let faults: u64 = par_a.per_core.iter().map(|c| c.page_faults).sum();
+        prop_assert!(faults <= touches);
+    }
 }
 
 #[test]

@@ -1,0 +1,102 @@
+//! Parallel-engine stress tests: many worker threads hammering the
+//! sharded kernel state under eviction pressure. These catch lost
+//! updates, frame-pool leaks, and deadlocks that the small equivalence
+//! tests are too gentle to provoke.
+//!
+//! CI runs this suite both with the default test harness and with
+//! `--test-threads=1`, so it must be self-contained per test.
+
+use cmcp::workloads::synthetic;
+use cmcp::{EngineMode, PolicyKind, SimulationBuilder};
+
+const STRESS_WORKERS: usize = 8;
+
+#[test]
+fn eight_workers_under_heavy_pressure_conserve_every_touch() {
+    // 16 cores sharing a hot set plus private streams, squeezed to half
+    // the footprint: constant eviction traffic across every stripe.
+    let t = synthetic::shared_hot(16, 48, 64, 6);
+    let touches = t.total_touches();
+    for policy in [
+        PolicyKind::Fifo,
+        PolicyKind::Cmcp { p: 0.5 },
+        PolicyKind::AdaptiveCmcp,
+    ] {
+        let r = SimulationBuilder::trace(t.clone())
+            .policy(policy)
+            .memory_ratio(0.5)
+            .engine(EngineMode::Parallel(STRESS_WORKERS))
+            .run();
+        assert!(
+            r.global.evictions > 0,
+            "{}: pressure expected",
+            policy.label()
+        );
+        let executed: u64 = r.per_core.iter().map(|c| c.dtlb_accesses).sum();
+        assert_eq!(executed, touches, "{}: lost touches", policy.label());
+        // Faults can never outnumber TLB misses.
+        let faults: u64 = r.per_core.iter().map(|c| c.page_faults).sum();
+        let misses: u64 = r.per_core.iter().map(|c| c.dtlb_misses).sum();
+        assert!(
+            faults <= misses,
+            "{}: {faults} faults > {misses} misses",
+            policy.label()
+        );
+    }
+}
+
+#[test]
+fn repeated_stress_runs_complete_and_agree_on_footprint() {
+    // Re-running the same pressure workload must neither deadlock nor
+    // leak frames; with ample memory the fault totals are also exact.
+    let t = synthetic::shared_hot(12, 32, 48, 4);
+    let mut fault_totals = Vec::new();
+    for _ in 0..3 {
+        let r = SimulationBuilder::trace(t.clone())
+            .policy(PolicyKind::Cmcp { p: 0.75 })
+            .memory_ratio(1.25)
+            .engine(EngineMode::Parallel(STRESS_WORKERS))
+            .run();
+        assert_eq!(r.global.evictions, 0);
+        fault_totals.push(r.per_core.iter().map(|c| c.page_faults).sum::<u64>());
+    }
+    assert!(
+        fault_totals.windows(2).all(|w| w[0] == w[1]),
+        "ample-memory fault totals must be schedule-independent: {fault_totals:?}"
+    );
+}
+
+#[test]
+fn traced_stress_run_still_validates_exactly() {
+    // The per-core breakdown must keep summing exactly to the kernel
+    // counters even when 8 workers interleave stripe locks and batched
+    // policy flushes.
+    let t = synthetic::shared_hot(8, 24, 40, 4);
+    let traced = SimulationBuilder::trace(t)
+        .policy(PolicyKind::Cmcp { p: 0.5 })
+        .memory_ratio(0.6)
+        .engine(EngineMode::Parallel(STRESS_WORKERS))
+        .run_traced();
+    assert_eq!(traced.dropped, 0, "default ring must hold the stress run");
+    let b = traced.report.breakdown.expect("traced run has a breakdown");
+    assert!(b.validated, "stripe-lock events must reconcile exactly");
+    let shard_locks: u64 = b.per_core.iter().map(|r| r.shard_lock_acquires).sum();
+    assert!(
+        shard_locks > 0,
+        "fault path must cross the residency stripes"
+    );
+}
+
+#[test]
+fn mixed_schemes_survive_stress() {
+    let t = synthetic::private_stream(8, 64, 4);
+    for scheme in [cmcp::SchemeChoice::Pspt, cmcp::SchemeChoice::Regular] {
+        let r = SimulationBuilder::trace(t.clone())
+            .scheme(scheme)
+            .memory_ratio(0.5)
+            .engine(EngineMode::Parallel(STRESS_WORKERS))
+            .run();
+        assert!(r.global.evictions > 0);
+        assert!(r.runtime_cycles > 0);
+    }
+}
