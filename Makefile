@@ -1,7 +1,7 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 # Everything runs offline: external crates are in-repo shims (shims/README.md).
 
-.PHONY: verify fmt lint test test-serial stress bench-smoke bench-parallel ci
+.PHONY: verify fmt lint test test-serial test-faults stress bench-smoke bench-parallel ci
 
 # The canonical acceptance gate: release build + full test suite.
 verify:
@@ -20,6 +20,12 @@ test:
 test-serial:
 	cargo test -q -- --test-threads=1
 
+# Fault-injection suite: shadow-oracle, determinism, and recovery tests.
+test-faults:
+	cargo test -q --test fault_injection
+	cargo test -q --test trace_validation
+	cargo test -q --release --test parallel_stress stress_workers_survive_a_one_percent_dma_error_plan
+
 # Parallel-engine stress tests at 8 workers (release: the point is load).
 stress:
 	cargo test -q --release --test parallel_stress --test engine_equivalence
@@ -33,4 +39,4 @@ bench-smoke:
 bench-parallel:
 	cargo bench -p cmcp-bench --bench parallel_scaling -- --bench
 
-ci: fmt lint verify test-serial stress bench-smoke
+ci: fmt lint verify test-serial test-faults stress bench-smoke

@@ -16,6 +16,7 @@
 
 use crate::clock::Cycles;
 use crate::cost::CostModel;
+use crate::fault::{FaultInjector, FaultSite};
 use crate::resource::{Reservation, VirtualResource};
 use crate::types::PageSize;
 
@@ -37,6 +38,19 @@ impl DmaDirection {
             DmaDirection::DeviceToHost => 1,
         }
     }
+}
+
+/// Outcome of a fault-checked transfer attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckedTransfer {
+    /// The engine reservation; `end` already includes any latency spike.
+    pub reservation: Reservation,
+    /// Extra completion-path stall injected by a latency spike (already
+    /// folded into `reservation.end`; reported so callers can count it).
+    pub spike_cycles: Cycles,
+    /// The transfer aborted with an error after completing its wait; the
+    /// data did not arrive and the caller must retry.
+    pub failed: bool,
 }
 
 /// The DMA engine: a transfer-time model plus a reservation clock.
@@ -135,6 +149,43 @@ impl DmaModel {
         self.transfer(now, bytes, dir)
     }
 
+    /// [`DmaModel::transfer_traced`] with fault injection. The engine is
+    /// reserved (and the link carries the bytes) whether or not the
+    /// attempt fails — an aborted transfer still burned its slot — and a
+    /// latency spike stretches the caller-visible completion time
+    /// without occupying the engine longer (the stall is in the
+    /// completion path, not the streaming channel). With `inj == None`
+    /// this is exactly [`DmaModel::transfer_traced`].
+    pub fn transfer_checked<R: cmcp_trace::Recorder>(
+        &self,
+        now: Cycles,
+        bytes: u64,
+        dir: DmaDirection,
+        inj: Option<&FaultInjector>,
+        tracer: &R,
+        core: u16,
+    ) -> CheckedTransfer {
+        let reservation = self.transfer_traced(now, bytes, dir, tracer, core);
+        let mut out = CheckedTransfer {
+            reservation,
+            spike_cycles: 0,
+            failed: false,
+        };
+        if let Some(inj) = inj {
+            if let Some(mult) = inj.roll_param(FaultSite::DmaLatency) {
+                let streaming = bytes * 1024 / self.bytes_per_kcycle;
+                out.spike_cycles = mult * streaming.max(1);
+                out.reservation.end += out.spike_cycles;
+            }
+            let err_site = match dir {
+                DmaDirection::HostToDevice => FaultSite::DmaIn,
+                DmaDirection::DeviceToHost => FaultSite::DmaOut,
+            };
+            out.failed = inj.roll(err_site);
+        }
+        out
+    }
+
     /// Total bytes moved host → device.
     pub fn bytes_in(&self) -> u64 {
         self.bytes_in.load(std::sync::atomic::Ordering::Relaxed)
@@ -191,6 +242,76 @@ mod tests {
         d.transfer_page(0, PageSize::K4, DmaDirection::HostToDevice);
         assert_eq!(d.bytes_in(), 8192);
         assert_eq!(d.bytes_out(), 65536);
+    }
+
+    #[test]
+    fn checked_transfer_without_injector_matches_plain() {
+        let d = DmaModel::new(&CostModel::default());
+        let plain = d.transfer(0, 4096, DmaDirection::HostToDevice);
+        let d2 = DmaModel::new(&CostModel::default());
+        let checked = d2.transfer_checked(
+            0,
+            4096,
+            DmaDirection::HostToDevice,
+            None,
+            &cmcp_trace::NullTracer,
+            0,
+        );
+        assert!(!checked.failed);
+        assert_eq!(checked.spike_cycles, 0);
+        assert_eq!(checked.reservation, plain);
+    }
+
+    #[test]
+    fn spikes_stretch_completion_not_occupancy() {
+        use crate::fault::FaultPlan;
+        let d = DmaModel::new(&CostModel::default());
+        let inj = crate::fault::FaultInjector::new(&FaultPlan::new(5).latency_spikes(0.5, 8));
+        let mut spiked = 0;
+        let mut now = 0;
+        for _ in 0..64 {
+            let c = d.transfer_checked(
+                now,
+                4096,
+                DmaDirection::HostToDevice,
+                Some(&inj),
+                &cmcp_trace::NullTracer,
+                0,
+            );
+            now = c.reservation.end;
+            if c.spike_cycles > 0 {
+                spiked += 1;
+                let streaming = 4096 * 1024 / CostModel::default().dma_bytes_per_kcycle;
+                assert_eq!(c.spike_cycles, 8 * streaming);
+            }
+        }
+        assert!(spiked > 5, "50% spike rate over 64 transfers: {spiked}");
+        // Engine busy time is unaffected by spikes (completion-path stall).
+        let streaming = 4096 * 1024 / CostModel::default().dma_bytes_per_kcycle;
+        assert_eq!(d.busy_cycles(), 64 * streaming);
+    }
+
+    #[test]
+    fn failed_transfers_still_carry_bytes() {
+        use crate::fault::FaultPlan;
+        let d = DmaModel::new(&CostModel::default());
+        let inj = crate::fault::FaultInjector::new(&FaultPlan::new(6).dma_errors(0.5));
+        let mut failures = 0;
+        for _ in 0..64 {
+            let c = d.transfer_checked(
+                0,
+                4096,
+                DmaDirection::DeviceToHost,
+                Some(&inj),
+                &cmcp_trace::NullTracer,
+                0,
+            );
+            if c.failed {
+                failures += 1;
+            }
+        }
+        assert!(failures > 5, "50% over 64 rolls: {failures}");
+        assert_eq!(d.bytes_out(), 64 * 4096, "aborted attempts burn the link");
     }
 
     #[test]

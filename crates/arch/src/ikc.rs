@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use crate::clock::Cycles;
 use crate::cost::CostModel;
+use crate::fault::{FaultInjector, FaultSite};
 use crate::resource::VirtualResource;
 
 /// Message classes with distinct host-side service behaviour.
@@ -94,6 +95,42 @@ impl IkcChannel {
             done_at: r.end + 2 * self.latency, // request + response hops
             queue_delay: r.queue_delay,
         }
+    }
+
+    /// One-way message latency (doorbell + IPI hop).
+    pub fn latency(&self) -> Cycles {
+        self.latency
+    }
+
+    /// [`IkcChannel::round_trip`] with fault injection: each injected
+    /// drop loses the message, and the caller discovers it only after a
+    /// resend timeout of one full unqueued round trip (service +
+    /// both hops). Returns the completion of the eventually-successful
+    /// trip — `done_at` already includes all timeout penalties — plus
+    /// the number of drops suffered. Dropped messages never occupied
+    /// the channel (they died on the wire), so only the final trip
+    /// reserves it. With `inj == None` this is exactly `round_trip`.
+    pub fn round_trip_checked(
+        &self,
+        now: Cycles,
+        msg: IkcMessage,
+        inj: Option<&FaultInjector>,
+    ) -> (IkcCompletion, u32) {
+        let mut drops = 0u32;
+        let mut start = now;
+        if let Some(inj) = inj {
+            while inj.roll(FaultSite::Ikc) {
+                drops += 1;
+                start += self.service_time(msg) + 2 * self.latency;
+                assert!(
+                    drops < 64,
+                    "64 consecutive IKC drops — fault rate beyond the clamp?"
+                );
+            }
+        }
+        let mut done = self.round_trip(start, msg);
+        done.queue_delay += start - now; // timeouts are wait, not work
+        (done, drops)
     }
 
     /// Total round trips.
@@ -180,6 +217,39 @@ mod tests {
         assert_eq!(a.queue_delay, 0);
         assert!(b.queue_delay >= 10_000, "second request queues: {b:?}");
         assert!(c.queued_cycles() >= 10_000);
+    }
+
+    #[test]
+    fn checked_round_trip_pays_timeouts_on_drops() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let c = channel();
+        let msg = IkcMessage::Syscall {
+            service: 1_000,
+            payload: 256,
+        };
+        // No injector: identical to the plain path.
+        let plain = c.round_trip(0, msg);
+        let c2 = channel();
+        let (checked, drops) = c2.round_trip_checked(0, msg, None);
+        assert_eq!(drops, 0);
+        assert_eq!(checked, plain);
+        // Heavy drops: completions get pushed out by timeout penalties.
+        let inj = FaultInjector::new(&FaultPlan::new(11).ikc_drops(0.5));
+        let mut total_drops = 0;
+        let mut penalized = 0;
+        for _ in 0..64 {
+            let base = channel().round_trip(0, msg).done_at;
+            let (done, d) = channel().round_trip_checked(0, msg, Some(&inj));
+            total_drops += d;
+            if d > 0 {
+                penalized += 1;
+                let timeout = channel().service_time(msg) + 2 * channel().latency();
+                assert_eq!(done.done_at, base + d as u64 * timeout);
+                assert_eq!(done.queue_delay, d as u64 * timeout);
+            }
+        }
+        assert!(total_drops > 10, "50% over 64 trips: {total_drops}");
+        assert!(penalized > 5);
     }
 
     #[test]

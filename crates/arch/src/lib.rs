@@ -21,6 +21,9 @@
 //!   movement between device RAM and the host backing store.
 //! * [`ikc`] — the IHK Inter-Kernel Communication channel used for
 //!   host-offloaded system calls (paper §2.1–2.2).
+//! * [`fault`] — seeded, declarative fault injection for the PCIe and
+//!   backing path ([`fault::FaultPlan`] → [`fault::FaultInjector`]),
+//!   used by the kernel's recovery machinery and test harness.
 //! * [`resource`] — virtual-time reservation resources (`start =
 //!   max(now, free); free = start + service`) used to model queueing on
 //!   shared hardware (the DMA engine) and software (page-table locks).
@@ -36,6 +39,7 @@
 pub mod clock;
 pub mod cost;
 pub mod dma;
+pub mod fault;
 pub mod ikc;
 pub mod resource;
 pub mod ring;
@@ -44,7 +48,8 @@ pub mod types;
 
 pub use clock::{CoreClock, Cycles};
 pub use cost::CostModel;
-pub use dma::DmaModel;
+pub use dma::{CheckedTransfer, DmaModel};
+pub use fault::{FaultInjector, FaultPlan, FaultRule, FaultSite};
 pub use ikc::{IkcChannel, IkcMessage};
 pub use resource::VirtualResource;
 pub use ring::RingModel;

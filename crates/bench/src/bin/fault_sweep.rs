@@ -1,0 +1,97 @@
+//! Resilience sweep: how much virtual time the recovery machinery costs
+//! as the PCIe/backing path degrades. Each workload runs under
+//! PSPT + CMCP at its tuned memory constraint with DMA error rates from
+//! 0 % to 10 % (plus a fixed 0.5 % ENOSPC rate), all under seed 42 so
+//! every cell is bit-reproducible.
+//!
+//! Reported per cell: runtime relative to the fault-free run, injected
+//! fault totals, retries, backoff cycles, and the degradation gauges
+//! (synchronous write-backs, quarantined frames).
+
+use serde::Serialize;
+
+use cmcp::{FaultPlan, PageSize, PolicyKind, SchemeChoice, SimulationBuilder, WorkloadClass};
+use cmcp_bench::{best_p, markdown_table, save_results, tuned_constraint, workloads, TraceCache};
+
+const CORES: usize = 8;
+const DMA_RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.1];
+const ENOSPC_RATE: f64 = 0.005;
+const SEED: u64 = 42;
+
+#[derive(Serialize)]
+struct SweepRow {
+    workload: String,
+    dma_rate: f64,
+    runtime_cycles: u64,
+    relative_runtime: f64,
+    dma_errors: u64,
+    enospc_events: u64,
+    retries: u64,
+    backoff_cycles: u64,
+    sync_writebacks: u64,
+    quarantined_frames: u64,
+}
+
+fn main() {
+    let mut cache = TraceCache::new();
+    let mut results = Vec::new();
+    println!("# Fault sweep — PSPT + CMCP, {CORES} cores, seed {SEED}\n");
+    let headers: Vec<String> = [
+        "workload",
+        "dma rate",
+        "rel. runtime",
+        "dma errs",
+        "enospc",
+        "retries",
+        "backoff cyc",
+        "sync wb",
+        "quarantined",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for w in workloads(WorkloadClass::B) {
+        let trace = cache.get(w, CORES).clone();
+        let mut baseline = 0u64;
+        for rate in DMA_RATES {
+            let plan = FaultPlan::new(SEED).dma_errors(rate).enospc(ENOSPC_RATE);
+            let r = SimulationBuilder::trace(trace.clone())
+                .scheme(SchemeChoice::Pspt)
+                .policy(PolicyKind::Cmcp { p: best_p(w) })
+                .memory_ratio(tuned_constraint(w))
+                .page_size(PageSize::K4)
+                .fault_plan(plan)
+                .run();
+            if rate == 0.0 {
+                baseline = r.runtime_cycles;
+            }
+            let row = SweepRow {
+                workload: w.label().to_string(),
+                dma_rate: rate,
+                runtime_cycles: r.runtime_cycles,
+                relative_runtime: r.runtime_cycles as f64 / baseline.max(1) as f64,
+                dma_errors: r.global.dma_errors,
+                enospc_events: r.global.enospc_events,
+                retries: r.per_core.iter().map(|c| c.fault_retries).sum(),
+                backoff_cycles: r.per_core.iter().map(|c| c.retry_backoff_cycles).sum(),
+                sync_writebacks: r.global.sync_writebacks,
+                quarantined_frames: r.global.quarantined_frames,
+            };
+            rows.push(vec![
+                row.workload.clone(),
+                format!("{:.1}%", rate * 100.0),
+                format!("{:.3}", row.relative_runtime),
+                row.dma_errors.to_string(),
+                row.enospc_events.to_string(),
+                row.retries.to_string(),
+                row.backoff_cycles.to_string(),
+                row.sync_writebacks.to_string(),
+                row.quarantined_frames.to_string(),
+            ]);
+            results.push(row);
+        }
+    }
+    println!("{}", markdown_table(&headers, &rows));
+    save_results("fault_sweep", &results);
+}

@@ -10,7 +10,8 @@
 use std::process::ExitCode;
 
 use cmcp::{
-    EngineMode, PageSize, PolicyKind, SchemeChoice, SimulationBuilder, Workload, WorkloadClass,
+    EngineMode, FaultPlan, PageSize, PolicyKind, SchemeChoice, SimulationBuilder, Workload,
+    WorkloadClass,
 };
 
 const USAGE: &str = "\
@@ -43,6 +44,12 @@ OPTIONS:
                          constraint)
     --parallel [N]       use the threaded engine (N threads, 0 = auto)
     --rebuild <MS>       periodic PSPT rebuild every MS virtual ms
+    --fault-plan <SPEC>  seeded fault injection on the PCIe/backing path,
+                         e.g. \"seed=42,dma=0.01,enospc=0.005\"; rules:
+                         dma=R (transfer errors), spike=R[xM] (latency
+                         spikes, xM multiplier), ikc=R (message drops),
+                         enospc=R (backing-store write failures),
+                         offload-death=N (engine dies after N calls)
     --json               emit the full report as JSON
     --list               list workloads and exit
     --help               this text
@@ -57,6 +64,7 @@ struct Args {
     memory: Option<f64>,
     engine: EngineMode,
     rebuild_ms: u64,
+    fault_plan: Option<FaultPlan>,
     json: bool,
     trace: bool,
     trace_out: String,
@@ -120,6 +128,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         memory: None,
         engine: EngineMode::Deterministic,
         rebuild_ms: 0,
+        fault_plan: None,
         json: false,
         trace: false,
         trace_out: "trace.jsonl".to_string(),
@@ -186,6 +195,9 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|_| "bad rebuild period".to_string())?;
             }
+            "--fault-plan" => {
+                args.fault_plan = Some(FaultPlan::parse(&value("--fault-plan")?)?);
+            }
             "--json" => args.json = true,
             "--out" if args.trace => args.trace_out = value("--out")?,
             "--chrome" if args.trace => args.chrome_out = Some(value("--chrome")?),
@@ -216,7 +228,7 @@ fn main() -> ExitCode {
     let memory = args
         .memory
         .unwrap_or_else(|| args.workload.paper_constraint());
-    let builder = SimulationBuilder::workload(args.workload)
+    let mut builder = SimulationBuilder::workload(args.workload)
         .cores(args.cores)
         .scheme(args.scheme)
         .policy(args.policy)
@@ -224,6 +236,10 @@ fn main() -> ExitCode {
         .memory_ratio(memory)
         .engine(args.engine)
         .pspt_rebuild_period(args.rebuild_ms * 1_053_000);
+    let faulted = args.fault_plan.is_some();
+    if let Some(plan) = args.fault_plan {
+        builder = builder.fault_plan(plan);
+    }
 
     let report = if args.trace {
         let builder = match args.trace_capacity {
@@ -307,6 +323,25 @@ fn main() -> ExitCode {
             report.dma_bytes.0 as f64 / 1e6,
             report.dma_bytes.1 as f64 / 1e6
         );
+        if faulted {
+            let g = &report.global;
+            println!(
+                "  faults injected: dma errors {}, latency spikes {}, ikc drops {}, enospc {}",
+                g.dma_errors, g.latency_spikes, g.ikc_drops, g.enospc_events
+            );
+            println!(
+                "  recovery: retries {}, backoff cycles {}, sync write-backs {}, sync syscalls {}, quarantined frames {}",
+                report.per_core.iter().map(|c| c.fault_retries).sum::<u64>(),
+                report
+                    .per_core
+                    .iter()
+                    .map(|c| c.retry_backoff_cycles)
+                    .sum::<u64>(),
+                g.sync_writebacks,
+                g.sync_syscalls,
+                g.quarantined_frames
+            );
+        }
         if let Some(b) = &report.breakdown {
             println!(
                 "  fault-path breakdown ({}):",

@@ -11,7 +11,7 @@ use std::collections::HashSet;
 
 use parking_lot::Mutex;
 
-use cmcp_arch::VirtPage;
+use cmcp_arch::{FaultInjector, FaultSite, VirtPage};
 
 /// Host-side block store (content-free: the simulator tracks residency
 /// and movement, not data bytes).
@@ -35,6 +35,20 @@ impl BackingStore {
     /// Records a write-back of `block` (device→host).
     pub fn store(&self, block: VirtPage) {
         self.present.lock().insert(block.0);
+    }
+
+    /// [`BackingStore::store`] with fault injection: returns `false`
+    /// (and records nothing) when the plan injects a write failure
+    /// (ENOSPC / transient I/O error) for this attempt. With
+    /// `inj == None` this always stores and succeeds.
+    pub fn try_store(&self, block: VirtPage, inj: Option<&FaultInjector>) -> bool {
+        if let Some(inj) = inj {
+            if inj.roll(FaultSite::Backing) {
+                return false;
+            }
+        }
+        self.store(block);
+        true
     }
 
     /// Number of blocks currently held on the host.
@@ -66,6 +80,27 @@ mod tests {
         assert!(b.contains(VirtPage(7)));
         assert!(!b.contains(VirtPage(8)));
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn try_store_injects_enospc() {
+        use cmcp_arch::FaultPlan;
+        let b = BackingStore::new();
+        assert!(b.try_store(VirtPage(1), None), "no injector: always ok");
+        let inj = FaultInjector::new(&FaultPlan::new(13).enospc(0.5));
+        let mut failures = 0;
+        for p in 0..64 {
+            if !b.try_store(VirtPage(100 + p), Some(&inj)) {
+                failures += 1;
+                assert!(
+                    !b.contains(VirtPage(100 + p)),
+                    "failed store records nothing"
+                );
+            } else {
+                assert!(b.contains(VirtPage(100 + p)));
+            }
+        }
+        assert!(failures > 5, "50% over 64 stores: {failures}");
     }
 
     #[test]

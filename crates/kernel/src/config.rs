@@ -1,6 +1,6 @@
 //! Experiment configuration for the kernel memory manager.
 
-use cmcp_arch::{CostModel, PageSize};
+use cmcp_arch::{CostModel, FaultPlan, PageSize};
 use cmcp_core::PolicyKind;
 
 /// Which page-table scheme the address space uses.
@@ -45,6 +45,10 @@ pub struct KernelConfig {
     /// future work: refresh the core-map counts of workloads whose
     /// sharing pattern drifts). 0 disables rebuilding.
     pub pspt_rebuild_period: u64,
+    /// Declarative fault schedule for the PCIe/backing path. `None`
+    /// (the default) injects nothing and leaves the fault path
+    /// bit-identical to a build without the fault layer.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl KernelConfig {
@@ -59,6 +63,7 @@ impl KernelConfig {
             cost: CostModel::default(),
             scan_budget: 0,
             pspt_rebuild_period: 0,
+            fault_plan: None,
         }
     }
 
@@ -77,6 +82,12 @@ impl KernelConfig {
     /// Builder-style page-size selection.
     pub fn with_block_size(mut self, size: PageSize) -> KernelConfig {
         self.block_size = size;
+        self
+    }
+
+    /// Builder-style fault-plan selection.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> KernelConfig {
+        self.fault_plan = Some(plan);
         self
     }
 }

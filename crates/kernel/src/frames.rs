@@ -62,6 +62,18 @@ pub struct FramePool {
     next: Vec<AtomicU32>,
     shards: Vec<Shard>,
     total_blocks: usize,
+    /// Poisoned-frame quarantine: a dedicated Treiber stack that
+    /// [`FramePool::alloc_for`] never pops, so a frame whose page-in DMA
+    /// failed unrecoverably can be parked without ever re-entering
+    /// circulation. Excluded from [`FramePool::free_blocks`].
+    quarantine: Shard,
+    /// Signed count of blocks still in circulation (free or allocated):
+    /// `total_blocks` minus completed quarantines. Signed for the same
+    /// reason as [`Shard::len`] — a racing reader must never observe a
+    /// transient underflow as a huge unsigned value.
+    usable: AtomicIsize,
+    /// Blocks ever quarantined (monotone).
+    quarantined: AtomicU64,
     /// Double-free detector, debug builds only: one flag per slot.
     #[cfg(debug_assertions)]
     on_free_list: Vec<std::sync::atomic::AtomicBool>,
@@ -85,6 +97,9 @@ impl FramePool {
             next: (0..blocks).map(|_| AtomicU32::new(NIL)).collect(),
             shards: (0..shards).map(|_| Shard::default()).collect(),
             total_blocks: blocks,
+            quarantine: Shard::default(),
+            usable: AtomicIsize::new(blocks as isize),
+            quarantined: AtomicU64::new(0),
             #[cfg(debug_assertions)]
             on_free_list: (0..blocks)
                 .map(|_| std::sync::atomic::AtomicBool::new(true))
@@ -239,6 +254,38 @@ impl FramePool {
         // genuine double frees exactly.
         self.push_shard(&self.shards[hint % self.shards.len()], frame);
     }
+
+    /// Permanently parks an *owned* block on the quarantine stack after
+    /// an unrecoverable page-in error: it never returns from
+    /// [`FramePool::alloc_for`] again. The signed `usable` counter is
+    /// decremented exactly once, here, before the frame becomes visible
+    /// on any stack — a steal racing this call can only miss the frame
+    /// (it is on no allocatable shard), never double-count it, so
+    /// `usable_blocks() == total_blocks() - quarantined_blocks()` holds
+    /// at every quiescent point. The caller must own the frame (the
+    /// debug double-free flags enforce this), which also rules out a
+    /// concurrent `free_for` of the same block.
+    pub fn quarantine(&self, frame: PhysFrame) {
+        let span = self.block_size.pages_4k() as u32;
+        assert!(
+            frame.0.is_multiple_of(span),
+            "quarantining unaligned block head {frame}"
+        );
+        self.usable.fetch_sub(1, Ordering::Relaxed);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.push_shard(&self.quarantine, frame);
+    }
+
+    /// Blocks still in circulation (free or allocated): total minus
+    /// quarantined. Clamped at zero like [`FramePool::free_blocks`].
+    pub fn usable_blocks(&self) -> usize {
+        self.usable.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Blocks ever quarantined.
+    pub fn quarantined_blocks(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +412,66 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(pool.free_blocks(), 4);
+    }
+
+    #[test]
+    fn quarantine_under_steal_races_decrements_usable_exactly_once() {
+        // Extension of the PR 2 underflow regression for the fault
+        // layer: while workers hammer alloc/free across shards (every
+        // alloc_for here steals once its home shard dries), others
+        // quarantine what they win. The signed usable counter must drop
+        // by exactly one per quarantine — never zero (leak), never two
+        // (double decrement via a racing steal) — and must never be
+        // observed above capacity mid-race.
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let pool = Arc::new(FramePool::with_shards(PageSize::K4, 64, 4));
+        let quarantines = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let pool = Arc::clone(&pool);
+                let quarantines = Arc::clone(&quarantines);
+                std::thread::spawn(move || {
+                    for round in 0..10_000usize {
+                        let Some(f) = pool.alloc_for(w) else { continue };
+                        assert!(pool.usable_blocks() <= pool.total_blocks());
+                        assert!(pool.free_blocks() <= pool.total_blocks());
+                        // Each worker quarantines 4 of its wins, spread
+                        // over the run so steals are in flight.
+                        if round % 2500 == 1 {
+                            pool.quarantine(f);
+                            quarantines.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            pool.free_for(f, w + round);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let q = quarantines.load(Ordering::Relaxed);
+        assert_eq!(q, 16, "4 workers × 4 quarantines");
+        assert_eq!(pool.quarantined_blocks(), q);
+        assert_eq!(pool.usable_blocks(), 64 - q as usize);
+        assert_eq!(pool.free_blocks(), 64 - q as usize);
+        // Quarantined blocks are really out of circulation: draining the
+        // pool yields exactly the usable count, all distinct.
+        let mut heads: Vec<u32> = std::iter::from_fn(|| pool.alloc_for(0).map(|f| f.0)).collect();
+        heads.sort_unstable();
+        heads.dedup();
+        assert_eq!(heads.len(), 64 - q as usize);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn freeing_a_quarantined_block_is_caught() {
+        let pool = FramePool::new(PageSize::K4, 2);
+        let f = pool.alloc().unwrap();
+        pool.quarantine(f);
+        pool.free(f);
     }
 
     #[test]

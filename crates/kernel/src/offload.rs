@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
-use cmcp_arch::{CoreClock, CoreId, Cycles, IkcChannel, IkcMessage};
+use cmcp_arch::{CoreClock, CoreId, Cycles, FaultInjector, IkcChannel, IkcMessage};
 
 use cmcp_arch::CostModel;
 
@@ -80,6 +80,39 @@ impl OffloadEngine {
         wait
     }
 
+    /// [`OffloadEngine::syscall`] with IKC fault injection: each dropped
+    /// message costs the caller a resend timeout (folded into the
+    /// returned wait). Returns the wait and the number of drops.
+    pub fn syscall_with_faults(
+        &self,
+        core: CoreId,
+        clock: &CoreClock,
+        call: Syscall,
+        inj: Option<&FaultInjector>,
+    ) -> (Cycles, u32) {
+        let now = clock.now();
+        let (done, drops) = self.channel.round_trip_checked(now, call.message(), inj);
+        let wait = done.done_at.saturating_sub(now);
+        clock.advance(wait);
+        self.calls[core.index()].fetch_add(1, Relaxed);
+        self.wait_cycles[core.index()].fetch_add(wait, Relaxed);
+        (wait, drops)
+    }
+
+    /// Synchronous fallback after offload-engine death: the call is
+    /// emulated locally without touching the (dead) channel, costing
+    /// the message's service time both ways plus the doorbell hops it
+    /// would have pipelined — strictly slower than a healthy offload,
+    /// which is the degradation the run reports surface.
+    pub fn sync_syscall(&self, core: CoreId, clock: &CoreClock, call: Syscall) -> Cycles {
+        let msg = call.message();
+        let wait = 2 * self.channel.service_time(msg) + 4 * self.channel.latency();
+        clock.advance(wait);
+        self.calls[core.index()].fetch_add(1, Relaxed);
+        self.wait_cycles[core.index()].fetch_add(wait, Relaxed);
+        wait
+    }
+
     /// Offloaded calls issued by `core`.
     pub fn calls(&self, core: CoreId) -> u64 {
         self.calls[core.index()].load(Relaxed)
@@ -133,6 +166,32 @@ mod tests {
             "4MB write must dwarf 4kB: {small} vs {big}"
         );
         assert_eq!(e.total_payload(), (4 << 10) + (4 << 20));
+    }
+
+    #[test]
+    fn faulted_syscall_without_plan_matches_plain() {
+        let e = engine(1);
+        let clock = CoreClock::new();
+        let plain = e.syscall(CoreId(0), &clock, Syscall::Metadata);
+        let e2 = engine(1);
+        let clock2 = CoreClock::new();
+        let (wait, drops) = e2.syscall_with_faults(CoreId(0), &clock2, Syscall::Metadata, None);
+        assert_eq!(drops, 0);
+        assert_eq!(wait, plain);
+    }
+
+    #[test]
+    fn sync_fallback_is_slower_than_healthy_offload() {
+        let e = engine(1);
+        let clock = CoreClock::new();
+        let offloaded = e.syscall(CoreId(0), &clock, Syscall::Write(64 << 10));
+        clock.advance(10_000_000);
+        let sync = e.sync_syscall(CoreId(0), &clock, Syscall::Write(64 << 10));
+        assert!(
+            sync > offloaded,
+            "degraded mode must cost more: {offloaded} vs {sync}"
+        );
+        assert_eq!(e.calls(CoreId(0)), 2, "sync calls still count");
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub struct CoreStats {
     /// Host-side residency stripe-lock acquisitions on this core's fault
     /// path (zero virtual cost — host parallelism bookkeeping only).
     pub shard_lock_acquires: AtomicU64,
+    /// Faults injected against this core by the active fault plan.
+    pub faults_injected: AtomicU64,
+    /// Recovery retries this core performed after injected faults.
+    pub fault_retries: AtomicU64,
+    /// Cycles this core spent in exponential retry backoff (a component
+    /// of `fault_cycles`).
+    pub retry_backoff_cycles: AtomicU64,
+    /// Frames this core moved to the quarantine list after
+    /// unrecoverable page-in DMA errors.
+    pub quarantines: AtomicU64,
 }
 
 impl CoreStats {
@@ -43,6 +53,10 @@ impl CoreStats {
             shootdown_cycles: self.shootdown_cycles.load(Relaxed),
             lock_wait_cycles: self.lock_wait_cycles.load(Relaxed),
             shard_lock_acquires: self.shard_lock_acquires.load(Relaxed),
+            faults_injected: self.faults_injected.load(Relaxed),
+            fault_retries: self.fault_retries.load(Relaxed),
+            retry_backoff_cycles: self.retry_backoff_cycles.load(Relaxed),
+            quarantines: self.quarantines.load(Relaxed),
             dtlb_misses: 0,
             dtlb_accesses: 0,
             cycles: 0,
@@ -70,6 +84,14 @@ pub struct CoreStatsSnapshot {
     pub lock_wait_cycles: u64,
     /// Residency stripe-lock acquisitions (host-side, zero virtual cost).
     pub shard_lock_acquires: u64,
+    /// Faults injected against this core.
+    pub faults_injected: u64,
+    /// Recovery retries performed.
+    pub fault_retries: u64,
+    /// Cycles spent in retry backoff.
+    pub retry_backoff_cycles: u64,
+    /// Frames quarantined by this core.
+    pub quarantines: u64,
     /// Data TLB misses (page walks) — Table 1.
     pub dtlb_misses: u64,
     /// Translated accesses.
@@ -93,6 +115,21 @@ pub struct GlobalStats {
     pub refaults: AtomicU64,
     /// PSPT rebuild passes executed.
     pub rebuilds: AtomicU64,
+    /// Injected DMA transfer errors (both directions).
+    pub dma_errors: AtomicU64,
+    /// Injected DMA latency spikes.
+    pub latency_spikes: AtomicU64,
+    /// Injected IKC message drops.
+    pub ikc_drops: AtomicU64,
+    /// Injected backing-store write failures (ENOSPC).
+    pub enospc_events: AtomicU64,
+    /// Write-backs that degraded from async offload to the synchronous
+    /// path (≥1 retry, or issued after offload-engine death).
+    pub sync_writebacks: AtomicU64,
+    /// Syscalls served by the synchronous fallback after offload death.
+    pub sync_syscalls: AtomicU64,
+    /// Frames currently on the quarantine list.
+    pub quarantined_frames: AtomicU64,
 }
 
 impl GlobalStats {
@@ -105,6 +142,13 @@ impl GlobalStats {
             scan_ptes: self.scan_ptes.load(Relaxed),
             refaults: self.refaults.load(Relaxed),
             rebuilds: self.rebuilds.load(Relaxed),
+            dma_errors: self.dma_errors.load(Relaxed),
+            latency_spikes: self.latency_spikes.load(Relaxed),
+            ikc_drops: self.ikc_drops.load(Relaxed),
+            enospc_events: self.enospc_events.load(Relaxed),
+            sync_writebacks: self.sync_writebacks.load(Relaxed),
+            sync_syscalls: self.sync_syscalls.load(Relaxed),
+            quarantined_frames: self.quarantined_frames.load(Relaxed),
         }
     }
 }
@@ -124,6 +168,20 @@ pub struct GlobalStatsSnapshot {
     pub refaults: u64,
     /// PSPT rebuild passes executed.
     pub rebuilds: u64,
+    /// Injected DMA transfer errors.
+    pub dma_errors: u64,
+    /// Injected DMA latency spikes.
+    pub latency_spikes: u64,
+    /// Injected IKC message drops.
+    pub ikc_drops: u64,
+    /// Injected backing-store write failures.
+    pub enospc_events: u64,
+    /// Write-backs degraded to the synchronous path.
+    pub sync_writebacks: u64,
+    /// Syscalls served synchronously after offload death.
+    pub sync_syscalls: u64,
+    /// Frames held in quarantine at run end.
+    pub quarantined_frames: u64,
 }
 
 #[cfg(test)]

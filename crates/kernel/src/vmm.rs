@@ -32,8 +32,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use cmcp_arch::{
-    dma::DmaDirection, CoreClock, CoreId, CoreSet, CostModel, Cycles, DmaModel, PageSize,
-    PhysFrame, RingModel, VirtPage, VirtualResource,
+    dma::DmaDirection, CoreClock, CoreId, CoreSet, CostModel, Cycles, DmaModel, FaultInjector,
+    FaultSite, PageSize, PhysFrame, RingModel, VirtPage, VirtualResource,
 };
 use cmcp_core::{AccessBitOracle, PolicyEvent, ReplacementPolicy};
 use cmcp_pagetable::{MapOutcome, Pspt, RegularTables, TableScheme, Translation};
@@ -59,6 +59,21 @@ const RESIDENT_SHARDS: usize = 64;
 /// failures means the configuration genuinely has fewer blocks than
 /// in-flight faults.
 const ALLOC_RETRY_LIMIT: u32 = 1 << 22;
+
+/// Base delay of the exponential retry backoff after an injected fault:
+/// ~2 µs at the KNC's 1.053 GHz. Doubles per attempt up to
+/// `BACKOFF_CAP_SHIFT` doublings.
+const BACKOFF_BASE: Cycles = 1 << 11;
+
+/// Backoff stops doubling after this many attempts (caps the per-retry
+/// delay at `BACKOFF_BASE << BACKOFF_CAP_SHIFT` ≈ 125 µs).
+const BACKOFF_CAP_SHIFT: u32 = 6;
+
+/// Hard cap on recovery attempts for one operation. Fault rates are
+/// clamped to 50 % at plan construction, so 64 consecutive failures has
+/// probability ≤ 2⁻⁶⁴ — reaching this cap means the injector is broken,
+/// not unlucky, and the run aborts loudly instead of livelocking.
+const MAX_RECOVERY_ATTEMPTS: u32 = 64;
 
 /// One lock stripe of the residency metadata: the resident blocks that
 /// hash to this stripe and their deferred write-back debt. Keeping
@@ -135,6 +150,14 @@ pub struct Vmm<R: Recorder = NullTracer> {
     core_stats: Vec<CoreStats>,
     global: GlobalStats,
     offload: OffloadEngine,
+    /// Compiled fault plan; `None` leaves every fault-injection branch
+    /// cold and the run bit-identical to a plan-free build.
+    injector: Option<FaultInjector>,
+    /// Offloaded syscalls issued so far (drives the offload-death rule).
+    offload_calls: AtomicU64,
+    /// Latched once the offload engine dies; all later syscalls take the
+    /// synchronous fallback.
+    offload_dead: AtomicBool,
     tracer: R,
 }
 
@@ -201,6 +224,9 @@ impl<R: Recorder> Vmm<R> {
             core_stats: (0..cfg.cores).map(|_| CoreStats::default()).collect(),
             global: GlobalStats::default(),
             offload: OffloadEngine::new(&cfg.cost, cfg.cores),
+            injector: cfg.fault_plan.as_ref().map(FaultInjector::new),
+            offload_calls: AtomicU64::new(0),
+            offload_dead: AtomicBool::new(false),
             tracer,
             cfg,
         }
@@ -376,6 +402,77 @@ impl<R: Recorder> Vmm<R> {
         guard
     }
 
+    /// The compiled fault injector, if a plan is active.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Whether the offload engine has died under the fault plan.
+    pub fn offload_dead(&self) -> bool {
+        self.offload_dead.load(Relaxed)
+    }
+
+    /// Whether `page`'s block is currently resident in device RAM.
+    /// Quiescent-state query for the test oracles.
+    pub fn block_resident(&self, page: VirtPage) -> bool {
+        let head = self.block_of(page);
+        let idx = self.resident_shard_of(head);
+        self.resident[idx].lock().map.contains_key(&head.0)
+    }
+
+    /// Whether the backing store holds a written-back copy of `page`'s
+    /// block. Quiescent-state query for the test oracles.
+    pub fn backing_contains(&self, page: VirtPage) -> bool {
+        self.backing.contains(self.block_of(page))
+    }
+
+    /// Frame-conservation audit: `(free, resident, quarantined, total)`
+    /// blocks. At any quiescent point `free + resident + quarantined ==
+    /// total` — a lost or doubly-freed frame breaks the equality.
+    pub fn frame_audit(&self) -> (usize, usize, u64, usize) {
+        (
+            self.pool.free_blocks(),
+            self.resident_blocks(),
+            self.pool.quarantined_blocks(),
+            self.pool.total_blocks(),
+        )
+    }
+
+    /// Records one injected fault against `core`: bumps the per-core
+    /// counter and emits the paired `FaultInjected` event (zero cycles —
+    /// the recovery events carry the time).
+    fn note_injected(&self, core: CoreId, site: FaultSite, attempt: u64) {
+        self.core_stats[core.index()]
+            .faults_injected
+            .fetch_add(1, Relaxed);
+        if R::ENABLED {
+            self.tracer.record(
+                core.0,
+                self.clocks[core.index()].now(),
+                EventKind::FaultInjected,
+                site.code(),
+                attempt,
+            );
+        }
+    }
+
+    /// Charges one bounded-exponential-backoff delay to `core` before it
+    /// retries a failed operation at `site`. Only called inside a fault
+    /// window, so the delay is a `fault_cycles` component — the emitted
+    /// `Retry` event carries the exact increment for the breakdown.
+    fn charge_backoff(&self, core: CoreId, attempt: u32, site: FaultSite) {
+        let delay = BACKOFF_BASE << attempt.min(BACKOFF_CAP_SHIFT);
+        let clock = &self.clocks[core.index()];
+        clock.advance(delay);
+        let st = &self.core_stats[core.index()];
+        st.fault_retries.fetch_add(1, Relaxed);
+        st.retry_backoff_cycles.fetch_add(delay, Relaxed);
+        if R::ENABLED {
+            self.tracer
+                .record(core.0, clock.now(), EventKind::Retry, delay, site.code());
+        }
+    }
+
     /// Figure 6's histogram (PSPT only): blocks by mapping-core count.
     pub fn sharing_histogram(&self) -> Option<Vec<usize>> {
         match &self.scheme {
@@ -424,8 +521,37 @@ impl<R: Recorder> Vmm<R> {
     }
 
     /// Executes a host-offloaded system call on behalf of `core`.
+    ///
+    /// Under an active fault plan the call rides the checked IKC path
+    /// (dropped messages cost resend timeouts, folded into the wait) and
+    /// the engine may die outright after the plan's call threshold —
+    /// from then on every syscall degrades to the synchronous fallback.
     pub fn offload_syscall(&self, core: CoreId, call: Syscall) -> Cycles {
-        self.offload.syscall(core, &self.clocks[core.index()], call)
+        let clock = &self.clocks[core.index()];
+        let inj = self.injector.as_ref();
+        if let Some(threshold) = inj.and_then(|i| i.offload_death_after()) {
+            let n = self.offload_calls.fetch_add(1, Relaxed);
+            if n >= threshold && !self.offload_dead.swap(true, Relaxed) {
+                self.note_injected(core, FaultSite::Offload, n);
+            }
+        }
+        if self.offload_dead.load(Relaxed) {
+            let wait = self.offload.sync_syscall(core, clock, call);
+            self.global.sync_syscalls.fetch_add(1, Relaxed);
+            return wait;
+        }
+        let (wait, drops) = self.offload.syscall_with_faults(core, clock, call, inj);
+        if drops > 0 {
+            // Drop timeouts happen outside fault windows, so they are
+            // *not* retry-backoff cycles — each drop is surfaced as an
+            // injected fault only, and the timeout itself is already in
+            // the offload wait.
+            self.global.ikc_drops.fetch_add(drops as u64, Relaxed);
+            for k in 0..drops as u64 {
+                self.note_injected(core, FaultSite::Ikc, k);
+            }
+        }
+        wait
     }
 
     /// Periodic PSPT rebuild (paper §5.6: "a more dynamic solution with
@@ -659,18 +785,46 @@ impl<R: Recorder> Vmm<R> {
             dirty |= out.dirty;
         }
         if dirty {
-            let r = self.dma.transfer_traced(
+            self.write_back(requester, victim);
+        }
+        drop(shard);
+        policy.on_evict(victim);
+        self.global.evictions.fetch_add(1, Relaxed);
+        self.pool.free_for(frame, requester.index());
+        true
+    }
+
+    /// Writes a dirty victim back to the host, riding out injected DMA
+    /// errors and backing-store write failures.
+    ///
+    /// The happy path (no injector, or no fault rolled) is a single
+    /// transfer plus the store — byte-identical to the pre-fault-layer
+    /// code. Each injected DMA error burns a real engine slot (the data
+    /// crossed the link before the abort), charges the full wait, then
+    /// backs off exponentially and retries; each injected ENOSPC backs
+    /// off and re-submits the store. A write-back that needed any
+    /// retry — or that ran after offload-engine death — has lost the
+    /// async offload pipeline and is counted as degraded to the
+    /// synchronous path (`GlobalStats::sync_writebacks`). The victim's
+    /// data is never dropped: this returns only once the host store
+    /// accepted the block.
+    fn write_back(&self, requester: CoreId, victim: VirtPage) {
+        let clock = &self.clocks[requester.index()];
+        let st = &self.core_stats[requester.index()];
+        let inj = self.injector.as_ref();
+        let mut attempt = 0u32;
+        loop {
+            let c = self.dma.transfer_checked(
                 clock.now(),
                 self.block_bytes(),
                 DmaDirection::DeviceToHost,
+                inj,
                 &self.tracer,
                 requester.0,
             );
-            let wait = r.end.saturating_sub(clock.now());
+            let wait = c.reservation.end.saturating_sub(clock.now());
             clock.advance(wait);
-            self.core_stats[requester.index()]
-                .dma_wait_cycles
-                .fetch_add(wait, Relaxed);
+            st.dma_wait_cycles.fetch_add(wait, Relaxed);
             if R::ENABLED {
                 self.tracer.record(
                     requester.0,
@@ -680,14 +834,37 @@ impl<R: Recorder> Vmm<R> {
                     DmaDirection::DeviceToHost.code(),
                 );
             }
-            self.backing.store(victim);
-            self.global.writebacks.fetch_add(1, Relaxed);
+            if c.spike_cycles > 0 {
+                self.global.latency_spikes.fetch_add(1, Relaxed);
+                self.note_injected(requester, FaultSite::DmaLatency, attempt as u64);
+            }
+            if !c.failed {
+                break;
+            }
+            self.global.dma_errors.fetch_add(1, Relaxed);
+            self.note_injected(requester, FaultSite::DmaOut, attempt as u64);
+            self.charge_backoff(requester, attempt, FaultSite::DmaOut);
+            attempt += 1;
+            assert!(
+                attempt < MAX_RECOVERY_ATTEMPTS,
+                "{MAX_RECOVERY_ATTEMPTS} consecutive write-back DMA errors on {victim}"
+            );
         }
-        drop(shard);
-        policy.on_evict(victim);
-        self.global.evictions.fetch_add(1, Relaxed);
-        self.pool.free_for(frame, requester.index());
-        true
+        let mut store_attempt = 0u32;
+        while !self.backing.try_store(victim, inj) {
+            self.global.enospc_events.fetch_add(1, Relaxed);
+            self.note_injected(requester, FaultSite::Backing, store_attempt as u64);
+            self.charge_backoff(requester, store_attempt, FaultSite::Backing);
+            store_attempt += 1;
+            assert!(
+                store_attempt < MAX_RECOVERY_ATTEMPTS,
+                "{MAX_RECOVERY_ATTEMPTS} consecutive ENOSPC failures storing {victim}"
+            );
+        }
+        if attempt > 0 || store_attempt > 0 || self.offload_dead.load(Relaxed) {
+            self.global.sync_writebacks.fetch_add(1, Relaxed);
+        }
+        self.global.writebacks.fetch_add(1, Relaxed);
     }
 
     /// Handles a page fault raised by `core` on the 4 kB page `page`.
@@ -723,7 +900,7 @@ impl<R: Recorder> Vmm<R> {
         // buffer and applied under one policy-lock acquisition per
         // `batch_limit` events.
         let shard_idx = self.resident_shard_of(head);
-        let kind = loop {
+        let kind = 'fault: loop {
             let mut shard = self.lock_resident_shard(core, shard_idx);
             if let Some(frame) = shard.map.get(&head.0).copied() {
                 // Resident: PSPT minor fault (copy a sibling's PTE).
@@ -768,34 +945,88 @@ impl<R: Recorder> Vmm<R> {
             // lock released, then re-check — another core may have
             // faulted the same block in meanwhile.
             drop(shard);
-            let frame = self.alloc_frame(core);
+            let mut frame = self.alloc_frame(core);
             shard = self.lock_resident_shard(core, shard_idx);
             if shard.map.contains_key(&head.0) {
                 // Lost the race: hand the frame back and retry as minor.
                 drop(shard);
                 self.pool.free_for(frame, core.index());
-                continue;
+                continue 'fault;
             }
             if self.backing.contains(head) {
-                // Real content on the host: DMA it in.
-                let r = self.dma.transfer_traced(
-                    clock.now(),
-                    self.block_bytes(),
-                    DmaDirection::HostToDevice,
-                    &self.tracer,
-                    core.0,
-                );
-                let wait = r.end.saturating_sub(clock.now());
-                clock.advance(wait);
-                st.dma_wait_cycles.fetch_add(wait, Relaxed);
-                if R::ENABLED {
-                    self.tracer.record(
-                        core.0,
+                // Real content on the host: DMA it in, riding out
+                // injected transfer errors. A failed attempt may have
+                // torn a partial block into the frame, so the frame is
+                // quarantined (while the pool has headroom) and the
+                // retry lands in a fresh one; when frames are scarce the
+                // same frame is reused — the retried DMA overwrites the
+                // torn data in full.
+                let inj = self.injector.as_ref();
+                let mut attempt = 0u32;
+                loop {
+                    let c = self.dma.transfer_checked(
                         clock.now(),
-                        EventKind::DmaComplete,
-                        wait,
-                        DmaDirection::HostToDevice.code(),
+                        self.block_bytes(),
+                        DmaDirection::HostToDevice,
+                        inj,
+                        &self.tracer,
+                        core.0,
                     );
+                    let wait = c.reservation.end.saturating_sub(clock.now());
+                    clock.advance(wait);
+                    st.dma_wait_cycles.fetch_add(wait, Relaxed);
+                    if R::ENABLED {
+                        self.tracer.record(
+                            core.0,
+                            clock.now(),
+                            EventKind::DmaComplete,
+                            wait,
+                            DmaDirection::HostToDevice.code(),
+                        );
+                    }
+                    if c.spike_cycles > 0 {
+                        self.global.latency_spikes.fetch_add(1, Relaxed);
+                        self.note_injected(core, FaultSite::DmaLatency, attempt as u64);
+                    }
+                    if !c.failed {
+                        break;
+                    }
+                    self.global.dma_errors.fetch_add(1, Relaxed);
+                    self.note_injected(core, FaultSite::DmaIn, attempt as u64);
+                    self.charge_backoff(core, attempt, FaultSite::DmaIn);
+                    attempt += 1;
+                    assert!(
+                        attempt < MAX_RECOVERY_ATTEMPTS,
+                        "{MAX_RECOVERY_ATTEMPTS} consecutive page-in DMA errors on {head}"
+                    );
+                    if self.pool.usable_blocks() > self.cfg.cores {
+                        // Quarantine the poisoned frame and retry into a
+                        // fresh one. Allocation may need to evict, which
+                        // takes the policy lock and a victim stripe —
+                        // never while holding this block's stripe.
+                        drop(shard);
+                        self.pool.quarantine(frame);
+                        st.quarantines.fetch_add(1, Relaxed);
+                        self.global.quarantined_frames.fetch_add(1, Relaxed);
+                        if R::ENABLED {
+                            self.tracer.record(
+                                core.0,
+                                clock.now(),
+                                EventKind::Quarantine,
+                                frame.0 as u64,
+                                head.0,
+                            );
+                        }
+                        frame = self.alloc_frame(core);
+                        shard = self.lock_resident_shard(core, shard_idx);
+                        if shard.map.contains_key(&head.0) {
+                            // Another core faulted the block in while the
+                            // stripe was unlocked: retry as minor.
+                            drop(shard);
+                            self.pool.free_for(frame, core.index());
+                            continue 'fault;
+                        }
+                    }
                 }
                 self.global.refaults.fetch_add(1, Relaxed);
             }

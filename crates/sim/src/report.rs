@@ -73,6 +73,10 @@ impl RunReport {
                     shootdown_cycles: c.shootdown_cycles,
                     lock_wait_cycles: c.lock_wait_cycles,
                     shard_lock_acquires: c.shard_lock_acquires,
+                    faults_injected: c.faults_injected,
+                    fault_retries: c.fault_retries,
+                    retry_backoff_cycles: c.retry_backoff_cycles,
+                    quarantines: c.quarantines,
                 })
                 .collect();
             let b = Breakdown::from_events(&events, per_core.len(), dropped)

@@ -31,6 +31,14 @@ pub struct CoreTotals {
     pub lock_wait_cycles: u64,
     /// Host-side residency stripe-lock acquisitions (zero cycles).
     pub shard_lock_acquires: u64,
+    /// Faults injected against this core by the fault plan.
+    pub faults_injected: u64,
+    /// Recovery retries this core performed after injected faults.
+    pub fault_retries: u64,
+    /// Cycles spent in retry backoff (a `fault_cycles` component).
+    pub retry_backoff_cycles: u64,
+    /// Frames this core moved to the quarantine list.
+    pub quarantines: u64,
 }
 
 /// One core's traced cycle decomposition.
@@ -66,6 +74,15 @@ pub struct CoreBreakdown {
     pub shard_lock_acquires: u64,
     /// Cycles spent waiting at barriers.
     pub barrier_wait_cycles: u64,
+    /// Injected faults observed on this core (`FaultInjected` count).
+    pub faults_injected: u64,
+    /// Recovery retries (`Retry` count).
+    pub fault_retries: u64,
+    /// ... of which fault cycles: exponential-backoff delay charged by
+    /// retries (`Retry` payload sum).
+    pub retry_backoff_cycles: u64,
+    /// Frames quarantined (`Quarantine` count; zero cycles).
+    pub quarantines: u64,
 }
 
 /// A whole run's traced decomposition.
@@ -113,6 +130,12 @@ impl Breakdown {
                 EventKind::TlbInvalidate => row.tlb_invalidations += 1,
                 EventKind::BarrierArrive => row.barrier_wait_cycles += e.b,
                 EventKind::ShardLock => row.shard_lock_acquires += 1,
+                EventKind::FaultInjected => row.faults_injected += 1,
+                EventKind::Retry => {
+                    row.fault_retries += 1;
+                    row.retry_backoff_cycles += e.a;
+                }
+                EventKind::Quarantine => row.quarantines += 1,
                 EventKind::LockRelease
                 | EventKind::VictimSelect
                 | EventKind::DmaEnqueue
@@ -124,7 +147,8 @@ impl Breakdown {
                 + row.lock_hold_cycles
                 + row.shootdown_cycles
                 + row.dma_wait_cycles
-                + row.policy_scan_cycles;
+                + row.policy_scan_cycles
+                + row.retry_backoff_cycles;
             row.other_cycles = row.fault_cycles.saturating_sub(components);
         }
         Breakdown {
@@ -164,6 +188,14 @@ impl Breakdown {
                     row.shard_lock_acquires,
                     t.shard_lock_acquires,
                 ),
+                ("faults_injected", row.faults_injected, t.faults_injected),
+                ("fault_retries", row.fault_retries, t.fault_retries),
+                (
+                    "retry_backoff_cycles",
+                    row.retry_backoff_cycles,
+                    t.retry_backoff_cycles,
+                ),
+                ("quarantines", row.quarantines, t.quarantines),
             ];
             for (name, traced, counted) in checks {
                 if traced != counted {
@@ -244,7 +276,7 @@ mod tests {
             dma_wait_cycles: 40,
             shootdown_cycles: 0,
             lock_wait_cycles: 10,
-            shard_lock_acquires: 0,
+            ..CoreTotals::default()
         }];
         let b = Breakdown::from_events(&events, 1, 0)
             .validate_against(&totals)
@@ -305,6 +337,48 @@ mod tests {
             .validate(&wrong)
             .unwrap_err();
         assert!(err.contains("shard_lock_acquires"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn fault_spans_decompose_and_validate() {
+        let events = [
+            e(0, EventKind::FaultStart, 7, 0),
+            e(0, EventKind::FaultInjected, 1, 0), // DMA-out error, attempt 0
+            e(0, EventKind::Retry, 30, 1),        // 30-cycle backoff
+            e(0, EventKind::FaultInjected, 4, 1), // ENOSPC
+            e(0, EventKind::Retry, 60, 4),
+            e(0, EventKind::Quarantine, 9, 5),
+            e(0, EventKind::DmaComplete, 40, 1),
+            e(0, EventKind::FaultEnd, 0, 200),
+        ];
+        let b = Breakdown::from_events(&events, 1, 0);
+        let row = &b.per_core[0];
+        assert_eq!(row.faults_injected, 2);
+        assert_eq!(row.fault_retries, 2);
+        assert_eq!(row.retry_backoff_cycles, 90);
+        assert_eq!(row.quarantines, 1);
+        assert_eq!(row.other_cycles, 200 - 40 - 90, "backoff is a component");
+        let totals = [CoreTotals {
+            page_faults: 1,
+            fault_cycles: 200,
+            dma_wait_cycles: 40,
+            faults_injected: 2,
+            fault_retries: 2,
+            retry_backoff_cycles: 90,
+            quarantines: 1,
+            ..CoreTotals::default()
+        }];
+        let b = b.validate_against(&totals).unwrap();
+        assert!(b.validated);
+        // A retry-count mismatch is caught.
+        let wrong = [CoreTotals {
+            fault_retries: 3,
+            ..totals[0]
+        }];
+        let err = Breakdown::from_events(&events, 1, 0)
+            .validate(&wrong)
+            .unwrap_err();
+        assert!(err.contains("fault_retries"), "unexpected: {err}");
     }
 
     #[test]

@@ -95,6 +95,22 @@ pub enum EventKind {
     /// cycles; the event exists so host-contention analyses line up
     /// with `CoreStats.shard_lock_acquires` exactly.
     ShardLock = 13,
+    /// The fault-injection layer fired at some site. `a` = site code
+    /// (see `cmcp_arch::FaultSite`), `b` = attempt index at which the
+    /// fault hit (0 = first try). Counted against
+    /// `CoreStats.faults_injected`; charges no cycles itself — the
+    /// paired `Retry`/`DmaComplete` events carry the time.
+    FaultInjected = 14,
+    /// A recovery retry backed off in virtual time. `a` = backoff
+    /// cycles charged (the exact `retry_backoff_cycles` increment),
+    /// `b` = site code being retried. Emitted only on the fault path
+    /// (inside a fault window), so `a` is a component of
+    /// `fault_cycles` in the breakdown.
+    Retry = 15,
+    /// A frame was quarantined after an unrecoverable page-in DMA
+    /// error. `a` = frame head page, `b` = faulting block head page.
+    /// Counted against `CoreStats.quarantines`; zero cycles.
+    Quarantine = 16,
 }
 
 impl EventKind {
@@ -115,6 +131,9 @@ impl EventKind {
             EventKind::BarrierArrive => "barrier_arrive",
             EventKind::Rebuild => "rebuild",
             EventKind::ShardLock => "shard_lock",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::Retry => "retry",
+            EventKind::Quarantine => "quarantine",
         }
     }
 
@@ -134,6 +153,9 @@ impl EventKind {
             11 => EventKind::BarrierArrive,
             12 => EventKind::Rebuild,
             13 => EventKind::ShardLock,
+            14 => EventKind::FaultInjected,
+            15 => EventKind::Retry,
+            16 => EventKind::Quarantine,
             _ => return None,
         })
     }

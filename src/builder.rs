@@ -1,6 +1,6 @@
 //! The high-level simulation builder: one experiment, one call chain.
 
-use cmcp_arch::{CostModel, PageSize};
+use cmcp_arch::{CostModel, FaultPlan, PageSize};
 use cmcp_core::PolicyKind;
 use cmcp_kernel::{KernelConfig, SchemeChoice, Vmm};
 use cmcp_sim::{run_deterministic, run_parallel, RunReport, Trace};
@@ -39,6 +39,7 @@ pub struct SimulationBuilder {
     scan_budget: usize,
     pspt_rebuild_period: u64,
     trace_capacity: usize,
+    fault_plan: Option<FaultPlan>,
 }
 
 /// A traced run: the usual report (with its validated breakdown) plus
@@ -92,6 +93,7 @@ impl SimulationBuilder {
             scan_budget: 0,
             pspt_rebuild_period: 0,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            fault_plan: None,
         }
     }
 
@@ -162,6 +164,13 @@ impl SimulationBuilder {
         self
     }
 
+    /// Arms the seeded fault-injection layer with `plan` (default: no
+    /// faults). See `cmcp_arch::FaultPlan` for the rule language.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Per-core event-ring capacity used by [`SimulationBuilder::run_traced`]
     /// (default [`DEFAULT_TRACE_CAPACITY`]). Smaller rings drop the oldest
     /// events on wraparound, which disables breakdown validation.
@@ -194,6 +203,7 @@ impl SimulationBuilder {
             cost: self.cost.clone(),
             scan_budget: self.scan_budget,
             pspt_rebuild_period: self.pspt_rebuild_period,
+            fault_plan: self.fault_plan.clone(),
         };
         (trace, cfg)
     }

@@ -53,7 +53,7 @@ pub use cmcp_sim as sim;
 pub use cmcp_trace as trace;
 pub use cmcp_workloads as workloads;
 
-pub use cmcp_arch::{CostModel, PageSize};
+pub use cmcp_arch::{CostModel, FaultPlan, FaultRule, FaultSite, PageSize};
 pub use cmcp_core::{CmcpConfig, CmcpPolicy, PolicyKind};
 pub use cmcp_kernel::{KernelConfig, SchemeChoice, Vmm};
 pub use cmcp_sim::{RunReport, Trace};

@@ -88,6 +88,39 @@ fn traced_stress_run_still_validates_exactly() {
 }
 
 #[test]
+fn stress_workers_survive_a_one_percent_dma_error_plan() {
+    // 8 workers under eviction pressure with 1% of DMA transfers failing
+    // and occasional ENOSPC on the backing store: the run must neither
+    // wedge nor panic, every touch must execute, and the write-back path
+    // must demonstrably degrade to the synchronous mode at least once.
+    let t = synthetic::shared_hot(16, 48, 64, 6);
+    let touches = t.total_touches();
+    let r = SimulationBuilder::trace(t)
+        .policy(PolicyKind::Cmcp { p: 0.5 })
+        .memory_ratio(0.5)
+        .engine(EngineMode::Parallel(STRESS_WORKERS))
+        .fault_plan(cmcp::FaultPlan::new(7).dma_errors(0.01).enospc(0.005))
+        .run();
+    let executed: u64 = r.per_core.iter().map(|c| c.dtlb_accesses).sum();
+    assert_eq!(executed, touches, "faults must not lose touches");
+    assert!(
+        r.global.dma_errors > 0,
+        "1% over thousands of transfers must fire"
+    );
+    assert!(
+        r.global.sync_writebacks > 0,
+        "retried write-backs must be counted as synchronous degradations"
+    );
+    // Every DMA error and every ENOSPC charges exactly one backoff.
+    let retries: u64 = r.per_core.iter().map(|c| c.fault_retries).sum();
+    assert_eq!(retries, r.global.dma_errors + r.global.enospc_events);
+    // Quarantined frames stay out of circulation but the pool books stay
+    // balanced: quarantine total matches the global gauge.
+    let quarantines: u64 = r.per_core.iter().map(|c| c.quarantines).sum();
+    assert_eq!(quarantines, r.global.quarantined_frames);
+}
+
+#[test]
 fn mixed_schemes_survive_stress() {
     let t = synthetic::private_stream(8, 64, 4);
     for scheme in [cmcp::SchemeChoice::Pspt, cmcp::SchemeChoice::Regular] {

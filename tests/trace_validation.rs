@@ -153,6 +153,81 @@ fn parallel_engine_traced_run_validates() {
 }
 
 #[test]
+fn fault_spans_decompose_cleanly_in_a_traced_run() {
+    // Under an active plan the new FaultInjected / Retry / Quarantine
+    // spans must reconcile exactly: per-core event counts match the
+    // kernel counters, retry backoff cycles sum precisely into the
+    // validated breakdown, and every retry pairs with an injected fault.
+    let t = cmcp::workloads::synthetic::shared_hot(6, 32, 48, 5);
+    let traced = SimulationBuilder::trace(t)
+        .policy(PolicyKind::Cmcp { p: 0.5 })
+        .memory_ratio(0.5)
+        .fault_plan(cmcp::FaultPlan::new(42).dma_errors(0.02).enospc(0.01))
+        .run_traced();
+    assert_eq!(traced.dropped, 0, "default ring must hold the faulted run");
+    let b = traced.report.breakdown.expect("traced run has a breakdown");
+    assert!(b.validated, "fault spans must reconcile with the counters");
+    let mut injected_total = 0;
+    for (core, sc) in traced.report.per_core.iter().enumerate() {
+        let of = |kind: EventKind| {
+            traced
+                .events
+                .iter()
+                .filter(|e| e.core == core as u16 && e.kind == kind)
+                .collect::<Vec<_>>()
+        };
+        let injected = of(EventKind::FaultInjected);
+        let retries = of(EventKind::Retry);
+        let quarantines = of(EventKind::Quarantine);
+        assert_eq!(injected.len() as u64, sc.faults_injected);
+        assert_eq!(retries.len() as u64, sc.fault_retries);
+        assert_eq!(quarantines.len() as u64, sc.quarantines);
+        // Retry events carry the charged backoff in `a`; the sum is the
+        // exact per-core backoff counter, which the validated breakdown
+        // books as a fault_cycles component.
+        let backoff: u64 = retries.iter().map(|e| e.a).sum();
+        assert_eq!(backoff, sc.retry_backoff_cycles);
+        assert!(
+            sc.fault_retries <= sc.faults_injected,
+            "every retry answers an injected fault"
+        );
+        let br = &b.per_core[core];
+        assert_eq!(br.faults_injected, sc.faults_injected);
+        assert_eq!(br.fault_retries, sc.fault_retries);
+        assert_eq!(br.retry_backoff_cycles, sc.retry_backoff_cycles);
+        assert_eq!(br.quarantines, sc.quarantines);
+        injected_total += injected.len() as u64;
+    }
+    assert!(injected_total > 0, "2% over this run must inject something");
+    let global_total = traced.report.global.dma_errors
+        + traced.report.global.latency_spikes
+        + traced.report.global.ikc_drops
+        + traced.report.global.enospc_events
+        + u64::from(traced.report.global.sync_syscalls > 0);
+    assert_eq!(
+        injected_total, global_total,
+        "per-core injection events must sum to the global site counters"
+    );
+}
+
+#[test]
+fn a_zero_rate_plan_changes_nothing() {
+    // Arming the injector with all-zero rates must leave the run
+    // bit-identical to an unfaulted one: the injector consumes sequence
+    // numbers but never perturbs virtual time.
+    let t = cmcp::workloads::synthetic::shared_hot(4, 24, 40, 3);
+    let base = SimulationBuilder::trace(t.clone())
+        .memory_ratio(0.5)
+        .run_traced();
+    let armed = SimulationBuilder::trace(t)
+        .memory_ratio(0.5)
+        .fault_plan(cmcp::FaultPlan::new(99).dma_errors(0.0))
+        .run_traced();
+    assert_eq!(base.events, armed.events, "zero rates must be inert");
+    assert_eq!(base.report.per_core, armed.report.per_core);
+}
+
+#[test]
 fn exports_cover_every_event() {
     let t = cmcp::workloads::synthetic::private_stream(2, 32, 2);
     let traced = SimulationBuilder::trace(t).memory_ratio(0.5).run_traced();
