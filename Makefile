@@ -1,7 +1,7 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 # Everything runs offline: external crates are in-repo shims (shims/README.md).
 
-.PHONY: verify fmt lint test test-serial test-faults stress bench-smoke bench-parallel ci
+.PHONY: verify fmt lint test test-serial test-faults test-loom test-miri test-tsan stress bench-smoke bench-parallel ci
 
 # The canonical acceptance gate: release build + full test suite.
 verify:
@@ -26,6 +26,36 @@ test-faults:
 	cargo test -q --test trace_validation
 	cargo test -q --release --test parallel_stress stress_workers_survive_a_one_percent_dma_error_plan
 
+# Bounded model checking of the lock-free core (frame pool, trace ring):
+# swaps std atomics for the loom shim's model-checked ones and explores
+# every thread interleaving + release/acquire read choice up to the
+# preemption bound. LOOM_MAX_PREEMPTIONS=3 make test-loom to dig deeper.
+test-loom:
+	RUSTFLAGS="--cfg loom" cargo test -p cmcp-kernel -p cmcp-trace --lib loom_
+
+# Miri over the audited lock-free modules (UB + ordering detector with a
+# randomized scheduler). Skips with a notice when the toolchain has no
+# miri component (it is nightly-only on some channels).
+test-miri:
+	@if cargo miri --version >/dev/null 2>&1; then \
+		cargo miri test -p cmcp-kernel -p cmcp-trace --lib; \
+	else \
+		echo "miri component not installed (rustup component add miri); skipping"; \
+	fi
+
+# ThreadSanitizer leg. Needs nightly AND rust-src: std must be rebuilt
+# instrumented (-Zbuild-std) or TSan reports false races inside
+# uninstrumented Arc/thread internals. Skips with a notice otherwise.
+test-tsan:
+	@if cargo +nightly --version >/dev/null 2>&1 && \
+	    rustup component list --toolchain nightly --installed 2>/dev/null | grep -q rust-src; then \
+		RUSTFLAGS="-Z sanitizer=thread" \
+		cargo +nightly test -Z build-std -p cmcp-kernel -p cmcp-trace --lib \
+			--target x86_64-unknown-linux-gnu; \
+	else \
+		echo "nightly + rust-src not installed (TSan needs an instrumented std via -Zbuild-std); skipping"; \
+	fi
+
 # Parallel-engine stress tests at 8 workers (release: the point is load).
 stress:
 	cargo test -q --release --test parallel_stress --test engine_equivalence
@@ -39,4 +69,4 @@ bench-smoke:
 bench-parallel:
 	cargo bench -p cmcp-bench --bench parallel_scaling -- --bench
 
-ci: fmt lint verify test-serial test-faults stress bench-smoke
+ci: fmt lint verify test-serial test-faults test-loom stress bench-smoke

@@ -10,9 +10,15 @@
 //! produces bit-identical failure schedules regardless of host thread
 //! interleaving within a site.
 //!
-//! Rates are clamped to 50 % at plan construction so recovery retry
-//! loops terminate with overwhelming probability (the kernel still
-//! enforces a hard attempt cap as a backstop).
+//! Rates are capped at 50 % so recovery retry loops terminate with
+//! overwhelming probability (the kernel still enforces a hard attempt
+//! cap as a backstop). The cap is enforced in two registers:
+//! [`FaultPlan::parse`] — the CLI path — *rejects* a rate above 0.5
+//! with an error, because a user who typed `dma=0.9` would otherwise
+//! silently run a different experiment than they asked for; the
+//! programmatic builders ([`FaultPlan::dma_errors`] & co.) keep the
+//! silent clamp, because sweep harnesses legitimately drive them with
+//! computed values and expect saturation semantics.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -176,8 +182,11 @@ impl FaultPlan {
     /// seed=42,dma=0.01,enospc=0.005,spike=0.001x8,ikc=0.002,offload-death=1000
     /// ```
     ///
-    /// `dma`, `enospc`, `ikc` take a probability in [0, 1]; `spike`
-    /// takes `rate` or `ratexmult`; `offload-death` takes a call count.
+    /// `dma`, `enospc`, `ikc` and `spike` take a probability in
+    /// [0, 0.5] — rates above [`MAX_RATE_PPM`] (50 %) are **rejected**
+    /// here rather than silently clamped, so a CLI run never executes a
+    /// quietly weaker plan than its spec claims; `spike` takes `rate`
+    /// or `ratexmult`; `offload-death` takes a call count.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new(0);
         for part in spec.split(',') {
@@ -194,6 +203,17 @@ impl FaultPlan {
                     .map_err(|_| format!("fault-plan '{key}': bad rate '{v}'"))?;
                 if !(0.0..=1.0).contains(&r) {
                     return Err(format!("fault-plan '{key}': rate {r} outside [0, 1]"));
+                }
+                // Loud, not lossy: the builders below would clamp this
+                // to MAX_RATE_PPM silently, which for a hand-written
+                // spec means running a different experiment than the
+                // flag claims. Reject instead.
+                if r > MAX_RATE_PPM as f64 / PPM as f64 {
+                    return Err(format!(
+                        "fault-plan '{key}': rate {r} exceeds the 0.5 cap \
+                         (rates above 50% defeat bounded-retry recovery); \
+                         use a rate in [0, 0.5]"
+                    ));
                 }
                 Ok(r)
             };
@@ -375,6 +395,27 @@ mod tests {
         assert!(plan.rules.iter().all(|r| r.rate_ppm == MAX_RATE_PPM));
         let inj = FaultInjector::new(&plan);
         assert_eq!(inj.rate_ppm[FaultSite::DmaIn as usize], MAX_RATE_PPM);
+    }
+
+    #[test]
+    fn parse_rejects_rates_above_the_cap_loudly() {
+        // The CLI path must refuse, not silently clamp: a spec asking
+        // for 90% DMA errors describes an experiment this simulator
+        // will not run.
+        for spec in ["dma=0.51", "enospc=0.9", "ikc=0.500001", "spike=0.75x4"] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(
+                err.contains("exceeds the 0.5 cap"),
+                "spec '{spec}' produced the wrong error: {err}"
+            );
+        }
+        // Exactly the cap is fine — it is a rate this simulator runs.
+        let plan = FaultPlan::parse("dma=0.5").unwrap();
+        assert!(plan.rules.iter().all(|r| r.rate_ppm == MAX_RATE_PPM));
+        // And the programmatic builders keep saturation semantics for
+        // sweep harnesses driving them with computed values.
+        let swept = FaultPlan::new(1).enospc(0.75);
+        assert_eq!(swept.rules[0].rate_ppm, MAX_RATE_PPM);
     }
 
     #[test]

@@ -18,8 +18,46 @@
 //! trace payload depends on *which* block a page lands in — so the
 //! allocation order changing across shard layouts does not perturb
 //! virtual-time results.
+//!
+//! ## Memory-ordering contract
+//!
+//! Model-checked by the `loom_tests` module below (run with
+//! `make test-loom`); the per-field table lives in DESIGN.md §10. The
+//! load-bearing facts:
+//!
+//! * **Every successful head CAS is `AcqRel`.** The `Release` half
+//!   publishes the `next[slot]` link written just before a push (and,
+//!   transitively, the whole history the CASing thread has acquired);
+//!   the `Acquire` half lets each successful pop/push inherit that
+//!   history, so happens-before chains across arbitrarily many
+//!   hand-offs of the same block *without* leaning on C++20 release
+//!   sequences. The minimal provable orderings are `Release` for push
+//!   and `Acquire` for pop — `AcqRel` on both is deliberate margin,
+//!   and the weakened `Acquire`-publish variant demonstrably loses
+//!   blocks under the model checker
+//!   (`loom_buggy_acquire_publish_is_caught`).
+//! * **`next[slot]` transfers with the head, not on its own.** A slot's
+//!   link is written only by the block's owner while the block is off
+//!   every stack; the head CAS is the publication point. Pop's read of
+//!   the link may therefore be `Relaxed`: the value is consumed only if
+//!   the subsequent CAS succeeds against the *same observed head
+//!   version*, and that head value was read with `Acquire` (initial
+//!   load or CAS failure), which makes the paired link store visible by
+//!   happens-before + coherence. A newer in-flight link store (ABA
+//!   re-push) implies an interleaved pop bumped the version, so the CAS
+//!   fails and the stale read is discarded.
+//! * **Counters (`len`, `usable`, `quarantined`, the debug double-free
+//!   flags) are `Relaxed`.** They are statistics trailing the structural
+//!   CASes, never consulted to justify a dereference; signed types
+//!   absorb the transient over/under-shoot (see `free_blocks`).
+//! * Construction uses `Relaxed` throughout: the pool is published to
+//!   other threads by whatever mechanism shares the reference
+//!   (`Arc::clone`, scoped-thread spawn), which supplies the edge.
 
-use std::sync::atomic::{AtomicIsize, AtomicU32, AtomicU64, Ordering};
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicIsize, AtomicU32, AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU32, AtomicU64, Ordering};
 
 use cmcp_arch::{PageSize, PhysFrame};
 
@@ -76,7 +114,7 @@ pub struct FramePool {
     quarantined: AtomicU64,
     /// Double-free detector, debug builds only: one flag per slot.
     #[cfg(debug_assertions)]
-    on_free_list: Vec<std::sync::atomic::AtomicBool>,
+    on_free_list: Vec<AtomicBool>,
 }
 
 impl FramePool {
@@ -101,9 +139,7 @@ impl FramePool {
             usable: AtomicIsize::new(blocks as isize),
             quarantined: AtomicU64::new(0),
             #[cfg(debug_assertions)]
-            on_free_list: (0..blocks)
-                .map(|_| std::sync::atomic::AtomicBool::new(true))
-                .collect(),
+            on_free_list: (0..blocks).map(|_| AtomicBool::new(true)).collect(),
         };
         for slot in (0..blocks as u32).rev() {
             let shard = &pool.shards[slot as usize % shards];
@@ -147,6 +183,12 @@ impl FramePool {
     }
 
     /// Pops from one shard's Treiber stack.
+    ///
+    /// Orderings (see the module contract): every read of `head` on this
+    /// path — the initial load and the CAS failure — is `Acquire`, which
+    /// synchronizes with the `Release` half of the CAS that pushed `top`
+    /// and so makes the paired `next[top-1]` link store visible. That is
+    /// what lets the link read below be `Relaxed`.
     fn pop_shard(&self, shard: &Shard) -> Option<PhysFrame> {
         let mut observed = shard.head.load(Ordering::Acquire);
         loop {
@@ -155,11 +197,28 @@ impl FramePool {
                 return None;
             }
             let slot = top - 1;
-            let below = self.next[slot as usize].load(Ordering::Acquire);
+            // Relaxed is sufficient (was Acquire): the link was published
+            // by the Release CAS that installed `top`, which the Acquire
+            // read of `observed` already synchronized with, so this load
+            // is coherence-bound to see it. A *newer* racing link store
+            // implies the block was popped and re-pushed meanwhile, which
+            // bumped the version — the CAS below fails on the version
+            // mismatch and the value read here is discarded. Nothing is
+            // dereferenced through `below` before that check. Model:
+            // `loom_push_publishes_link_to_racing_pop`.
+            let below = self.next[slot as usize].load(Ordering::Relaxed);
             let replacement = pack(version.wrapping_add(1), below);
             match shard.head.compare_exchange_weak(
                 observed,
                 replacement,
+                // Success AcqRel: Release republishes the inherited links
+                // for later poppers; Acquire imports the pusher's history
+                // so the block's memory may be touched after this pop
+                // (minimum provable here is Acquire — see module doc).
+                // Failure Acquire: the re-observed head seeds the next
+                // iteration's Relaxed link read, so it must synchronize
+                // with that head value's publisher, exactly like the
+                // initial load.
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
@@ -183,16 +242,33 @@ impl FramePool {
             let was = self.on_free_list[slot as usize].swap(true, Ordering::Relaxed);
             debug_assert!(!was, "double free of {frame}");
         }
-        let mut observed = shard.head.load(Ordering::Acquire);
+        // Relaxed is sufficient for every *read* of `head` on the push
+        // path (was Acquire on both the initial load and the CAS
+        // failure): the pusher consumes nothing reachable through the
+        // observed top — it only copies the raw value into `next[slot]`
+        // for the eventual popper, and a stale observation merely makes
+        // the CAS fail and retry. Audit fix for the PR 2 orderings;
+        // model: `loom_push_publishes_link_to_racing_pop`.
+        let mut observed = shard.head.load(Ordering::Relaxed);
         loop {
             let (version, top) = unpack(observed);
+            // Plain-store the link; the CAS below is its publication
+            // point (module contract: `next` transfers with the head).
             self.next[slot as usize].store(top, Ordering::Relaxed);
             let replacement = pack(version.wrapping_add(1), slot + 1);
             match shard.head.compare_exchange_weak(
                 observed,
                 replacement,
+                // Success AcqRel: the Release half is the load-bearing
+                // ordering of the whole pool — it publishes the link
+                // store above (and the block's contents) to the Acquire
+                // head reads in `pop_shard`. The pre-fix `Acquire`
+                // variant demonstrably loses blocks:
+                // `loom_buggy_acquire_publish_is_caught`. The Acquire
+                // half keeps the hand-off chain intact without relying
+                // on release sequences (minimum provable is Release).
                 Ordering::AcqRel,
-                Ordering::Acquire,
+                Ordering::Relaxed,
             ) {
                 Ok(_) => {
                     shard.len.fetch_add(1, Ordering::Relaxed);
@@ -288,9 +364,17 @@ impl FramePool {
     }
 }
 
-#[cfg(test)]
+// Gated `not(loom)`: these use std threads and run real interleavings;
+// under `--cfg loom` the pool's atomics only work inside `loom::model`.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
+
+    /// Iteration count for the threaded stress tests below: full strength
+    /// natively, scaled down under Miri where every atomic op is
+    /// interpreted (coverage there comes from the interleaving-seeking
+    /// scheduler, not volume).
+    const STRESS_ROUNDS: usize = if cfg!(miri) { 400 } else { 20_000 };
 
     #[test]
     fn alloc_returns_aligned_blocks() {
@@ -398,7 +482,7 @@ mod tests {
             .map(|w| {
                 let pool = Arc::clone(&pool);
                 std::thread::spawn(move || {
-                    for _ in 0..20_000usize {
+                    for _ in 0..STRESS_ROUNDS {
                         if let Some(f) = pool.alloc_for(w) {
                             assert!(pool.free_blocks() <= pool.total_blocks());
                             pool.free_for(f, w + 1);
@@ -427,18 +511,19 @@ mod tests {
         use std::sync::Arc;
         let pool = Arc::new(FramePool::with_shards(PageSize::K4, 64, 4));
         let quarantines = Arc::new(AtomicU64::new(0));
+        let rounds = STRESS_ROUNDS / 2;
         let handles: Vec<_> = (0..4)
             .map(|w| {
                 let pool = Arc::clone(&pool);
                 let quarantines = Arc::clone(&quarantines);
                 std::thread::spawn(move || {
-                    for round in 0..10_000usize {
+                    for round in 0..rounds {
                         let Some(f) = pool.alloc_for(w) else { continue };
                         assert!(pool.usable_blocks() <= pool.total_blocks());
                         assert!(pool.free_blocks() <= pool.total_blocks());
                         // Each worker quarantines 4 of its wins, spread
                         // over the run so steals are in flight.
-                        if round % 2500 == 1 {
+                        if round % (rounds / 4) == 1 {
                             pool.quarantine(f);
                             quarantines.fetch_add(1, Ordering::Relaxed);
                         } else {
@@ -484,7 +569,7 @@ mod tests {
                 let pool = Arc::clone(&pool);
                 std::thread::spawn(move || {
                     let mut held = Vec::new();
-                    for round in 0..2_000usize {
+                    for round in 0..STRESS_ROUNDS / 10 {
                         if let Some(f) = pool.alloc_for(w) {
                             held.push(f);
                         }
@@ -509,5 +594,137 @@ mod tests {
         heads.sort_unstable();
         heads.dedup();
         assert_eq!(heads.len(), 64);
+    }
+}
+
+/// Bounded model checks of the pool's memory-ordering contract. Run with
+/// `make test-loom` (`RUSTFLAGS="--cfg loom"`); every test explores all
+/// thread interleavings up to the preemption bound *and* all
+/// release/acquire-permitted values for every load, so a passing test is
+/// a proof over that bounded space, not a lucky schedule.
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use loom::sync::Arc;
+    use loom::thread;
+
+    /// Drains the pool through shard 0 and asserts it holds exactly
+    /// `expect` distinct blocks; returns their head frame numbers.
+    fn drain_distinct(pool: &FramePool, expect: usize) -> Vec<u32> {
+        let mut heads: Vec<u32> = std::iter::from_fn(|| pool.alloc_for(0).map(|f| f.0)).collect();
+        heads.sort_unstable();
+        heads.dedup();
+        assert_eq!(
+            heads.len(),
+            expect,
+            "pool must hold {expect} distinct blocks"
+        );
+        heads
+    }
+
+    /// The push-publish hand-off: a pop racing a free must either miss
+    /// the block or observe its link exactly as written before the
+    /// publishing CAS — never a stale link (lost block) or the same
+    /// block twice. Exercises the Relaxed link read in `pop_shard`
+    /// against the Release half of the push CAS.
+    #[test]
+    fn loom_push_publishes_link_to_racing_pop() {
+        loom::model(|| {
+            let pool = Arc::new(FramePool::new(PageSize::K4, 2));
+            let a = pool.alloc().unwrap(); // stack now holds one block
+            let p2 = Arc::clone(&pool);
+            let t = thread::spawn(move || p2.free(a));
+            let x = pool.alloc(); // races the push: either block, or both
+            let y = pool.alloc(); // in LIFO order, or a miss
+            t.join().unwrap();
+            if let (Some(x), Some(y)) = (x, y) {
+                assert_ne!(x, y, "one block served twice");
+            }
+            for f in [x, y].into_iter().flatten() {
+                pool.free(f);
+            }
+            drain_distinct(&pool, 2);
+        });
+    }
+
+    /// Cross-shard circulation: each thread allocates from its home
+    /// shard and frees to the other, so pushes, pops, and steals race on
+    /// both heads. No block may be lost or duplicated in any
+    /// interleaving.
+    #[test]
+    fn loom_steal_across_shards_conserves_blocks() {
+        loom::model(|| {
+            let pool = Arc::new(FramePool::with_shards(PageSize::K4, 2, 2));
+            let p2 = Arc::clone(&pool);
+            let t = thread::spawn(move || {
+                if let Some(f) = p2.alloc_for(0) {
+                    p2.free_for(f, 1);
+                }
+            });
+            if let Some(f) = pool.alloc_for(1) {
+                pool.free_for(f, 0);
+            }
+            t.join().unwrap();
+            drain_distinct(&pool, 2);
+        });
+    }
+
+    /// Quarantine vs. a racing cross-shard steal: the signed `usable`
+    /// counter drops exactly once, and the poisoned block is out of
+    /// circulation in every interleaving (a racing alloc can only miss
+    /// it, never win it back).
+    #[test]
+    fn loom_quarantine_excludes_block_under_racing_steal() {
+        loom::model(|| {
+            let pool = Arc::new(FramePool::with_shards(PageSize::K4, 2, 2));
+            let poisoned = pool.alloc_for(0).unwrap();
+            let p2 = Arc::clone(&pool);
+            let t = thread::spawn(move || {
+                // Drives a steal (home shard 0 is empty) during the
+                // quarantine push.
+                if let Some(f) = p2.alloc_for(0) {
+                    p2.free_for(f, 0);
+                }
+            });
+            pool.quarantine(poisoned);
+            t.join().unwrap();
+            assert_eq!(pool.quarantined_blocks(), 1);
+            assert_eq!(pool.usable_blocks(), 1);
+            let heads = drain_distinct(&pool, 1);
+            assert_ne!(
+                heads[0], poisoned.0,
+                "quarantined block re-entered circulation"
+            );
+        });
+    }
+
+    /// The pre-fix bug class, pinned: a push whose CAS success ordering
+    /// is `Acquire` (no Release half) does not publish the link store,
+    /// so a popper can read a stale link and corrupt the stack. The
+    /// checker MUST find that execution — this is the acceptance test
+    /// that the harness would have caught the original ordering bug.
+    #[test]
+    fn loom_buggy_acquire_publish_is_caught() {
+        let caught = std::panic::catch_unwind(|| {
+            loom::model(|| {
+                let head = Arc::new(AtomicU64::new(0));
+                let link = Arc::new(AtomicU32::new(0));
+                let (h2, l2) = (Arc::clone(&head), Arc::clone(&link));
+                let t = thread::spawn(move || {
+                    l2.store(7, Ordering::Relaxed);
+                    // BUG under test: success ordering lacks Release, so
+                    // the link store above is unpublished.
+                    let _ = h2.compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed);
+                });
+                if head.load(Ordering::Acquire) == 1 {
+                    assert_eq!(link.load(Ordering::Relaxed), 7, "stale link visible");
+                }
+                t.join().unwrap();
+            });
+        });
+        assert!(
+            caught.is_err(),
+            "the Acquire-publish ordering bug must be detected by the model checker"
+        );
     }
 }

@@ -68,6 +68,16 @@ impl BarrierSet {
 
     /// Records `clock` arriving at barrier `idx`. Returns `Some(release)`
     /// once the barrier is open, `None` while arrivals are outstanding.
+    ///
+    /// Ordering proof (concurrency-audit; per-field table in DESIGN.md
+    /// §10): each arrival's `fetch_max` happens-before its own `AcqRel`
+    /// `fetch_add`, and the RMW chain on `arrived` orders every earlier
+    /// arrival's `fetch_max` before the final arrival's increment — so
+    /// by the time the last party writes `generation` with `Release`,
+    /// all `parties` clock contributions are in `release_at`. A waiter
+    /// that sees `generation == 1` through its `Acquire` load therefore
+    /// reads the fully-maxed release clock; `release_at`'s own `Acquire`
+    /// is margin on top of that edge.
     fn arrive(&self, idx: usize, clock: u64) -> Option<u64> {
         let b = &self.barriers[idx];
         b.release_at.fetch_max(clock, Ordering::AcqRel);
@@ -78,7 +88,8 @@ impl BarrierSet {
         self.poll(idx)
     }
 
-    /// Checks whether barrier `idx` has opened.
+    /// Checks whether barrier `idx` has opened. `generation` is the
+    /// Acquire side of the open/closed publish (see [`BarrierSet::arrive`]).
     fn poll(&self, idx: usize) -> Option<u64> {
         let b = &self.barriers[idx];
         if b.generation.load(Ordering::Acquire) == 1 {
@@ -158,6 +169,9 @@ pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) ->
     // Only *running* cores bound the skew window: a core parked at a
     // barrier (or finished) has a frozen clock that others must
     // legitimately overtake to reach the rendezvous themselves.
+    // All accesses are Relaxed by design: the flags feed a conservative
+    // throttle heuristic, never a correctness decision — a stale read
+    // only widens or narrows the skew horizon for one iteration.
     let running: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
     let aborted = AtomicBool::new(false);
     let min_running_clock = |vmm: &Vmm<R>| -> u64 {
@@ -226,6 +240,13 @@ pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) ->
                             continue;
                         }
                         progressed = true;
+                        // The scan/rebuild elections are Relaxed on
+                        // purpose: only the CAS's atomicity matters
+                        // (exactly one winner per due period). The work
+                        // the winner then does synchronizes through the
+                        // page-table locks it takes, not through this
+                        // counter, so no Release/Acquire pairing is
+                        // needed here (audit: DESIGN.md §10).
                         if scanning {
                             let now = vmm.clocks()[core_idx].now();
                             let due = next_scan.load(Ordering::Relaxed);

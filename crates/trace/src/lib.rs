@@ -31,6 +31,9 @@ pub mod export;
 pub use breakdown::{Breakdown, CoreBreakdown, CoreTotals};
 pub use export::{to_chrome_trace, to_jsonl};
 
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering::Relaxed};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Virtual time, in simulated core cycles (mirrors `cmcp_arch::Cycles`;
@@ -218,6 +221,26 @@ impl Recorder for NullTracer {
 /// overwritten concurrently with a lapped writer can tear — that is
 /// acceptable because reads happen post-run, and any run that dropped
 /// events already has its breakdown validation disabled.
+///
+/// ## Memory-ordering contract
+///
+/// Everything here is `Relaxed`, deliberately (model-checked by
+/// `loom_tests` below; per-field table in DESIGN.md §10):
+///
+/// * `claimed.fetch_add(1, Relaxed)` — only the RMW's *atomicity* is
+///   load-bearing: each writer gets a unique claim index, so two
+///   writers never target the same slot until the ring laps. No
+///   payload is published through `claimed`, so no Release is needed.
+/// * Slot word stores/loads are `Relaxed` because readers
+///   ([`EventRing::drain_into`], [`EventRing::dropped`]) run strictly
+///   post-quiesce: the engine joins its worker threads before draining,
+///   and the join edge is what makes every completed store visible.
+///   Mid-run the only concurrent readers are lapped *writers*, and the
+///   tearing they can produce is detected (not prevented) via
+///   [`EventKind::from_code`] returning `None` on a half-written meta
+///   word. Upgrading the stores to Release would not remove the tear —
+///   only a seqlock or claim/commit protocol would, at per-event cost
+///   the zero-drop fast path should not pay.
 struct EventRing {
     /// Total slots ever claimed; `min(claimed, capacity)` slots hold data.
     claimed: AtomicU64,
@@ -351,7 +374,10 @@ impl<R: Recorder> Recorder for &R {
     }
 }
 
-#[cfg(test)]
+// Gated `not(loom)`: under `--cfg loom` the ring's atomics only work
+// inside `loom::model`; the bounded-interleaving versions of these
+// scenarios live in `loom_tests` below.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 
@@ -443,5 +469,61 @@ mod tests {
         assert!(n.events().is_empty());
         assert_eq!(n.dropped(), 0);
         const { assert!(!NullTracer::ENABLED) };
+    }
+}
+
+/// Bounded model checks of the ring's all-Relaxed contract (see the
+/// [`EventRing`] docs). Run with `make test-loom`.
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use loom::sync::Arc;
+    use loom::thread;
+
+    /// Claim uniqueness: two racing writers within capacity never
+    /// collide on a slot, so after the post-join edge both events are
+    /// intact and distinguishable — in every interleaving and for every
+    /// Relaxed-permitted read the drain could make.
+    #[test]
+    fn loom_racing_writers_claim_distinct_slots() {
+        loom::model(|| {
+            let t = Arc::new(RingTracer::new(1, 4));
+            let t2 = Arc::clone(&t);
+            let h = thread::spawn(move || {
+                t2.record(0, 10, EventKind::FaultStart, 1, 0);
+            });
+            t.record(0, 20, EventKind::FaultEnd, 2, 0);
+            h.join().unwrap();
+            assert_eq!(t.dropped(), 0);
+            let evs = t.events();
+            let mut payloads: Vec<u64> = evs.iter().map(|e| e.a).collect();
+            payloads.sort_unstable();
+            assert_eq!(payloads, vec![1, 2], "a claim was shared or lost");
+        });
+    }
+
+    /// Wraparound: two writers pushing two events each into a two-slot
+    /// ring always account exactly two drops, and the post-quiesce
+    /// drain never yields more than capacity events nor an undecodable
+    /// kind (torn slots are skipped, not surfaced).
+    #[test]
+    fn loom_wraparound_counts_drops_and_skips_torn_slots() {
+        loom::model(|| {
+            let t = Arc::new(RingTracer::new(1, 2));
+            let t2 = Arc::clone(&t);
+            let h = thread::spawn(move || {
+                t2.record(0, 1, EventKind::FaultStart, 11, 0);
+                t2.record(0, 2, EventKind::FaultEnd, 12, 0);
+            });
+            t.record(0, 3, EventKind::DmaEnqueue, 13, 0);
+            t.record(0, 4, EventKind::DmaComplete, 14, 0);
+            h.join().unwrap();
+            assert_eq!(t.dropped(), 2, "4 claims into 2 slots");
+            let evs = t.events();
+            assert!(evs.len() <= 2, "drain yielded more than capacity");
+            for e in &evs {
+                assert!((11..=14).contains(&e.a), "payload from nowhere: {}", e.a);
+            }
+        });
     }
 }

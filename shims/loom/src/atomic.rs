@@ -1,0 +1,152 @@
+//! Model-checked atomic types mirroring `std::sync::atomic`.
+//!
+//! Every operation is a scheduling point and a weak-memory event in the
+//! engine (`exec`). Values are stored as `u64` bit patterns; the typed
+//! wrappers convert at the boundary. `Ordering` is re-exported from
+//! `std` so `cfg(loom)` code swaps imports without touching call sites.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::exec;
+
+macro_rules! atomic_int {
+    ($name:ident, $ty:ty, $to:expr, $from:expr) => {
+        /// Model-checked stand-in for the std atomic of the same name.
+        #[derive(Debug)]
+        pub struct $name {
+            id: usize,
+        }
+
+        impl $name {
+            /// Creates the atomic, registering it with the current
+            /// model execution.
+            #[allow(clippy::redundant_closure_call)]
+            pub fn new(v: $ty) -> $name {
+                $name {
+                    id: exec::new_location(($to)(v)),
+                }
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn load(&self, ord: Ordering) -> $ty {
+                ($from)(exec::atomic_op(|st, me| exec::load(st, me, self.id, ord)))
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                exec::atomic_op(|st, me| exec::store(st, me, self.id, ($to)(v), ord))
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(exec::atomic_op(|st, me| {
+                    exec::rmw(st, me, self.id, ord, |_| ($to)(v))
+                }))
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(exec::atomic_op(|st, me| {
+                    exec::rmw(st, me, self.id, ord, |old| {
+                        ($to)(($from)(old).wrapping_add(v))
+                    })
+                }))
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(exec::atomic_op(|st, me| {
+                    exec::rmw(st, me, self.id, ord, |old| {
+                        ($to)(($from)(old).wrapping_sub(v))
+                    })
+                }))
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(exec::atomic_op(|st, me| {
+                    exec::rmw(st, me, self.id, ord, |old| ($to)(($from)(old).max(v)))
+                }))
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                exec::atomic_op(|st, me| {
+                    exec::compare_exchange(
+                        st,
+                        me,
+                        self.id,
+                        ($to)(current),
+                        ($to)(new),
+                        success,
+                        failure,
+                    )
+                })
+                .map($from)
+                .map_err($from)
+            }
+
+            /// Never fails spuriously in the shim (documented deviation;
+            /// retry loops treat spurious and genuine failures alike).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(Default::default())
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU64, u64, |v: u64| v, |v: u64| v);
+atomic_int!(AtomicU32, u32, |v: u32| v as u64, |v: u64| v as u32);
+atomic_int!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| v as usize);
+atomic_int!(AtomicIsize, isize, |v: isize| v as u64, |v: u64| v as isize);
+
+/// Model-checked stand-in for `std::sync::atomic::AtomicBool`.
+#[derive(Debug)]
+pub struct AtomicBool {
+    id: usize,
+}
+
+impl AtomicBool {
+    /// Creates the atomic, registering it with the current execution.
+    pub fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            id: exec::new_location(v as u64),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        exec::atomic_op(|st, me| exec::load(st, me, self.id, ord)) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        exec::atomic_op(|st, me| exec::store(st, me, self.id, v as u64, ord))
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        exec::atomic_op(|st, me| exec::rmw(st, me, self.id, ord, |_| v as u64)) != 0
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}

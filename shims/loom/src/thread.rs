@@ -1,0 +1,31 @@
+//! Model-checked threads mirroring `std::thread`.
+
+use crate::exec;
+
+/// Handle to a model thread; `join` blocks the calling model thread
+/// (never the OS scheduler) until the target finishes.
+pub struct JoinHandle<T>(exec::JoinHandle<T>);
+
+/// Spawns a model thread. At most `8` threads per model (vector clocks
+/// are fixed-width).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    JoinHandle(exec::spawn(f))
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. A panic
+    /// in the target aborts the whole execution and resurfaces from
+    /// `loom::model`, so — unlike std — the `Err` arm is never taken.
+    pub fn join(self) -> std::thread::Result<T> {
+        Ok(self.0.join_impl())
+    }
+}
+
+/// A pure scheduling point: lets the model switch threads here.
+pub fn yield_now() {
+    exec::yield_point();
+}

@@ -14,11 +14,116 @@ fn page_size_strategy() -> impl Strategy<Value = PageSize> {
     prop_oneof![Just(PageSize::K4), Just(PageSize::K64), Just(PageSize::M2)]
 }
 
+/// Mirrors a map/unmap op sequence against a flat `HashMap` model and
+/// asserts the radix table agrees at every step. Shared by the proptest
+/// below (which generates `ops`) and the named regression tests (which
+/// replay the shrunken sequences proptest found historically); panics
+/// inside here are shrunk by proptest exactly like `prop_assert!`
+/// failures.
+fn check_radix_ops(ops: Vec<(u64, PageSize, bool)>) {
+    let mut table = PageTable::new();
+    // Model: 4kB page → (frame, size).
+    let mut model: HashMap<u64, (u32, PageSize)> = HashMap::new();
+    let mut next_frame = 0u32;
+    for (slot, size, unmap) in ops {
+        let span = size.pages_4k() as u64;
+        let head = VirtPage(slot * 512); // 2MB-aligned slots avoid overlap surprises
+        if unmap {
+            // `unmap(head, K4/K64)` is a range unmap: it removes any
+            // PT-level entries inside the span (a 64 kB unmap over a
+            // lone 4 kB mapping clears that mapping); a 2 MB unmap
+            // only matches an actual 2 MB leaf.
+            let res = table.unmap(head, size);
+            let removable: Vec<u64> = (0..span)
+                .map(|k| head.0 + k)
+                .filter(|p| match model.get(p) {
+                    Some(&(_, PageSize::M2)) => size == PageSize::M2,
+                    Some(_) => size != PageSize::M2,
+                    None => false,
+                })
+                .collect();
+            assert_eq!(res.is_some(), !removable.is_empty());
+            if size == PageSize::M2 && res.is_some() {
+                for k in 0..span {
+                    model.remove(&(head.0 + k));
+                }
+            } else {
+                for p in removable {
+                    model.remove(&p);
+                }
+            }
+        } else if (0..512).all(|k| !model.contains_key(&(head.0 + k))) {
+            // Map only into a fully empty 2 MB slot: a partial unmap
+            // (e.g. one 4 kB sub-entry torn out of a 64 kB run) can
+            // leave residues that legitimately reject a fresh map.
+            let frame = PhysFrame(next_frame * 512);
+            next_frame += 1;
+            table.map(head, frame, size, PteFlags::WRITABLE).unwrap();
+            for k in 0..span {
+                model.insert(head.0 + k, (frame.0 + k as u32, size));
+            }
+        }
+        // Spot-check translations across the touched region.
+        for k in [0, span / 2, span - 1] {
+            let page = VirtPage(head.0 + k);
+            match (table.translate(page), model.get(&page.0)) {
+                (Some(tr), Some(&(frame, size))) => {
+                    assert_eq!(tr.frame.0, frame);
+                    assert_eq!(tr.size, size);
+                }
+                (None, None) => {}
+                (got, want) => {
+                    panic!("page {page}: table={got:?} model={want:?}");
+                }
+            }
+        }
+        assert_eq!(table.mapped_pages_4k(), model.len());
+    }
+}
+
+// The committed `proptest-regressions` seeds, promoted to named
+// deterministic tests so the historical failures run on every `cargo
+// test` by construction — visible in test output, immune to the seed
+// file being pruned, and debuggable by name. Each replays the exact
+// shrunken op sequence from the seed file's `shrinks to` comment.
+
+/// Seed 818c9efd…: a 64 kB range unmap over a lone 4 kB mapping must
+/// clear that mapping (and report success), not miss it because no
+/// 64 kB leaf exists at the head.
+#[test]
+fn regression_k64_range_unmap_clears_lone_k4_mapping() {
+    check_radix_ops(vec![(58, PageSize::K4, false), (58, PageSize::K64, true)]);
+}
+
+/// Seed 4efcdb2e…: tearing one 4 kB sub-entry out of a 64 kB run must
+/// leave residues that reject a fresh 64 kB map of the same slot — the
+/// table may not silently overlay the survivors.
+#[test]
+fn regression_k64_remap_rejected_after_partial_k4_unmap() {
+    check_radix_ops(vec![
+        (52, PageSize::K64, false),
+        (52, PageSize::K4, true),
+        (52, PageSize::K64, false),
+    ]);
+}
+
+/// Seed 829715eb…: after a 4 kB map/unmap pair empties a slot, a 2 MB
+/// map into it must succeed and translate across the whole span (the
+/// intermediate table level must have been reclaimed or traversed).
+#[test]
+fn regression_m2_map_into_slot_emptied_by_k4_unmap() {
+    check_radix_ops(vec![
+        (51, PageSize::K4, false),
+        (51, PageSize::K4, true),
+        (51, PageSize::M2, false),
+    ]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// A single radix table agrees with a flat model over random
-    /// map/unmap sequences at mixed page sizes.
+    /// map/unmap sequences at mixed page sizes (see `check_radix_ops`).
     #[test]
     fn radix_table_matches_flat_model(
         ops in prop::collection::vec(
@@ -26,66 +131,7 @@ proptest! {
             1..120,
         ),
     ) {
-        let mut table = PageTable::new();
-        // Model: 4kB page → (frame, size).
-        let mut model: HashMap<u64, (u32, PageSize)> = HashMap::new();
-        let mut next_frame = 0u32;
-        for (slot, size, unmap) in ops {
-            let span = size.pages_4k() as u64;
-            let head = VirtPage(slot * 512); // 2MB-aligned slots avoid overlap surprises
-            if unmap {
-                // `unmap(head, K4/K64)` is a range unmap: it removes any
-                // PT-level entries inside the span (a 64 kB unmap over a
-                // lone 4 kB mapping clears that mapping); a 2 MB unmap
-                // only matches an actual 2 MB leaf.
-                let res = table.unmap(head, size);
-                let removable: Vec<u64> = (0..span)
-                    .map(|k| head.0 + k)
-                    .filter(|p| match model.get(p) {
-                        Some(&(_, PageSize::M2)) => size == PageSize::M2,
-                        Some(_) => size != PageSize::M2,
-                        None => false,
-                    })
-                    .collect();
-                prop_assert_eq!(res.is_some(), !removable.is_empty());
-                if size == PageSize::M2 && res.is_some() {
-                    for k in 0..span {
-                        model.remove(&(head.0 + k));
-                    }
-                } else {
-                    for p in removable {
-                        model.remove(&p);
-                    }
-                }
-            } else if (0..512).all(|k| !model.contains_key(&(head.0 + k))) {
-                // Map only into a fully empty 2 MB slot: a partial unmap
-                // (e.g. one 4 kB sub-entry torn out of a 64 kB run) can
-                // leave residues that legitimately reject a fresh map.
-                let frame = PhysFrame(next_frame * 512);
-                next_frame += 1;
-                table.map(head, frame, size, PteFlags::WRITABLE).unwrap();
-                for k in 0..span {
-                    model.insert(head.0 + k, (frame.0 + k as u32, size));
-                }
-            }
-            // Spot-check translations across the touched region.
-            for k in [0, span / 2, span - 1] {
-                let page = VirtPage(head.0 + k);
-                match (table.translate(page), model.get(&page.0)) {
-                    (Some(tr), Some(&(frame, size))) => {
-                        prop_assert_eq!(tr.frame.0, frame);
-                        prop_assert_eq!(tr.size, size);
-                    }
-                    (None, None) => {}
-                    (got, want) => {
-                        return Err(TestCaseError::fail(format!(
-                            "page {page}: table={got:?} model={want:?}"
-                        )));
-                    }
-                }
-            }
-            prop_assert_eq!(table.mapped_pages_4k(), model.len());
-        }
+        check_radix_ops(ops);
     }
 
     /// PSPT's core-map directory always equals the set of cores whose
