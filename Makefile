@@ -69,4 +69,24 @@ bench-smoke:
 bench-parallel:
 	cargo bench -p cmcp-bench --bench parallel_scaling -- --bench
 
-ci: fmt lint verify test-serial test-faults test-loom stress bench-smoke
+# Hot-path microbench vs the committed baseline (the CI perf gate);
+# `make bench-hotpath-save` rewrites the baseline after intentional
+# hot-path retuning.
+bench-hotpath:
+	cargo run -q --release -p cmcp-bench --bin fault_latency -- \
+		--quick --compare results/BENCH_hotpath.json
+bench-hotpath-save:
+	cargo run -q --release -p cmcp-bench --bin fault_latency -- --save
+
+# Regenerate every deterministic golden and require byte-identity with
+# the committed results/ files (the CI golden-identity job).
+goldens:
+	cargo build -q --release
+	for b in table1 fig6 fig7 fig8 fig9 fig10; do ./target/release/$$b; done
+	./target/release/cmcp-cli --workload cg.B --cores 8 \
+		--fault-plan "seed=42,dma=0.01,enospc=0.005" --json \
+		> results/golden_faulted_cg.json
+	git diff --exit-code -- results/
+
+ci: fmt lint verify test-serial test-faults test-loom stress bench-smoke \
+    bench-hotpath goldens

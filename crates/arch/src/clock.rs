@@ -51,9 +51,17 @@ impl CoreClock {
     }
 
     /// Advances the clock by `delta` cycles of the core's own work.
+    ///
+    /// `cycles` has a single writer (the owning context — see the field
+    /// doc), so a plain load + store replaces the atomic RMW: the fault
+    /// path advances the clock several times per fault and the locked
+    /// add was measurable. Remote cores only ever touch `debt`.
     #[inline]
     pub fn advance(&self, delta: Cycles) {
-        self.cycles.fetch_add(delta, Ordering::Relaxed);
+        self.cycles.store(
+            self.cycles.load(Ordering::Relaxed) + delta,
+            Ordering::Relaxed,
+        );
     }
 
     /// Charges `delta` cycles to this core from another core's timeline
@@ -69,7 +77,10 @@ impl CoreClock {
     pub fn settle(&self) -> Cycles {
         let d = self.debt.swap(0, Ordering::Relaxed);
         if d != 0 {
-            self.cycles.fetch_add(d, Ordering::Relaxed);
+            // Single-writer store, like `advance` (settle runs on the
+            // owning core's thread).
+            self.cycles
+                .store(self.cycles.load(Ordering::Relaxed) + d, Ordering::Relaxed);
         }
         d
     }
@@ -80,7 +91,8 @@ impl CoreClock {
     pub fn advance_to(&self, t: Cycles) {
         let cur = self.cycles.load(Ordering::Relaxed);
         if t > cur {
-            self.cycles.fetch_add(t - cur, Ordering::Relaxed);
+            // Single-writer store, like `advance`.
+            self.cycles.store(t, Ordering::Relaxed);
         }
     }
 }

@@ -29,6 +29,9 @@
 //!   shared hardware (the DMA engine) and software (page-table locks).
 //! * [`clock`] — per-core virtual cycle clocks with an interrupt-debt
 //!   mechanism for cross-core charges.
+//! * [`hash`] — the seed-free `FxHash` hasher the kernel hot path uses
+//!   for its block/page/frame-keyed maps (deterministic, and an order
+//!   of magnitude cheaper than SipHash on integer keys).
 //!
 //! Everything is deterministic: no wall-clock time, no global state, and
 //! all randomness lives in the workload crates behind explicit seeds.
@@ -40,6 +43,7 @@ pub mod clock;
 pub mod cost;
 pub mod dma;
 pub mod fault;
+pub mod hash;
 pub mod ikc;
 pub mod resource;
 pub mod ring;
@@ -50,6 +54,7 @@ pub use clock::{CoreClock, Cycles};
 pub use cost::CostModel;
 pub use dma::{CheckedTransfer, DmaModel};
 pub use fault::{FaultInjector, FaultPlan, FaultRule, FaultSite};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ikc::{IkcChannel, IkcMessage};
 pub use resource::VirtualResource;
 pub use ring::RingModel;

@@ -67,7 +67,12 @@ impl VirtualResource {
                 Ok(_) => {
                     self.busy.fetch_add(service, Ordering::Relaxed);
                     let queue_delay = start - now;
-                    self.queued.fetch_add(queue_delay, Ordering::Relaxed);
+                    if queue_delay > 0 {
+                        // Skip the RMW for the common uncontended grab —
+                        // adding zero is a no-op, but the locked add is
+                        // not free on the fault hot path.
+                        self.queued.fetch_add(queue_delay, Ordering::Relaxed);
+                    }
                     return Reservation {
                         start,
                         end,

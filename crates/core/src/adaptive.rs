@@ -13,7 +13,9 @@
 //! refault count is compared with the previous window; if it got worse,
 //! the direction of the `p` adjustment flips.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use cmcp_arch::FxHashMap;
 
 use cmcp_arch::VirtPage;
 
@@ -31,7 +33,7 @@ pub struct AdaptiveCmcpPolicy {
     capacity_blocks: usize,
     /// Ghost list of recently evicted blocks (bounded to capacity).
     ghost: VecDeque<u64>,
-    ghost_set: HashMap<u64, u32>,
+    ghost_set: FxHashMap<u64, u32>,
     ghost_cap: usize,
     refaults_window: u64,
     refaults_prev: u64,
@@ -55,7 +57,7 @@ impl AdaptiveCmcpPolicy {
             ),
             capacity_blocks,
             ghost: VecDeque::new(),
-            ghost_set: HashMap::new(),
+            ghost_set: FxHashMap::default(),
             ghost_cap: capacity_blocks.max(16),
             refaults_window: 0,
             refaults_prev: u64::MAX,

@@ -6,7 +6,9 @@
 //! claim in the `ablation_policies` bench: every hand test is an
 //! accessed-bit read through the oracle, with the full shootdown cost.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use cmcp_arch::FxHashMap;
 
 use cmcp_arch::VirtPage;
 
@@ -19,7 +21,7 @@ use crate::policy::{AccessBitOracle, PolicyEvent, ReplacementPolicy};
 #[derive(Debug, Default)]
 pub struct ClockPolicy {
     ring: VecDeque<(u64, u64)>,
-    live: HashMap<u64, u64>,
+    live: FxHashMap<u64, u64>,
     next_gen: u64,
     /// Hand advances (accessed-bit tests) performed, for ablations.
     pub hand_tests: u64,

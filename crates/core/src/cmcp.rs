@@ -23,7 +23,9 @@
 //! The decisive property: **no accessed-bit reads, hence no remote TLB
 //! invalidations for statistics** — the oracle parameter is never used.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
+
+use cmcp_arch::FxHashMap;
 
 use cmcp_arch::VirtPage;
 
@@ -71,12 +73,12 @@ pub struct CmcpPolicy {
     prio_target: usize,
     /// FIFO list: `(block, generation)`, stale entries skipped lazily.
     fifo: VecDeque<(u64, u64)>,
-    fifo_live: HashMap<u64, u64>,
+    fifo_live: FxHashMap<u64, u64>,
     /// Priority queue: ordered by (count, stamp, block); the *first*
     /// element is the lowest priority (fewest mapping cores, least
     /// recently re-asserted).
     prio: BTreeSet<(u32, u64, u64)>,
-    prio_live: HashMap<u64, PrioEntry>,
+    prio_live: FxHashMap<u64, PrioEntry>,
     /// Age index over the priority group: (stamp, block).
     age: BTreeSet<(u64, u64)>,
     seq: u64,
@@ -108,9 +110,9 @@ impl CmcpPolicy {
             prio_target: (config.p * capacity_blocks as f64).floor() as usize,
             config,
             fifo: VecDeque::new(),
-            fifo_live: HashMap::new(),
+            fifo_live: FxHashMap::default(),
             prio: BTreeSet::new(),
-            prio_live: HashMap::new(),
+            prio_live: FxHashMap::default(),
             age: BTreeSet::new(),
             seq: 0,
             inserts: 0,

@@ -4,7 +4,9 @@
 //! all, which is why it *beats* LRU on many-cores in the paper despite
 //! taking more page faults: it never causes a statistics shootdown.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use cmcp_arch::FxHashMap;
 
 use cmcp_arch::VirtPage;
 
@@ -18,7 +20,7 @@ use crate::policy::{AccessBitOracle, PolicyEvent, ReplacementPolicy};
 #[derive(Debug, Default)]
 pub struct FifoPolicy {
     queue: VecDeque<(u64, u64)>,
-    live: HashMap<u64, u64>,
+    live: FxHashMap<u64, u64>,
     next_gen: u64,
 }
 

@@ -8,7 +8,9 @@
 //! policies that share LRU's statistics cost; this implementation makes
 //! the claim measurable.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use cmcp_arch::FxHashMap;
 
 use cmcp_arch::VirtPage;
 
@@ -21,7 +23,7 @@ pub struct LfuPolicy {
     /// lowest frequency, oldest insertion breaking ties (LFU with FIFO
     /// tie-break).
     order: BTreeSet<(u64, u64, u64)>,
-    live: HashMap<u64, (u64, u64)>, // block → (freq, seq)
+    live: FxHashMap<u64, (u64, u64)>, // block → (freq, seq)
     /// Round-robin scan cursor (block ids ≥ cursor scan first).
     cursor: u64,
     next_seq: u64,

@@ -13,7 +13,9 @@
 //! clearing a set bit requires on x86. That cost — not the policy itself
 //! — is what makes LRU lose to FIFO on many-cores (paper §5.5).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use cmcp_arch::FxHashMap;
 
 use cmcp_arch::VirtPage;
 
@@ -32,7 +34,7 @@ pub struct LruPolicy {
     active: VecDeque<(u64, u64)>,
     inactive: VecDeque<(u64, u64)>,
     /// block → (list, generation). Stale queue entries are skipped.
-    live: HashMap<u64, (ListId, u64)>,
+    live: FxHashMap<u64, (ListId, u64)>,
     next_gen: u64,
     /// Statistics: promotions/demotions between the lists.
     pub promotions: u64,

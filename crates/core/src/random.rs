@@ -4,7 +4,7 @@
 //! no structure at all, which makes it a useful floor in policy
 //! ablations. Randomness is a seeded xorshift so runs stay reproducible.
 
-use std::collections::HashMap;
+use cmcp_arch::FxHashMap;
 
 use cmcp_arch::VirtPage;
 
@@ -14,7 +14,7 @@ use crate::policy::{AccessBitOracle, PolicyEvent, ReplacementPolicy};
 #[derive(Debug)]
 pub struct RandomPolicy {
     blocks: Vec<u64>,
-    index: HashMap<u64, usize>,
+    index: FxHashMap<u64, usize>,
     state: u64,
 }
 
@@ -23,7 +23,7 @@ impl RandomPolicy {
     pub fn new(seed: u64) -> RandomPolicy {
         RandomPolicy {
             blocks: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             state: seed.max(1), // xorshift must not start at 0
         }
     }

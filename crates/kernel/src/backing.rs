@@ -7,17 +7,23 @@
 //! fill, no transfer needed in from the host) from refaults (a real
 //! host→device DMA), and it counts write-backs for the reports.
 
-use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 
 use parking_lot::Mutex;
 
-use cmcp_arch::{FaultInjector, FaultSite, VirtPage};
+use cmcp_arch::{FaultInjector, FaultSite, FxHashSet, VirtPage};
 
 /// Host-side block store (content-free: the simulator tracks residency
-/// and movement, not data bytes).
+/// and movement, not data bytes). The presence set is probed on every
+/// major fault, so it hashes with the seed-free `FxHashSet`, and an
+/// atomic mirror of its size lets the probe skip the lock entirely
+/// while no write-back has happened yet (read-mostly workloads never
+/// pay for the store they never use).
 #[derive(Debug, Default)]
 pub struct BackingStore {
-    present: Mutex<HashSet<u64>>,
+    present: Mutex<FxHashSet<u64>>,
+    /// `present.len()`, maintained under the lock, readable without it.
+    count: AtomicUsize,
 }
 
 impl BackingStore {
@@ -29,12 +35,22 @@ impl BackingStore {
     /// Whether `block` has been written back before (a fault on it needs
     /// a host→device transfer).
     pub fn contains(&self, block: VirtPage) -> bool {
+        // An empty store can answer from the counter alone. A racing
+        // first write-back is benign: the kernel only queries blocks it
+        // holds non-resident, and a block cannot be written back while a
+        // fault on it is in flight (residency transitions serialize on
+        // the block's stripe lock).
+        if self.count.load(Relaxed) == 0 {
+            return false;
+        }
         self.present.lock().contains(&block.0)
     }
 
     /// Records a write-back of `block` (device→host).
     pub fn store(&self, block: VirtPage) {
-        self.present.lock().insert(block.0);
+        let mut present = self.present.lock();
+        present.insert(block.0);
+        self.count.store(present.len(), Relaxed);
     }
 
     /// [`BackingStore::store`] with fault injection: returns `false`

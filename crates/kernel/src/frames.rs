@@ -54,10 +54,16 @@
 //!   other threads by whatever mechanism shares the reference
 //!   (`Arc::clone`, scoped-thread spawn), which supplies the edge.
 
+// `AtomicBool` backs the debug-only double-free detector, so release
+// builds must not import it (unused-import warning otherwise).
+#[cfg(all(loom, debug_assertions))]
+use loom::sync::atomic::AtomicBool;
 #[cfg(loom)]
-use loom::sync::atomic::{AtomicBool, AtomicIsize, AtomicU32, AtomicU64, Ordering};
+use loom::sync::atomic::{AtomicIsize, AtomicU32, AtomicU64, Ordering};
+#[cfg(all(not(loom), debug_assertions))]
+use std::sync::atomic::AtomicBool;
 #[cfg(not(loom))]
-use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicIsize, AtomicU32, AtomicU64, Ordering};
 
 use cmcp_arch::{PageSize, PhysFrame};
 

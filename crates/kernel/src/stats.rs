@@ -8,6 +8,21 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use serde::{Deserialize, Serialize};
 
+/// Adds `delta` to a counter that has a single writing thread.
+///
+/// Every [`CoreStats`] field except `remote_inv_received` is written
+/// only from the owning core's execution context (the fault handler and
+/// recovery paths all run on the faulting core); only snapshots read
+/// them cross-thread. A plain load + store is therefore sufficient, and
+/// cheaper than the atomic RMW on the fault hot path — `fetch_add` was
+/// several of the costliest instructions per fault. Cross-thread
+/// counters (`remote_inv_received`, everything in [`GlobalStats`]) must
+/// keep using `fetch_add`.
+#[inline]
+pub fn owner_add(counter: &AtomicU64, delta: u64) {
+    counter.store(counter.load(Relaxed) + delta, Relaxed);
+}
+
 /// Per-core live counters (atomics).
 #[derive(Debug, Default)]
 pub struct CoreStats {

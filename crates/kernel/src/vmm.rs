@@ -25,7 +25,6 @@
 //! implementation, which performs real PTE scans and pays for the remote
 //! TLB invalidations x86 requires.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::Arc;
 
@@ -33,7 +32,7 @@ use parking_lot::Mutex;
 
 use cmcp_arch::{
     dma::DmaDirection, CoreClock, CoreId, CoreSet, CostModel, Cycles, DmaModel, FaultInjector,
-    FaultSite, PageSize, PhysFrame, RingModel, VirtPage, VirtualResource,
+    FaultSite, FxHashMap, FxHashSet, PageSize, PhysFrame, RingModel, VirtPage, VirtualResource,
 };
 use cmcp_core::{AccessBitOracle, PolicyEvent, ReplacementPolicy};
 use cmcp_pagetable::{MapOutcome, Pspt, RegularTables, TableScheme, Translation};
@@ -43,7 +42,7 @@ use crate::backing::BackingStore;
 use crate::config::{KernelConfig, SchemeChoice};
 use crate::frames::FramePool;
 use crate::offload::{OffloadEngine, Syscall};
-use crate::stats::{CoreStats, GlobalStats};
+use crate::stats::{owner_add, CoreStats, GlobalStats};
 
 const LOCK_SHARDS: usize = 64;
 
@@ -75,18 +74,37 @@ const BACKOFF_CAP_SHIFT: u32 = 6;
 /// not unlucky, and the run aborts loudly instead of livelocking.
 const MAX_RECOVERY_ATTEMPTS: u32 = 64;
 
+/// Default number of policy events a core may buffer before `maybe_flush`
+/// forces a drain. Buffering is invisible to policy decisions: every
+/// consumer of the policy (victim selection, the scan timer, run-end
+/// queries) flushes the buffers — in global stamp order — before reading
+/// or deciding anything, so the event stream each policy observes is
+/// identical at any limit. The limit only bounds buffer memory and, on
+/// the fault hot path, how often the policy mutex is taken when no
+/// eviction forces a flush anyway.
+const DEFAULT_POLICY_BATCH: usize = 32;
+
+/// Flush drains at or below this many events bypass the shared
+/// `flush_events` vector (and its lock) and stage on the stack instead.
+/// Sized for the steady eviction path — the events one core buffers
+/// between two evictions — not for a full `DEFAULT_POLICY_BATCH`, so the
+/// stack fill stays a couple of cache lines.
+const FLUSH_STACK_EVENTS: usize = 8;
+
 /// One lock stripe of the residency metadata: the resident blocks that
 /// hash to this stripe and their deferred write-back debt. Keeping
 /// `pending_dirty` in the same stripe as the map means every residency
-/// transition touches exactly one host lock.
+/// transition touches exactly one host lock. Both containers hash with
+/// the seed-free [`FxHashMap`]/[`FxHashSet`]: every fault performs a
+/// lookup-or-insert here, and SipHash was measurable on the hot path.
 #[derive(Debug, Default)]
 struct ResidentShard {
     /// block head → frame head for resident blocks of this stripe.
-    map: HashMap<u64, PhysFrame>,
+    map: FxHashMap<u64, PhysFrame>,
     /// Blocks whose dirty bits were harvested by a PSPT rebuild before
     /// they could be written back: they still owe a write-back when
     /// eventually evicted.
-    pending_dirty: HashSet<u64>,
+    pending_dirty: FxHashSet<u64>,
 }
 
 /// Classification of a handled fault.
@@ -131,8 +149,9 @@ pub struct Vmm<R: Recorder = NullTracer> {
     /// Global order stamp for deferred events, taken while the block's
     /// stripe lock is held so same-block events are totally ordered.
     batch_seq: AtomicU64,
-    /// Events a core may buffer before forcing a flush; 1 = flush after
-    /// every fault (the deterministic engine's setting).
+    /// Events a core may buffer before forcing a flush
+    /// ([`DEFAULT_POLICY_BATCH`] unless an engine overrides it). Any
+    /// value yields the same policy decisions — see the constant's doc.
     batch_limit: AtomicUsize,
     /// Merge area for flushes; only touched under the policy lock.
     flush_scratch: Mutex<Vec<(u64, PolicyEvent)>>,
@@ -168,13 +187,17 @@ enum SchemeObj {
     Pspt(Pspt),
 }
 
-impl SchemeObj {
-    fn as_dyn(&self) -> &dyn TableScheme {
-        match self {
-            SchemeObj::Regular(t) => t,
-            SchemeObj::Pspt(t) => t,
+/// Monomorphized scheme call: expands the two-armed match at the call
+/// site so each arm invokes the concrete scheme's method directly — no
+/// `&dyn TableScheme` indirection, so the per-fault `translate`/`map`
+/// calls inline across the crate boundary under LTO.
+macro_rules! with_scheme {
+    ($vmm:expr, $s:ident => $call:expr) => {
+        match &$vmm.scheme {
+            SchemeObj::Regular($s) => $call,
+            SchemeObj::Pspt($s) => $call,
         }
-    }
+    };
 }
 
 impl Vmm {
@@ -213,7 +236,7 @@ impl<R: Recorder> Vmm<R> {
             batch_bufs: (0..cfg.cores).map(|_| Mutex::new(Vec::new())).collect(),
             batch_pending: (0..cfg.cores).map(|_| AtomicUsize::new(0)).collect(),
             batch_seq: AtomicU64::new(0),
-            batch_limit: AtomicUsize::new(1),
+            batch_limit: AtomicUsize::new(DEFAULT_POLICY_BATCH),
             flush_scratch: Mutex::new(Vec::new()),
             flush_events: Mutex::new(Vec::new()),
             pt_global_lock: VirtualResource::new(),
@@ -292,10 +315,9 @@ impl<R: Recorder> Vmm<R> {
     }
 
     /// Sets how many policy events a core may buffer before a flush is
-    /// forced. The deterministic engine leaves this at 1 (flush after
-    /// every fault, preserving the exact historical policy-call order);
-    /// the parallel engine raises it so the policy mutex is taken once
-    /// per batch instead of once per reference.
+    /// forced. Decision-neutral at any value (every policy consumer
+    /// flushes first, in stamp order — see [`DEFAULT_POLICY_BATCH`]);
+    /// engines tune it purely for host-side lock traffic.
     pub fn set_policy_batch(&self, limit: usize) {
         self.batch_limit.store(limit.max(1), Relaxed);
     }
@@ -313,8 +335,8 @@ impl<R: Recorder> Vmm<R> {
     /// let the common case — one core's buffer holds everything — skip
     /// the other buffers' locks and the merge sort entirely.
     fn flush_locked(&self, policy: &mut Box<dyn ReplacementPolicy>) {
-        let mut events = self.flush_events.lock();
-        events.clear();
+        // Scan the counters before touching any lock: the evict-path
+        // flush frequently finds everything already drained.
         let mut nonempty = 0usize;
         let mut only = 0usize;
         for (c, n) in self.batch_pending.iter().enumerate() {
@@ -324,14 +346,37 @@ impl<R: Recorder> Vmm<R> {
             }
         }
         match nonempty {
-            0 => return,
+            0 => {}
             1 => {
-                // A single core's pushes are already in stamp order.
+                // A single core's pushes are already in stamp order. The
+                // common drain is the handful of events buffered since
+                // the last eviction, so stage small batches on the stack
+                // and skip the shared merge vector (and its lock).
                 let mut buf = self.batch_bufs[only].lock();
-                events.extend(buf.drain(..).map(|(_, ev)| ev));
-                self.batch_pending[only].store(0, Relaxed);
+                let n = buf.len();
+                if n <= FLUSH_STACK_EVENTS {
+                    let mut stack = [PolicyEvent::MapCount {
+                        block: VirtPage(0),
+                        map_count: 0,
+                    }; FLUSH_STACK_EVENTS];
+                    for (slot, (_, ev)) in stack.iter_mut().zip(buf.drain(..)) {
+                        *slot = ev;
+                    }
+                    self.batch_pending[only].store(0, Relaxed);
+                    drop(buf);
+                    policy.record_batch(&stack[..n]);
+                } else {
+                    let mut events = self.flush_events.lock();
+                    events.clear();
+                    events.extend(buf.drain(..).map(|(_, ev)| ev));
+                    self.batch_pending[only].store(0, Relaxed);
+                    drop(buf);
+                    policy.record_batch(&events);
+                }
             }
             _ => {
+                let mut events = self.flush_events.lock();
+                events.clear();
                 let mut scratch = self.flush_scratch.lock();
                 scratch.clear();
                 for (c, buf) in self.batch_bufs.iter().enumerate() {
@@ -344,10 +389,10 @@ impl<R: Recorder> Vmm<R> {
                 scratch.sort_unstable_by_key(|&(seq, _)| seq);
                 events.extend(scratch.iter().map(|&(_, ev)| ev));
                 scratch.clear();
+                if !events.is_empty() {
+                    policy.record_batch(&events);
+                }
             }
-        }
-        if !events.is_empty() {
-            policy.record_batch(&events);
         }
     }
 
@@ -387,9 +432,7 @@ impl<R: Recorder> Vmm<R> {
         shard: usize,
     ) -> parking_lot::MutexGuard<'_, ResidentShard> {
         let guard = self.resident[shard].lock();
-        self.core_stats[core.index()]
-            .shard_lock_acquires
-            .fetch_add(1, Relaxed);
+        owner_add(&self.core_stats[core.index()].shard_lock_acquires, 1);
         if R::ENABLED {
             self.tracer.record(
                 core.0,
@@ -442,9 +485,7 @@ impl<R: Recorder> Vmm<R> {
     /// counter and emits the paired `FaultInjected` event (zero cycles —
     /// the recovery events carry the time).
     fn note_injected(&self, core: CoreId, site: FaultSite, attempt: u64) {
-        self.core_stats[core.index()]
-            .faults_injected
-            .fetch_add(1, Relaxed);
+        owner_add(&self.core_stats[core.index()].faults_injected, 1);
         if R::ENABLED {
             self.tracer.record(
                 core.0,
@@ -465,8 +506,8 @@ impl<R: Recorder> Vmm<R> {
         let clock = &self.clocks[core.index()];
         clock.advance(delay);
         let st = &self.core_stats[core.index()];
-        st.fault_retries.fetch_add(1, Relaxed);
-        st.retry_backoff_cycles.fetch_add(delay, Relaxed);
+        owner_add(&st.fault_retries, 1);
+        owner_add(&st.retry_backoff_cycles, delay);
         if R::ENABLED {
             self.tracer
                 .record(core.0, clock.now(), EventKind::Retry, delay, site.code());
@@ -483,13 +524,13 @@ impl<R: Recorder> Vmm<R> {
 
     /// Hardware page walk on behalf of `core`.
     pub fn translate(&self, core: CoreId, page: VirtPage) -> Option<Translation> {
-        self.scheme.as_dyn().translate(core, page)
+        with_scheme!(self, s => s.translate(core, page))
     }
 
     /// Hardware accessed/dirty-bit update after a successful walk or a
     /// first write to a clean TLB entry.
     pub fn mark_accessed(&self, core: CoreId, page: VirtPage, write: bool) {
-        self.scheme.as_dyn().mark_accessed(core, page, write);
+        with_scheme!(self, s => s.mark_accessed(core, page, write));
     }
 
     /// Whether `core` has pending TLB invalidations (lock-free check).
@@ -585,7 +626,7 @@ impl<R: Recorder> Vmm<R> {
             let ResidentShard { map, pending_dirty } = &mut *guard;
             for &head in map.keys() {
                 let head = VirtPage(head);
-                if let Some(out) = self.scheme.as_dyn().unmap_all(head, self.cfg.block_size) {
+                if let Some(out) = with_scheme!(self, s => s.unmap_all(head, self.cfg.block_size)) {
                     torn += 1;
                     // The rebuild runs on the dedicated maintenance
                     // hyperthreads (like the scan timer); targets still pay
@@ -667,8 +708,8 @@ impl<R: Recorder> Vmm<R> {
             if let Some(req) = requester {
                 self.clocks[req.index()].advance(cost.requester);
                 let st = &self.core_stats[req.index()];
-                st.shootdown_cycles.fetch_add(cost.requester, Relaxed);
-                st.remote_inv_sent.fetch_add(cost.targets as u64, Relaxed);
+                owner_add(&st.shootdown_cycles, cost.requester);
+                owner_add(&st.remote_inv_sent, cost.targets as u64);
                 if R::ENABLED {
                     self.tracer.record(
                         req.0,
@@ -720,8 +761,12 @@ impl<R: Recorder> Vmm<R> {
             if let Some(frame) = self.pool.alloc_for(requester.index()) {
                 return frame;
             }
-            if self.try_evict_one(requester) {
-                continue;
+            if let Some(frame) = self.try_evict_one(requester) {
+                // The victim's frame transfers to the requester directly,
+                // skipping a free-list round trip through the pool. Same
+                // frame either way: with the pool dry, a free would be
+                // the only frame the subsequent alloc could pop.
+                return frame;
             }
             // Pool dry but the policy tracks nothing: every frame is in
             // flight on some other core between its `alloc` and its
@@ -736,9 +781,10 @@ impl<R: Recorder> Vmm<R> {
         }
     }
 
-    /// Evicts one victim block to free a frame. Returns `false` when the
-    /// policy has nothing to offer (transiently possible mid-race).
-    fn try_evict_one(&self, requester: CoreId) -> bool {
+    /// Evicts one victim block and hands its freed frame to the caller.
+    /// Returns `None` when the policy has nothing to offer (transiently
+    /// possible mid-race).
+    fn try_evict_one(&self, requester: CoreId) -> Option<PhysFrame> {
         let mut policy = self.policy.lock();
         // The victim decision must see every insert that already
         // happened, so the buffers flush first.
@@ -747,11 +793,9 @@ impl<R: Recorder> Vmm<R> {
             vmm: self,
             requester: Some(requester),
         };
-        let Some(victim) = policy.select_victim(&mut oracle) else {
-            return false;
-        };
+        let victim = policy.select_victim(&mut oracle)?;
         if R::ENABLED {
-            let count = self.scheme.as_dyn().mapping_cores(victim).count() as u64;
+            let count = with_scheme!(self, s => s.mapping_cores(victim)).count() as u64;
             let group = policy.victim_group(victim) as u64;
             self.tracer.record(
                 requester.0,
@@ -773,11 +817,16 @@ impl<R: Recorder> Vmm<R> {
             .map
             .remove(&victim.0)
             .expect("victim tracked in resident map");
-        self.resident_len[shard_idx].fetch_sub(1, Relaxed);
-        let mut dirty = shard.pending_dirty.remove(&victim.0);
+        // Only mutated under this stripe's lock (single writer at a
+        // time), so a load + store beats the atomic RMW.
+        let len = &self.resident_len[shard_idx];
+        len.store(len.load(Relaxed) - 1, Relaxed);
+        // Write-back debt only exists after a PSPT rebuild; the length
+        // check spares the common eviction a pointless hash probe.
+        let mut dirty = !shard.pending_dirty.is_empty() && shard.pending_dirty.remove(&victim.0);
         // A victim with no mappings is possible right after a PSPT
         // rebuild: resident, but every PTE already torn down.
-        let out = self.scheme.as_dyn().unmap_all(victim, self.cfg.block_size);
+        let out = with_scheme!(self, s => s.unmap_all(victim, self.cfg.block_size));
         let clock = &self.clocks[requester.index()];
         if let Some(out) = &out {
             clock.advance(self.cfg.cost.pte_update * out.ptes_removed as u64);
@@ -790,8 +839,7 @@ impl<R: Recorder> Vmm<R> {
         drop(shard);
         policy.on_evict(victim);
         self.global.evictions.fetch_add(1, Relaxed);
-        self.pool.free_for(frame, requester.index());
-        true
+        Some(frame)
     }
 
     /// Writes a dirty victim back to the host, riding out injected DMA
@@ -824,7 +872,7 @@ impl<R: Recorder> Vmm<R> {
             );
             let wait = c.reservation.end.saturating_sub(clock.now());
             clock.advance(wait);
-            st.dma_wait_cycles.fetch_add(wait, Relaxed);
+            owner_add(&st.dma_wait_cycles, wait);
             if R::ENABLED {
                 self.tracer.record(
                     requester.0,
@@ -872,7 +920,7 @@ impl<R: Recorder> Vmm<R> {
         let head = self.block_of(page);
         let clock = &self.clocks[core.index()];
         let st = &self.core_stats[core.index()];
-        st.page_faults.fetch_add(1, Relaxed);
+        owner_add(&st.page_faults, 1);
         let t0 = clock.now();
         if R::ENABLED {
             self.tracer
@@ -886,7 +934,9 @@ impl<R: Recorder> Vmm<R> {
         let (lock, hold) = self.lock_for(head);
         let t_req = clock.now();
         let res = lock.acquire_bounded(t_req, hold, 4 * self.cfg.cores as u64 * hold);
-        st.lock_wait_cycles.fetch_add(res.queue_delay, Relaxed);
+        if res.queue_delay > 0 {
+            owner_add(&st.lock_wait_cycles, res.queue_delay);
+        }
         clock.advance_to(res.end);
         if R::ENABLED {
             self.tracer
@@ -904,22 +954,21 @@ impl<R: Recorder> Vmm<R> {
             let mut shard = self.lock_resident_shard(core, shard_idx);
             if let Some(frame) = shard.map.get(&head.0).copied() {
                 // Resident: PSPT minor fault (copy a sibling's PTE).
-                match self
-                    .scheme
-                    .as_dyn()
-                    .map(core, head, frame, self.cfg.block_size, true)
-                {
-                    Ok(MapOutcome::Copied { probes }) => {
+                match with_scheme!(self, s => s.map(core, head, frame, self.cfg.block_size, true)) {
+                    Ok(MapOutcome::Copied { probes, map_count }) => {
                         clock.advance(
                             self.cfg.cost.pspt_probe * probes as u64
                                 + self.cfg.cost.pte_update * self.subentries(),
                         );
-                        let count = self.scheme.as_dyn().mapping_cores(head).count();
+                        // The new core-map count rides in the outcome
+                        // (read from the directory entry `map` already
+                        // locked), so the minor path never takes the
+                        // directory lock a second time.
                         self.push_policy_event(
                             core,
                             PolicyEvent::MapCount {
                                 block: head,
-                                map_count: count,
+                                map_count,
                             },
                         );
                         break FaultKind::MinorCopy;
@@ -974,7 +1023,7 @@ impl<R: Recorder> Vmm<R> {
                     );
                     let wait = c.reservation.end.saturating_sub(clock.now());
                     clock.advance(wait);
-                    st.dma_wait_cycles.fetch_add(wait, Relaxed);
+                    owner_add(&st.dma_wait_cycles, wait);
                     if R::ENABLED {
                         self.tracer.record(
                             core.0,
@@ -1006,7 +1055,7 @@ impl<R: Recorder> Vmm<R> {
                         // never while holding this block's stripe.
                         drop(shard);
                         self.pool.quarantine(frame);
-                        st.quarantines.fetch_add(1, Relaxed);
+                        owner_add(&st.quarantines, 1);
                         self.global.quarantined_frames.fetch_add(1, Relaxed);
                         if R::ENABLED {
                             self.tracer.record(
@@ -1030,13 +1079,13 @@ impl<R: Recorder> Vmm<R> {
                 }
                 self.global.refaults.fetch_add(1, Relaxed);
             }
-            self.scheme
-                .as_dyn()
-                .map(core, head, frame, self.cfg.block_size, true)
+            with_scheme!(self, s => s.map(core, head, frame, self.cfg.block_size, true))
                 .expect("fresh block maps cleanly");
             clock.advance(self.cfg.cost.pte_update * self.subentries());
             shard.map.insert(head.0, frame);
-            self.resident_len[shard_idx].fetch_add(1, Relaxed);
+            // Mutated under the stripe lock only — see the eviction path.
+            let len = &self.resident_len[shard_idx];
+            len.store(len.load(Relaxed) + 1, Relaxed);
             self.push_policy_event(
                 core,
                 PolicyEvent::Insert {
@@ -1048,7 +1097,7 @@ impl<R: Recorder> Vmm<R> {
         };
         self.maybe_flush(core);
         let spent = clock.now() - t0;
-        st.fault_cycles.fetch_add(spent, Relaxed);
+        owner_add(&st.fault_cycles, spent);
         if R::ENABLED {
             let resolution = match kind {
                 FaultKind::Major => 0,
@@ -1095,11 +1144,8 @@ struct KernelOracle<'a, R: Recorder> {
 
 impl<R: Recorder> AccessBitOracle for KernelOracle<'_, R> {
     fn test_and_clear(&mut self, block: VirtPage) -> bool {
-        let scan = self
-            .vmm
-            .scheme
-            .as_dyn()
-            .test_and_clear_accessed(block, self.vmm.cfg.block_size);
+        let scan =
+            with_scheme!(self.vmm, s => s.test_and_clear_accessed(block, self.vmm.cfg.block_size));
         self.vmm
             .global
             .scan_ptes

@@ -22,9 +22,8 @@
 //! tables (asserted in tests and by `debug_assert`s here).
 
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
 
-use cmcp_arch::{CoreId, CoreSet, PageSize, PhysFrame, VirtPage};
+use cmcp_arch::{CoreId, CoreSet, FxHashMap, PageSize, PhysFrame, VirtPage};
 
 use crate::pte::PteFlags;
 use crate::scheme::{MapOutcome, ScanOutcome, SchemeKind, TableScheme, Translation, UnmapOutcome};
@@ -39,7 +38,7 @@ pub struct Pspt {
     tables: Vec<RwLock<PageTable>>,
     cores: CoreSet,
     /// Sharded directory: block head page → cores mapping it.
-    directory: Vec<Mutex<HashMap<u64, CoreSet>>>,
+    directory: Vec<Mutex<FxHashMap<u64, CoreSet>>>,
 }
 
 impl Pspt {
@@ -51,13 +50,13 @@ impl Pspt {
                 .collect(),
             cores: CoreSet::first_n(n_cores),
             directory: (0..DIR_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(FxHashMap::default()))
                 .collect(),
         }
     }
 
     #[inline]
-    fn shard(&self, head: VirtPage) -> &Mutex<HashMap<u64, CoreSet>> {
+    fn shard(&self, head: VirtPage) -> &Mutex<FxHashMap<u64, CoreSet>> {
         // Multiply-shift hash keeps neighbouring blocks on different
         // shards without pulling in a hasher crate.
         let h = (head.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize;
@@ -132,9 +131,15 @@ impl TableScheme for Pspt {
             !existing.contains(core),
             "{core} faulted on a block it already maps ({head})"
         );
+        let count = existing.count() + 1;
+        // Fold the block's core-map count into the head PTE word in the
+        // same walk that installs it — the paper's "free usage
+        // statistics" live in the entry the walk already touched, so
+        // CMCP's signal costs no extra lookup (head entry only;
+        // sub-entries keep count 0).
         self.tables[core.index()]
             .write()
-            .map(head, frame, size, flags)?;
+            .map_counted(head, frame, size, flags, count)?;
         entry.insert(core);
         if existing.is_empty() {
             Ok(MapOutcome::Fresh)
@@ -144,6 +149,7 @@ impl TableScheme for Pspt {
             // the expected scan length (half the sibling count, min 1).
             Ok(MapOutcome::Copied {
                 probes: existing.count(),
+                map_count: count,
             })
         }
     }
@@ -243,9 +249,38 @@ mod tests {
         assert_eq!(
             p.map(CoreId(2), VirtPage(10), PhysFrame(3), PageSize::K4, true)
                 .unwrap(),
-            MapOutcome::Copied { probes: 1 }
+            MapOutcome::Copied {
+                probes: 1,
+                map_count: 2
+            }
         );
         assert_eq!(p.mapping_cores(VirtPage(10)).count(), 2);
+    }
+
+    #[test]
+    fn map_count_is_stamped_into_the_head_pte() {
+        let p = Pspt::new(4);
+        for (i, c) in [0u16, 1, 3].iter().enumerate() {
+            p.map(
+                CoreId(*c),
+                VirtPage(0x40),
+                PhysFrame(0x40),
+                PageSize::K64,
+                true,
+            )
+            .unwrap();
+            // The freshly faulting core's head PTE carries the count at
+            // map time; sub-entries stay at 0.
+            let (head_count, sub_count) = {
+                let mut t = p.tables[CoreId(*c).index()].write();
+                (
+                    t.with_pte(VirtPage(0x40), |pte| pte.map_count()).unwrap(),
+                    t.with_pte(VirtPage(0x41), |pte| pte.map_count()).unwrap(),
+                )
+            };
+            assert_eq!(head_count, i + 1);
+            assert_eq!(sub_count, 0);
+        }
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub enum MapOutcome {
     Copied {
         /// Number of other cores' page tables consulted.
         probes: usize,
+        /// Number of cores mapping the block *including* the faulting
+        /// core, read from the directory entry the map already locked —
+        /// CMCP's priority signal, folded into the outcome (and the head
+        /// PTE's packed map-count field) so the fault path does not take
+        /// the directory lock a second time.
+        map_count: usize,
     },
 }
 

@@ -1,4 +1,4 @@
-//! A single 4-level radix page table.
+//! A single 4-level radix page table, arena-allocated.
 //!
 //! Structure mirrors x86 long mode on the Xeon Phi: four levels of
 //! 512-entry tables indexed by 9-bit slices of the 36-bit virtual page
@@ -13,7 +13,30 @@
 //! Hardware attribute semantics follow the paper's description: on a
 //! 64 kB mapping, the accessed/dirty bit is set in the 4 kB *sub-entry*
 //! that was touched, so OS-level statistics collection must iterate all
-//! 16 sub-entries ([`PageTable::test_and_clear_accessed_block`]).
+//! 16 sub-entries ([`PageTable::test_and_clear_accessed_block`]) — but
+//! those sixteen PTEs are consecutive words of one dense leaf, so the
+//! scan is one slice pass, not sixteen tree walks.
+//!
+//! ## Arena layout
+//!
+//! Nodes live in three typed arenas owned by the table — interior
+//! directories (`[u32; 512]` handle arrays), bottom-level leaves
+//! (`[Pte; 512]` plus a live count), and 2 MB leaf PTEs — and refer to
+//! each other by 32-bit *handles* (a 2-bit node tag plus an arena
+//! index; 0 is the empty slot). A page walk therefore touches four
+//! dense, contiguously allocated arrays instead of chasing per-node
+//! `Box` pointers, and a PTE is exactly the 8-byte word hardware would
+//! store, with no `Option` discriminant (the all-zero word is
+//! non-present).
+//!
+//! Lifetime rules (DESIGN.md §11): directories are never freed — the
+//! directory working set is bounded by the address-space shape and
+//! reclaiming interior nodes buys nothing. Leaf page tables are
+//! recycled through a free list only when a 2 MB mapping replaces an
+//! empty leftover PT (as a kernel reclaims before installing a PSE
+//! mapping); 2 MB leaf slots are recycled on every 2 MB unmap. Handles
+//! are private to the table, so no stale handle can outlive the node it
+//! names.
 
 use std::fmt;
 
@@ -24,6 +47,31 @@ use crate::pte::{Pte, PteFlags};
 const FANOUT: usize = 512;
 /// Virtual page numbers are 36 bits (48-bit virtual addresses).
 const VPN_BITS: u32 = 36;
+
+/// Arena handle: 2-bit node tag in the top bits, arena index below.
+/// The all-zero handle (tag [`TAG_NONE`]) is the empty slot.
+const TAG_SHIFT: u32 = 30;
+const IDX_MASK: u32 = (1 << TAG_SHIFT) - 1;
+const TAG_NONE: u32 = 0;
+const TAG_DIR: u32 = 1;
+const TAG_PT: u32 = 2;
+const TAG_2M: u32 = 3;
+
+#[inline]
+fn handle(tag: u32, index: usize) -> u32 {
+    debug_assert!(index as u32 <= IDX_MASK);
+    (tag << TAG_SHIFT) | index as u32
+}
+
+#[inline]
+fn tag_of(h: u32) -> u32 {
+    h >> TAG_SHIFT
+}
+
+#[inline]
+fn index_of(h: u32) -> usize {
+    (h & IDX_MASK) as usize
+}
 
 /// Why a `map` call was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,33 +111,19 @@ pub struct TableTranslation {
     pub writable: bool,
 }
 
-/// Bottom-level page table: 512 PTE slots plus a live-entry count.
+/// Bottom-level page table: 512 packed PTE words plus a live-entry
+/// count, stored inline so the leaf arena is one contiguous run.
 struct LeafTable {
-    ptes: Vec<Option<Pte>>,
-    live: usize,
+    ptes: [Pte; FANOUT],
+    live: u32,
 }
 
 impl LeafTable {
     fn new() -> LeafTable {
         LeafTable {
-            ptes: vec![None; FANOUT],
+            ptes: [Pte::EMPTY; FANOUT],
             live: 0,
         }
-    }
-}
-
-enum Node {
-    /// Interior directory (PML4, PDPT, or PD).
-    Dir(Vec<Option<Box<Node>>>),
-    /// 2 MB leaf at the PD level.
-    Leaf2M(Pte),
-    /// Bottom-level page table.
-    Pt(Box<LeafTable>),
-}
-
-impl Node {
-    fn dir() -> Node {
-        Node::Dir((0..FANOUT).map(|_| None).collect())
     }
 }
 
@@ -100,7 +134,14 @@ impl Node {
 /// measures (coarse address-space locks for regular tables vs per-core
 /// locks for PSPT).
 pub struct PageTable {
-    root: Node,
+    /// Interior directories; `dirs[0]` is the PML4 root. Never freed.
+    dirs: Vec<[u32; FANOUT]>,
+    /// Bottom-level page tables, recycled through `free_pt`.
+    leaves: Vec<LeafTable>,
+    /// 2 MB PD-level leaf PTEs, recycled through `free_2m`.
+    leaf2m: Vec<Pte>,
+    free_pt: Vec<u32>,
+    free_2m: Vec<u32>,
     mapped_4k: usize,
 }
 
@@ -114,7 +155,11 @@ impl PageTable {
     /// An empty table.
     pub fn new() -> PageTable {
         PageTable {
-            root: Node::dir(),
+            dirs: vec![[TAG_NONE; FANOUT]],
+            leaves: Vec::new(),
+            leaf2m: Vec::new(),
+            free_pt: Vec::new(),
+            free_2m: Vec::new(),
             mapped_4k: 0,
         }
     }
@@ -143,27 +188,79 @@ impl PageTable {
         ]
     }
 
-    /// Walks to the PD slot for `vpn`, creating directories on the way if
-    /// `create`.
-    fn pd_slot(&mut self, vpn: u64, create: bool) -> Option<&mut Option<Box<Node>>> {
+    /// Walks to the PD slot for `vpn`, creating directories on the way
+    /// if `create`. Returns the (directory arena index, slot index)
+    /// location of the slot.
+    fn pd_slot(&mut self, vpn: u64, create: bool) -> Option<(usize, usize)> {
         let [i4, i3, i2] = Self::indices(vpn);
-        let mut node = &mut self.root;
+        let mut di = 0usize;
         for idx in [i4, i3] {
-            let slots = match node {
-                Node::Dir(s) => s,
+            let h = self.dirs[di][idx];
+            di = match tag_of(h) {
+                TAG_NONE => {
+                    if !create {
+                        return None;
+                    }
+                    let child = self.dirs.len();
+                    self.dirs.push([TAG_NONE; FANOUT]);
+                    self.dirs[di][idx] = handle(TAG_DIR, child);
+                    child
+                }
+                TAG_DIR => index_of(h),
                 _ => return None,
             };
-            if slots[idx].is_none() {
+        }
+        Some((di, i2))
+    }
+
+    /// Read-only walk to the PD slot's handle.
+    #[inline]
+    fn pd_handle(&self, vpn: u64) -> u32 {
+        let [i4, i3, i2] = Self::indices(vpn);
+        let mut di = 0usize;
+        for idx in [i4, i3] {
+            let h = self.dirs[di][idx];
+            if tag_of(h) != TAG_DIR {
+                return TAG_NONE;
+            }
+            di = index_of(h);
+        }
+        self.dirs[di][i2]
+    }
+
+    /// Walks to the PT containing `vpn`, creating it if needed. Returns
+    /// its leaf-arena index, or `None` if the slot is occupied by a 2 MB
+    /// leaf.
+    fn pt_for(&mut self, vpn: u64, create: bool) -> Option<usize> {
+        let (di, i2) = self.pd_slot(vpn, create)?;
+        let h = self.dirs[di][i2];
+        match tag_of(h) {
+            TAG_PT => Some(index_of(h)),
+            TAG_NONE => {
                 if !create {
                     return None;
                 }
-                slots[idx] = Some(Box::new(Node::dir()));
+                let li = self.alloc_pt();
+                self.dirs[di][i2] = handle(TAG_PT, li);
+                Some(li)
             }
-            node = slots[idx].as_mut().unwrap();
-        }
-        match node {
-            Node::Dir(s) => Some(&mut s[i2]),
             _ => None,
+        }
+    }
+
+    /// Takes a leaf table from the free list (already zeroed: a PT is
+    /// only freed at live == 0, and unmap clears entries as it goes) or
+    /// grows the arena.
+    fn alloc_pt(&mut self) -> usize {
+        match self.free_pt.pop() {
+            Some(i) => {
+                debug_assert_eq!(self.leaves[i as usize].live, 0);
+                i as usize
+            }
+            None => {
+                self.leaves.push(LeafTable::new());
+                self.leaves.len() - 1
+            }
         }
     }
 
@@ -175,6 +272,23 @@ impl PageTable {
         size: PageSize,
         flags: PteFlags,
     ) -> Result<(), MapError> {
+        self.map_counted(vpage, frame, size, flags, 0)
+    }
+
+    /// Like [`PageTable::map`], but folds `map_count` into the head PTE
+    /// word during the same radix walk. PSPT stamps the block's core-map
+    /// count on every map; doing it here saves the second full walk a
+    /// `with_pte` after `map` would cost on the fault hot path.
+    /// Sub-entries keep count 0 — only the head entry carries the
+    /// statistic.
+    pub fn map_counted(
+        &mut self,
+        vpage: VirtPage,
+        frame: PhysFrame,
+        size: PageSize,
+        flags: PteFlags,
+        map_count: usize,
+    ) -> Result<(), MapError> {
         Self::check_range(vpage.0)?;
         if !vpage.is_aligned(size) {
             return Err(MapError::UnalignedVirt);
@@ -184,18 +298,30 @@ impl PageTable {
         }
         match size {
             PageSize::M2 => {
-                let slot = self.pd_slot(vpage.0, true).ok_or(MapError::AlreadyMapped)?;
-                match slot.as_deref() {
+                let (di, i2) = self.pd_slot(vpage.0, true).ok_or(MapError::AlreadyMapped)?;
+                let h = self.dirs[di][i2];
+                match tag_of(h) {
+                    TAG_NONE => {}
                     // An empty leftover PT is reclaimed, as a kernel does
                     // before installing a PSE mapping.
-                    Some(Node::Pt(leaf)) if leaf.live == 0 => {}
-                    Some(_) => return Err(MapError::AlreadyMapped),
-                    None => {}
+                    TAG_PT if self.leaves[index_of(h)].live == 0 => {
+                        self.free_pt.push(index_of(h) as u32);
+                    }
+                    _ => return Err(MapError::AlreadyMapped),
                 }
-                *slot = Some(Box::new(Node::Leaf2M(Pte::new(
-                    frame,
-                    flags | PteFlags::LARGE,
-                ))));
+                let mut pte = Pte::new(frame, flags | PteFlags::LARGE);
+                pte.set_map_count(map_count);
+                let mi = match self.free_2m.pop() {
+                    Some(i) => {
+                        self.leaf2m[i as usize] = pte;
+                        i as usize
+                    }
+                    None => {
+                        self.leaf2m.push(pte);
+                        self.leaf2m.len() - 1
+                    }
+                };
+                self.dirs[di][i2] = handle(TAG_2M, mi);
                 self.mapped_4k += PageSize::M2.pages_4k();
                 Ok(())
             }
@@ -208,39 +334,19 @@ impl PageTable {
                 };
                 // All sub-pages live in the same PT (64 kB never crosses a
                 // 2 MB boundary thanks to natural alignment).
-                let pt = self.pt_for(vpage.0, true).ok_or(MapError::AlreadyMapped)?;
+                let li = self.pt_for(vpage.0, true).ok_or(MapError::AlreadyMapped)?;
+                let pt = &mut self.leaves[li];
                 let base = (vpage.0 & 0x1ff) as usize;
-                if pt.ptes[base..base + n].iter().any(|p| p.is_some()) {
+                if pt.ptes[base..base + n].iter().any(|p| p.present()) {
                     return Err(MapError::AlreadyMapped);
                 }
-                for k in 0..n {
-                    pt.ptes[base + k] = Some(Pte::new(frame.add(k as u32), flags | extra));
+                for (k, slot) in pt.ptes[base..base + n].iter_mut().enumerate() {
+                    *slot = Pte::new(frame.add(k as u32), flags | extra);
                 }
-                pt.live += n;
+                pt.ptes[base].set_map_count(map_count);
+                pt.live += n as u32;
                 self.mapped_4k += n;
                 Ok(())
-            }
-        }
-    }
-
-    /// Walks to the PT containing `vpn`, creating it if needed. Returns
-    /// `None` if the slot is occupied by a 2 MB leaf.
-    fn pt_for(&mut self, vpn: u64, create: bool) -> Option<&mut LeafTable> {
-        let slot = self.pd_slot(vpn, create)?;
-        match slot {
-            Some(node) => match node.as_mut() {
-                Node::Pt(leaf) => Some(leaf),
-                _ => None,
-            },
-            None => {
-                if !create {
-                    return None;
-                }
-                *slot = Some(Box::new(Node::Pt(Box::new(LeafTable::new()))));
-                match slot.as_mut().unwrap().as_mut() {
-                    Node::Pt(leaf) => Some(leaf),
-                    _ => unreachable!(),
-                }
             }
         }
     }
@@ -250,20 +356,10 @@ impl PageTable {
         if vpage.0 >> VPN_BITS != 0 {
             return None;
         }
-        let [i4, i3, i2] = Self::indices(vpage.0);
-        let mut node = &self.root;
-        for idx in [i4, i3] {
-            node = match node {
-                Node::Dir(s) => s[idx].as_deref()?,
-                _ => return None,
-            };
-        }
-        let pd_slot = match node {
-            Node::Dir(s) => s[i2].as_deref()?,
-            _ => return None,
-        };
-        match pd_slot {
-            Node::Leaf2M(pte) => {
+        let h = self.pd_handle(vpage.0);
+        match tag_of(h) {
+            TAG_2M => {
+                let pte = self.leaf2m[index_of(h)];
                 let offset = (vpage.0 % PageSize::M2.pages_4k() as u64) as u32;
                 Some(TableTranslation {
                     frame: pte.frame().add(offset),
@@ -271,8 +367,11 @@ impl PageTable {
                     writable: pte.writable(),
                 })
             }
-            Node::Pt(leaf) => {
-                let pte = leaf.ptes[(vpage.0 & 0x1ff) as usize].as_ref()?;
+            TAG_PT => {
+                let pte = self.leaves[index_of(h)].ptes[(vpage.0 & 0x1ff) as usize];
+                if !pte.present() {
+                    return None;
+                }
                 Some(TableTranslation {
                     frame: pte.frame(),
                     size: if pte.hint_64k() {
@@ -283,7 +382,7 @@ impl PageTable {
                     writable: pte.writable(),
                 })
             }
-            Node::Dir(_) => None,
+            _ => None,
         }
     }
 
@@ -295,22 +394,18 @@ impl PageTable {
         if vpage.0 >> VPN_BITS != 0 {
             return None;
         }
-        let [i4, i3, i2] = Self::indices(vpage.0);
-        let mut node = &mut self.root;
-        for idx in [i4, i3] {
-            node = match node {
-                Node::Dir(s) => s[idx].as_deref_mut()?,
-                _ => return None,
-            };
-        }
-        let pd_slot = match node {
-            Node::Dir(s) => s[i2].as_deref_mut()?,
-            _ => return None,
-        };
-        match pd_slot {
-            Node::Leaf2M(pte) => Some(f(pte)),
-            Node::Pt(leaf) => leaf.ptes[(vpage.0 & 0x1ff) as usize].as_mut().map(f),
-            Node::Dir(_) => None,
+        let h = self.pd_handle(vpage.0);
+        match tag_of(h) {
+            TAG_2M => Some(f(&mut self.leaf2m[index_of(h)])),
+            TAG_PT => {
+                let pte = &mut self.leaves[index_of(h)].ptes[(vpage.0 & 0x1ff) as usize];
+                if pte.present() {
+                    Some(f(pte))
+                } else {
+                    None
+                }
+            }
+            _ => None,
         }
     }
 
@@ -325,6 +420,9 @@ impl PageTable {
     /// accessed bit of every sub-entry (16 iterations for a 64 kB page —
     /// the cost the paper highlights in §4). Returns whether any was set,
     /// plus the number of PTEs examined (for cycle charging).
+    ///
+    /// The sub-entries of a 4 kB/64 kB block are consecutive words of
+    /// one leaf, so the scan walks the tree once and sweeps the slice.
     pub fn test_and_clear_accessed_block(
         &mut self,
         vpage: VirtPage,
@@ -341,11 +439,15 @@ impl PageTable {
             PageSize::K4 | PageSize::K64 => {
                 let n = size.pages_4k();
                 let mut any = false;
-                for k in 0..n as u64 {
-                    if let Some(was) =
-                        self.with_pte(head.add(k), |pte| pte.test_and_clear_accessed())
-                    {
-                        any |= was;
+                if head.0 >> VPN_BITS == 0 {
+                    let h = self.pd_handle(head.0);
+                    if tag_of(h) == TAG_PT {
+                        let base = (head.0 & 0x1ff) as usize;
+                        for pte in &mut self.leaves[index_of(h)].ptes[base..base + n] {
+                            if pte.present() {
+                                any |= pte.test_and_clear_accessed();
+                            }
+                        }
                     }
                 }
                 (any, n)
@@ -359,10 +461,19 @@ impl PageTable {
         let head = vpage.align_down(size);
         match size {
             PageSize::M2 => self.with_pte(head, |pte| pte.dirty()).unwrap_or(false),
-            PageSize::K4 | PageSize::K64 => (0..size.pages_4k() as u64).any(|k| {
-                self.with_pte(head.add(k), |pte| pte.dirty())
-                    .unwrap_or(false)
-            }),
+            PageSize::K4 | PageSize::K64 => {
+                if head.0 >> VPN_BITS != 0 {
+                    return false;
+                }
+                let h = self.pd_handle(head.0);
+                if tag_of(h) != TAG_PT {
+                    return false;
+                }
+                let base = (head.0 & 0x1ff) as usize;
+                self.leaves[index_of(h)].ptes[base..base + size.pages_4k()]
+                    .iter()
+                    .any(|pte| pte.present() && pte.dirty())
+            }
         }
     }
 
@@ -379,27 +490,30 @@ impl PageTable {
         let head = vpage.align_down(size);
         match size {
             PageSize::M2 => {
-                let slot = self.pd_slot(head.0, false)?;
-                match slot.as_deref() {
-                    Some(Node::Leaf2M(_)) => {}
-                    _ => return None,
+                let (di, i2) = self.pd_slot(head.0, false)?;
+                let h = self.dirs[di][i2];
+                if tag_of(h) != TAG_2M {
+                    return None;
                 }
-                let node = slot.take().unwrap();
+                let mi = index_of(h);
+                let pte = self.leaf2m[mi];
+                self.leaf2m[mi] = Pte::EMPTY;
+                self.free_2m.push(mi as u32);
+                self.dirs[di][i2] = TAG_NONE;
                 self.mapped_4k -= PageSize::M2.pages_4k();
-                match *node {
-                    Node::Leaf2M(pte) => Some(pte),
-                    _ => unreachable!(),
-                }
+                Some(pte)
             }
             PageSize::K4 | PageSize::K64 => {
                 let n = size.pages_4k();
-                let pt = self.pt_for(head.0, false)?;
+                let li = self.pt_for(head.0, false)?;
+                let pt = &mut self.leaves[li];
                 let base = (head.0 & 0x1ff) as usize;
                 let mut agg: Option<Pte> = None;
                 let mut removed = 0usize;
-                for k in 0..n {
-                    if let Some(pte) = pt.ptes[base + k].take() {
-                        pt.live -= 1;
+                for slot in &mut pt.ptes[base..base + n] {
+                    if slot.present() {
+                        let pte = *slot;
+                        *slot = Pte::EMPTY;
                         removed += 1;
                         agg = Some(match agg {
                             None => pte,
@@ -415,6 +529,7 @@ impl PageTable {
                         });
                     }
                 }
+                pt.live -= removed as u32;
                 self.mapped_4k -= removed;
                 agg
             }
@@ -672,5 +787,62 @@ mod tests {
             .unwrap();
         assert_eq!(t.translate(far).unwrap().frame, PhysFrame(1));
         assert!(t.translate(VirtPage(far.0 + 1)).is_none());
+    }
+
+    #[test]
+    fn empty_pt_is_reclaimed_by_2m_map() {
+        // Map + unmap a 4 kB page so the PD slot holds an empty PT, then
+        // install a 2 MB mapping over it: the leftover PT must be
+        // recycled, not leaked and not rejected.
+        let mut t = table();
+        t.map(VirtPage(0x7), PhysFrame(3), PageSize::K4, PteFlags::empty())
+            .unwrap();
+        t.unmap(VirtPage(0x7), PageSize::K4).unwrap();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::M2, PteFlags::empty())
+            .unwrap();
+        assert_eq!(t.translate(VirtPage(0x7)).unwrap().size, PageSize::M2);
+        // The recycled PT is reused for the next leaf allocation.
+        assert_eq!(t.leaves.len(), 1);
+        t.map(
+            VirtPage(0x200),
+            PhysFrame(0x200),
+            PageSize::K4,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        assert_eq!(t.leaves.len(), 1, "freed leaf must be recycled");
+    }
+
+    #[test]
+    fn freed_2m_slots_are_recycled() {
+        let mut t = table();
+        for round in 0..3 {
+            t.map(
+                VirtPage(0x200),
+                PhysFrame(0x200),
+                PageSize::M2,
+                PteFlags::empty(),
+            )
+            .unwrap();
+            assert_eq!(t.leaf2m.len(), 1, "round {round} must reuse the slot");
+            t.unmap(VirtPage(0x200), PageSize::M2).unwrap();
+        }
+        assert_eq!(t.mapped_pages_4k(), 0);
+    }
+
+    #[test]
+    fn a_partially_emptied_pt_is_not_reclaimable() {
+        let mut t = table();
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K4, PteFlags::empty())
+            .unwrap();
+        t.map(VirtPage(1), PhysFrame(1), PageSize::K4, PteFlags::empty())
+            .unwrap();
+        t.unmap(VirtPage(0), PageSize::K4).unwrap();
+        assert_eq!(
+            t.map(VirtPage(0), PhysFrame(0), PageSize::M2, PteFlags::empty()),
+            Err(MapError::AlreadyMapped),
+            "a PT with live entries must not be reclaimed by a 2 MB map"
+        );
+        assert_eq!(t.translate(VirtPage(1)).unwrap().frame, PhysFrame(1));
     }
 }
