@@ -1,7 +1,7 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 # Everything runs offline: external crates are in-repo shims (shims/README.md).
 
-.PHONY: verify fmt lint test test-serial test-faults test-loom test-miri test-tsan stress bench-smoke bench-parallel ci
+.PHONY: verify fmt lint test test-serial test-faults test-loom test-miri test-tsan stress determinism bench-smoke bench-parallel bench-parallel-save ci
 
 # The canonical acceptance gate: release build + full test suite.
 verify:
@@ -56,17 +56,27 @@ test-tsan:
 		echo "nightly + rust-src not installed (TSan needs an instrumented std via -Zbuild-std); skipping"; \
 	fi
 
-# Parallel-engine stress tests at 8 workers (release: the point is load).
+# Engine stress tests at 8 workers (release: the point is load).
 stress:
-	cargo test -q --release --test parallel_stress --test engine_equivalence
+	cargo test -q --release --test parallel_stress --test thread_determinism
+
+# The cross-thread-count determinism matrix on its own: every policy,
+# eviction pressure and fault plan, byte-equal reports at 1/2/4/8 threads.
+determinism:
+	cargo test -q --release --test thread_determinism
 
 # One pass over the policies benchmark bodies (no measurement).
 bench-smoke:
 	cargo bench -p cmcp-bench --bench policies -- --test
 
+# Smoke pass over the scaling benchmark bodies (asserts cross-thread
+# byte-identity, no measurement, leaves the committed baseline alone).
+bench-parallel:
+	cargo bench -p cmcp-bench --bench parallel_scaling -- --test
+
 # Full measurement of host-parallelism scaling; rewrites the committed
 # results/BENCH_parallel.json baseline.
-bench-parallel:
+bench-parallel-save:
 	cargo bench -p cmcp-bench --bench parallel_scaling -- --bench
 
 # Hot-path microbench vs the committed baseline (the CI perf gate);

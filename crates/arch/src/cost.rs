@@ -167,6 +167,27 @@ impl CostModel {
         self.ipi_handle + self.tlb_invlpg * entries.max(1) as u64
     }
 
+    /// The minimum virtual-time latency by which one core's kernel
+    /// activity can perturb another core's *locally observable* state —
+    /// the epoch window of the sharded engine.
+    ///
+    /// Every kernel entry (fault, syscall, timer) is executed at an
+    /// exact virtual-time stamp by the engine's sequential commit phase,
+    /// so the lock-handoff and IKC channels are ordered precisely and
+    /// impose no bound here. The one channel that reaches a core *not*
+    /// in the kernel is the TLB shootdown: an eviction committed at time
+    /// `t` cannot invalidate a remote translation before the IPI has
+    /// been sent and handled, i.e. before `t + ipi_send + ipi_handle`.
+    /// A core running ahead inside one window therefore never uses a
+    /// translation staler than real hardware would permit.
+    ///
+    /// Clamped to at least 1 cycle so a degenerate all-zero cost table
+    /// still yields a forward-moving epoch ceiling.
+    #[inline]
+    pub fn min_cross_core_latency(&self) -> Cycles {
+        (self.ipi_send + self.ipi_handle).max(1)
+    }
+
     /// Converts cycles into seconds using the configured frequency.
     #[inline]
     pub fn cycles_to_secs(&self, cycles: Cycles) -> f64 {
@@ -224,6 +245,19 @@ mod tests {
         let c = CostModel::default();
         assert_eq!(c.shootdown_target(0), c.ipi_handle + c.tlb_invlpg);
         assert_eq!(c.shootdown_target(2), c.ipi_handle + 2 * c.tlb_invlpg);
+    }
+
+    #[test]
+    fn epoch_window_is_the_shootdown_delivery_latency() {
+        let c = CostModel::default();
+        assert_eq!(c.min_cross_core_latency(), c.ipi_send + c.ipi_handle);
+        // A zeroed table must still give a forward-moving window.
+        let zero = CostModel {
+            ipi_send: 0,
+            ipi_handle: 0,
+            ..CostModel::default()
+        };
+        assert_eq!(zero.min_cross_core_latency(), 1);
     }
 
     #[test]

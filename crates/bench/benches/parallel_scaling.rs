@@ -1,10 +1,12 @@
-//! Host wall-clock scaling of the parallel engine on the CG workload.
+//! Host wall-clock scaling of the unified engine on the CG workload.
 //!
-//! Runs the same trace on the deterministic engine and on the parallel
-//! engine at 1/2/4/8 worker threads. This measures *host* performance —
-//! the sharded frame pool, striped residency maps, and batched policy
-//! updates — not virtual time, which is identical across engines in the
-//! no-pressure regime and statistically identical under pressure.
+//! Runs the same trace at 1/2/4/8 worker threads. This measures *host*
+//! performance — epoch-parallel core advancement over the sharded frame
+//! pool and striped residency maps — not virtual time, which is
+//! byte-identical at every thread count. Before timing anything the
+//! harness asserts exactly that: every thread count's report must be
+//! byte-equal to the single-thread report, so a scaling number can
+//! never be quoted for a run that broke determinism.
 //!
 //! In `--bench` mode the harness also writes
 //! `results/BENCH_parallel.json` so future changes can be compared
@@ -15,7 +17,7 @@ use std::time::Instant;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cmcp::workloads::cg::{cg_trace, CgConfig};
-use cmcp::{EngineMode, PolicyKind, RunReport, SimulationBuilder, Trace};
+use cmcp::{PolicyKind, RunReport, SimulationBuilder, Trace};
 
 const CORES: usize = 8;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -35,23 +37,34 @@ fn workload() -> Trace {
     )
 }
 
-fn run(trace: &Trace, mode: EngineMode) -> RunReport {
+fn run(trace: &Trace, threads: usize) -> RunReport {
     SimulationBuilder::trace(trace.clone())
         .policy(PolicyKind::Cmcp { p: 0.5 })
         .memory_ratio(0.75)
-        .engine(mode)
+        .threads(threads)
         .run()
+}
+
+/// Every thread count must reproduce the single-thread report byte for
+/// byte; a timing table for non-identical runs would be meaningless.
+fn assert_byte_identity(trace: &Trace) {
+    let want = format!("{:?}", run(trace, 1));
+    for &threads in &THREAD_COUNTS[1..] {
+        let got = format!("{:?}", run(trace, threads));
+        assert_eq!(
+            got, want,
+            "threads={threads} report diverged from threads=1; refusing to time it"
+        );
+    }
 }
 
 fn bench_parallel_scaling(c: &mut Criterion) {
     let trace = workload();
+    assert_byte_identity(&trace);
     let mut group = c.benchmark_group("parallel_scaling");
-    group.bench_function("deterministic", |b| {
-        b.iter(|| black_box(run(&trace, EngineMode::Deterministic).runtime_cycles));
-    });
     for threads in THREAD_COUNTS {
-        group.bench_function(BenchmarkId::new("parallel", threads), |b| {
-            b.iter(|| black_box(run(&trace, EngineMode::Parallel(threads)).runtime_cycles));
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| black_box(run(&trace, threads).runtime_cycles));
         });
     }
     group.finish();
@@ -68,25 +81,21 @@ fn bench_parallel_scaling(c: &mut Criterion) {
 /// Times each configuration directly and records the means, so the
 /// baseline file does not depend on the bench harness's output format.
 fn write_baseline(trace: &Trace) {
-    let sample_ms = |mode: EngineMode| -> f64 {
-        run(trace, mode); // warmup
+    let sample_ms = |threads: usize| -> f64 {
+        run(trace, threads); // warmup
         let start = Instant::now();
         for _ in 0..BASELINE_SAMPLES {
-            black_box(run(trace, mode).runtime_cycles);
+            black_box(run(trace, threads).runtime_cycles);
         }
         start.elapsed().as_secs_f64() * 1e3 / BASELINE_SAMPLES as f64
     };
-    let det_ms = sample_ms(EngineMode::Deterministic);
-    let par_ms: Vec<(usize, f64)> = THREAD_COUNTS
-        .iter()
-        .map(|&t| (t, sample_ms(EngineMode::Parallel(t))))
-        .collect();
+    let per_thread: Vec<(usize, f64)> = THREAD_COUNTS.iter().map(|&t| (t, sample_ms(t))).collect();
 
-    let entries: Vec<String> = par_ms
+    let entries: Vec<String> = per_thread
         .iter()
-        .map(|(t, ms)| format!("    \"parallel_{t}\": {ms:.3}"))
+        .map(|(t, ms)| format!("    \"threads_{t}\": {ms:.3}"))
         .collect();
-    let speedup_8 = par_ms[0].1 / par_ms.last().unwrap().1;
+    let speedup_8 = per_thread[0].1 / per_thread.last().unwrap().1;
     // Thread-level speedup needs host CPUs; record how many this
     // baseline had so readers can interpret the scaling column.
     let host_cpus = std::thread::available_parallelism().map_or(0, |p| p.get());
@@ -94,8 +103,8 @@ fn write_baseline(trace: &Trace) {
         "{{\n  \"workload\": \"cg n=6144 nnz=16 iters=2\",\n  \"cores\": {CORES},\n  \
          \"policy\": \"cmcp p=0.5\",\n  \"memory_ratio\": 0.75,\n  \
          \"samples\": {BASELINE_SAMPLES},\n  \"host_cpus\": {host_cpus},\n  \
-         \"mean_wall_ms\": {{\n    \
-         \"deterministic\": {det_ms:.3},\n{}\n  }},\n  \
+         \"byte_identical_reports\": true,\n  \
+         \"mean_wall_ms\": {{\n{}\n  }},\n  \
          \"speedup_8t_over_1t\": {speedup_8:.3}\n}}\n",
         entries.join(",\n"),
     );

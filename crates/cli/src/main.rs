@@ -10,8 +10,7 @@
 use std::process::ExitCode;
 
 use cmcp::{
-    EngineMode, FaultPlan, PageSize, PolicyKind, SchemeChoice, SimulationBuilder, Workload,
-    WorkloadClass,
+    FaultPlan, PageSize, PolicyKind, SchemeChoice, SimulationBuilder, Workload, WorkloadClass,
 };
 
 const USAGE: &str = "\
@@ -42,7 +41,9 @@ OPTIONS:
     --memory <RATIO>     device RAM as a fraction of the declared
                          footprint (default: the workload's paper
                          constraint)
-    --parallel [N]       use the threaded engine (N threads, 0 = auto)
+    --threads <N>        host worker threads, >= 1 (default: 1); the
+                         report is byte-identical at every count — more
+                         threads only change wall-clock time
     --rebuild <MS>       periodic PSPT rebuild every MS virtual ms
     --fault-plan <SPEC>  seeded fault injection on the PCIe/backing path,
                          e.g. \"seed=42,dma=0.01,enospc=0.005\"; rules:
@@ -62,7 +63,7 @@ struct Args {
     scheme: SchemeChoice,
     page_size: PageSize,
     memory: Option<f64>,
-    engine: EngineMode,
+    threads: usize,
     rebuild_ms: u64,
     fault_plan: Option<FaultPlan>,
     json: bool,
@@ -118,6 +119,18 @@ fn parse_page_size(s: &str) -> Result<PageSize, String> {
     }
 }
 
+fn parse_threads(s: &str) -> Result<usize, String> {
+    let n: usize = s.parse().map_err(|_| format!("bad thread count '{s}'"))?;
+    if n == 0 {
+        return Err(
+            "--threads 0 is rejected: the unified engine needs at least one worker \
+             (results are byte-identical at every count, so 1 is always safe)"
+                .into(),
+        );
+    }
+    Ok(n)
+}
+
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         workload: Workload::Cg(WorkloadClass::B),
@@ -126,7 +139,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         scheme: SchemeChoice::Pspt,
         page_size: PageSize::K4,
         memory: None,
-        engine: EngineMode::Deterministic,
+        threads: 1,
         rebuild_ms: 0,
         fault_plan: None,
         json: false,
@@ -189,7 +202,14 @@ fn parse_args() -> Result<Option<Args>, String> {
                 }
                 args.memory = Some(m);
             }
-            "--parallel" => args.engine = EngineMode::Parallel(0),
+            "--threads" => args.threads = parse_threads(&value("--threads")?)?,
+            "--parallel" => {
+                return Err(
+                    "--parallel was replaced by --threads N: the engines are unified and \
+                     every thread count gives the byte-identical report"
+                        .into(),
+                )
+            }
             "--rebuild" => {
                 args.rebuild_ms = value("--rebuild")?
                     .parse()
@@ -234,7 +254,7 @@ fn main() -> ExitCode {
         .policy(args.policy)
         .page_size(args.page_size)
         .memory_ratio(memory)
-        .engine(args.engine)
+        .threads(args.threads)
         .pspt_rebuild_period(args.rebuild_ms * 1_053_000);
     let faulted = args.fault_plan.is_some();
     if let Some(plan) = args.fault_plan {
@@ -404,6 +424,15 @@ mod tests {
         }
         assert!(parse_policy("cmcp:1.5").is_err());
         assert!(parse_policy("mru").is_err());
+    }
+
+    #[test]
+    fn thread_counts_parse_and_zero_is_rejected_loudly() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("8"), Ok(8));
+        let err = parse_threads("0").expect_err("zero must be rejected");
+        assert!(err.contains("at least one worker"), "{err}");
+        assert!(parse_threads("many").is_err());
     }
 
     #[test]

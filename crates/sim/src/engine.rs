@@ -1,35 +1,411 @@
-//! The deterministic engine.
+//! The unified sharded discrete-event engine.
 //!
-//! Always advances the core with the *smallest* virtual clock, so the
-//! interleaving — and therefore every policy decision, every queueing
-//! delay, every statistic — is a pure function of the trace and the
-//! configuration. All experiments and tests run on this engine.
+//! One event-advance code path serves every thread count; `threads = 1`
+//! *is* the deterministic engine, and any other count produces the
+//! byte-identical report. Execution alternates two phases separated by
+//! host-side sense-reversing barriers:
 //!
-//! Barriers are rendezvous: a core reaching its `k`-th barrier parks
-//! until every live core arrives, then all resume at the maximum arrival
-//! time, exactly like an OpenMP barrier in virtual time.
+//! * **Phase A (parallel):** simulated cores are partitioned round-robin
+//!   across workers; each worker advances its *running* cores freely
+//!   until they reach the epoch ceiling or park at a kernel entry (a
+//!   failed page walk, a syscall, a rendezvous barrier) — see
+//!   [`crate::runner::Pause`]. Phase A touches only frozen kernel state:
+//!   page-table reads, commutative accessed/dirty PTE bits, and each
+//!   core's own TLB/clock/stats, so its outcome per core is independent
+//!   of scheduling.
+//! * **Phase B (sequential):** one committer executes every parked
+//!   kernel event and every due maintenance timer strictly below the
+//!   ceiling, ordered by `(virtual_time, event_rank, core_id)`. All
+//!   cross-core effects — evictions, shootdowns, policy updates, frame
+//!   movement — happen here, at exact reproducible stamps. Rendezvous
+//!   barriers release when every live core is waiting; the per-core
+//!   policy-event batches are flushed at each release and at run end.
 //!
-//! The accessed-bit scan timer fires whenever simulated time (the
-//! minimum core clock, which is the engine's notion of "now") crosses a
-//! multiple of the scan period — the paper's 10 ms timer on dedicated
-//! hyperthreads.
+//! The epoch ceiling is `min(next event time) + W` where `W` is
+//! [`cmcp_arch::CostModel::min_cross_core_latency`]: since every kernel
+//! entry is stamp-ordered by phase B, the only cross-core channel that
+//! can reach a core *outside* the kernel is a TLB shootdown, and real
+//! hardware cannot deliver one in less than the IPI send + handle
+//! latency. A core running up to `W` ahead of an eviction therefore
+//! never uses a translation staler than the hardware would permit.
+//!
+//! Because the ceiling is a pure function of simulated state, phase A is
+//! per-core independent, and phase B is a deterministic sequential fold,
+//! `(seed, config) → byte-identical RunReport` at any thread count.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use cmcp_arch::CoreId;
-use cmcp_kernel::Vmm;
+use parking_lot::Mutex;
+
+use cmcp_arch::{CoreId, Cycles, VirtPage};
+use cmcp_kernel::{Syscall, Vmm};
 use cmcp_trace::{EventKind, Recorder};
 
 use crate::report::RunReport;
-use crate::runner::{CoreRunner, StepResult};
+use crate::runner::{CoreRunner, Pause};
 use crate::trace::Trace;
 
-/// Runs `trace` against `vmm` deterministically and returns the report.
+/// Where a core stands between epochs.
+#[derive(Clone, Copy)]
+enum Status {
+    /// Advancing in phase A.
+    Running,
+    /// Parked in the fault trap; the committer runs the handler.
+    Fault { page: VirtPage, write: bool },
+    /// Parked on an offloaded syscall; the committer executes it.
+    Syscall { call: Syscall },
+    /// Arrived at its rendezvous barrier this epoch (not yet noted).
+    Arrived,
+    /// Waiting at the rendezvous; excluded from the ceiling until every
+    /// live core arrives.
+    Waiting,
+    /// Trace exhausted.
+    Done,
+}
+
+/// One core's parked state, written by its worker at the end of phase A
+/// and read/updated by the committer in phase B. The mutex is never
+/// contended across phases (the host barrier separates them); it exists
+/// so the engine stays within `forbid(unsafe_code)`.
+struct Slot {
+    status: Status,
+    /// Virtual time at which the core parked (== its clock then).
+    stamp: Cycles,
+}
+
+/// Host-side sense-reversing spin barrier with a poison bit: a worker
+/// that panics poisons it on unwind so the survivors return instead of
+/// spinning forever, the scope join completes, and the original panic
+/// propagates to the caller.
+struct PhaseBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl PhaseBarrier {
+    fn new(parties: usize) -> PhaseBarrier {
+        PhaseBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks until all parties arrive. Returns `false` if the barrier
+    /// was poisoned (a sibling worker panicked) — callers bail out.
+    ///
+    /// Ordering: each arrival's `AcqRel` RMW on `arrived` joins the
+    /// release sequence, so the last arriver's `Release` store to
+    /// `generation` publishes *every* party's prior writes; a waiter's
+    /// `Acquire` load of the new generation therefore sees all phase
+    /// work that preceded the barrier, and the `arrived` reset by the
+    /// releaser happens-before any re-arrival at the next generation.
+    fn wait(&self) -> bool {
+        if self.poisoned.load(Ordering::Acquire) {
+            return false;
+        }
+        if self.parties == 1 {
+            return true;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    return false;
+                }
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            true
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+}
+
+/// Poisons the phase barrier when a worker unwinds, so a panic surfaces
+/// instead of wedging the surviving workers.
+struct PoisonOnPanic<'a>(&'a PhaseBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// State shared by all workers for one run.
+struct Shared {
+    slots: Vec<Mutex<Slot>>,
+    /// Epoch ceiling: phase A advances running cores while their clocks
+    /// are strictly below it. Written by the committer, read by all.
+    ceiling: AtomicU64,
+    finished: AtomicBool,
+    barrier: PhaseBarrier,
+}
+
+/// The sequential phase-B state: maintenance timers, the rendezvous
+/// counter, and the epoch window. Owned by worker 0.
+struct Committer {
+    window: Cycles,
+    scanning: bool,
+    scan_period: Cycles,
+    next_scan: Cycles,
+    rebuild_period: Cycles,
+    next_rebuild: Cycles,
+    barrier_seq: u64,
+}
+
+/// Candidate ordering for phase B: `(time, rank, core)`. Rank orders
+/// simultaneous events deterministically — the scan timer before the
+/// rebuild timer before core events (a timer due at `t` conceptually
+/// fired while the cores were still en route to `t`).
+type Candidate = (Cycles, u8, usize);
+
+fn consider(best: &mut Option<Candidate>, cand: Candidate) {
+    let replace = match best {
+        Some(b) => cand < *b,
+        None => true,
+    };
+    if replace {
+        *best = Some(cand);
+    }
+}
+
+impl Committer {
+    /// Executes every kernel event and timer strictly below the epoch
+    /// ceiling in stamp order, releases the rendezvous barrier if every
+    /// live core is waiting, and publishes the next ceiling (or the
+    /// finished flag). Runs with every worker parked at the host
+    /// barrier, so it owns all simulated state.
+    fn commit<R: Recorder>(&mut self, vmm: &Vmm<R>, shared: &Shared) {
+        let ceiling = shared.ceiling.load(Ordering::Relaxed);
+
+        // Note this epoch's rendezvous arrivals.
+        for slot in &shared.slots {
+            let mut s = slot.lock();
+            if matches!(s.status, Status::Arrived) {
+                s.status = Status::Waiting;
+            }
+        }
+
+        // Stamp-ordered kernel commits below the ceiling. Each round
+        // either advances a timer or unparks a core, so the loop is
+        // finite; a handled fault may re-park next epoch (refault) but
+        // cannot re-enter this round.
+        loop {
+            let mut best: Option<Candidate> = None;
+            if self.scanning && self.next_scan < ceiling {
+                consider(&mut best, (self.next_scan, 0, 0));
+            }
+            if self.rebuild_period > 0 && self.next_rebuild < ceiling {
+                consider(&mut best, (self.next_rebuild, 1, 0));
+            }
+            for (i, slot) in shared.slots.iter().enumerate() {
+                let s = slot.lock();
+                if matches!(s.status, Status::Fault { .. } | Status::Syscall { .. })
+                    && s.stamp < ceiling
+                {
+                    consider(&mut best, (s.stamp, 2, i));
+                }
+            }
+            let Some((_, rank, i)) = best else { break };
+            match rank {
+                0 => {
+                    vmm.scan_tick();
+                    self.next_scan += self.scan_period;
+                }
+                1 => {
+                    vmm.rebuild_pspt();
+                    self.next_rebuild += self.rebuild_period;
+                }
+                _ => {
+                    let mut s = shared.slots[i].lock();
+                    match s.status {
+                        Status::Fault { page, write } => {
+                            // A commit earlier in this fold (another
+                            // core's fault on the same block, under the
+                            // shared regular table) may have installed
+                            // the mapping since this core's walk failed
+                            // in phase A. Hardware retries the walk on
+                            // fault return — a now-present PTE means no
+                            // fault is ever taken, so re-probe before
+                            // charging one.
+                            if vmm.translate(CoreId(i as u16), page).is_none() {
+                                vmm.handle_fault(CoreId(i as u16), page, write);
+                            }
+                        }
+                        Status::Syscall { call } => {
+                            vmm.offload_syscall(CoreId(i as u16), call);
+                        }
+                        _ => unreachable!("candidate must be parked"),
+                    }
+                    s.status = Status::Running;
+                }
+            }
+        }
+
+        let mut live = 0usize;
+        let mut waiting = 0usize;
+        for slot in &shared.slots {
+            match slot.lock().status {
+                Status::Done => {}
+                Status::Waiting => {
+                    live += 1;
+                    waiting += 1;
+                }
+                _ => live += 1,
+            }
+        }
+
+        if live == 0 {
+            vmm.flush_policy_events();
+            shared.finished.store(true, Ordering::Release);
+            return;
+        }
+
+        // Rendezvous release: all live cores resume at the maximum
+        // arrival time, exactly like an OpenMP barrier in virtual time.
+        // This happens *before* the ceiling recomputation so waiting
+        // cores rejoin the min().
+        if waiting == live {
+            let release = shared
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s.lock().status, Status::Waiting))
+                .map(|(i, _)| vmm.clocks()[i].now())
+                .max()
+                .unwrap_or(0);
+            for (i, slot) in shared.slots.iter().enumerate() {
+                let mut s = slot.lock();
+                if matches!(s.status, Status::Waiting) {
+                    if R::ENABLED {
+                        let arrived = vmm.clocks()[i].now();
+                        vmm.tracer().record(
+                            i as u16,
+                            release,
+                            EventKind::BarrierArrive,
+                            self.barrier_seq,
+                            release - arrived,
+                        );
+                    }
+                    vmm.clocks()[i].advance_to(release);
+                    s.status = Status::Running;
+                }
+            }
+            self.barrier_seq += 1;
+            // The batch boundary of the policy-event stream: residual
+            // per-core buffers drain under one policy-lock acquisition
+            // while the whole machine is synchronized anyway.
+            vmm.flush_policy_events();
+        }
+
+        // Next ceiling: the earliest thing that can happen anywhere —
+        // a running core's clock or a still-parked event (its stamp
+        // overshot this ceiling) — plus the cross-core window.
+        let mut min_next = u64::MAX;
+        for (i, slot) in shared.slots.iter().enumerate() {
+            let s = slot.lock();
+            match s.status {
+                Status::Running => min_next = min_next.min(vmm.clocks()[i].now()),
+                Status::Fault { .. } | Status::Syscall { .. } => {
+                    min_next = min_next.min(s.stamp);
+                }
+                Status::Waiting | Status::Done => {}
+                Status::Arrived => unreachable!("arrivals were folded above"),
+            }
+        }
+        debug_assert_ne!(min_next, u64::MAX, "a live core must bound the ceiling");
+        shared
+            .ceiling
+            .store(min_next.saturating_add(self.window), Ordering::Release);
+    }
+}
+
+/// One worker's loop: advance owned cores to the ceiling (phase A),
+/// rendezvous, let worker 0 commit (phase B), rendezvous, repeat.
+fn worker<R: Recorder, F: Fn(usize) + Sync>(
+    id: usize,
+    cores: &mut [(usize, CoreRunner)],
+    vmm: &Vmm<R>,
+    trace: &Trace,
+    shared: &Shared,
+    hook: &F,
+    mut committer: Option<&mut Committer>,
+) {
+    let _poison = PoisonOnPanic(&shared.barrier);
+    loop {
+        hook(id);
+        let ceiling = shared.ceiling.load(Ordering::Acquire);
+        for (i, runner) in cores.iter_mut() {
+            let i = *i;
+            if !matches!(shared.slots[i].lock().status, Status::Running) {
+                continue;
+            }
+            let pause = runner.advance(vmm, &trace.cores[i], ceiling);
+            let mut slot = shared.slots[i].lock();
+            slot.stamp = vmm.clocks()[i].now();
+            slot.status = match pause {
+                Pause::Ceiling => Status::Running,
+                Pause::Fault { page, write } => Status::Fault { page, write },
+                Pause::Syscall { call } => Status::Syscall { call },
+                Pause::Barrier => Status::Arrived,
+                Pause::Done => Status::Done,
+            };
+        }
+        if !shared.barrier.wait() {
+            return;
+        }
+        if let Some(c) = committer.as_mut() {
+            c.commit(vmm, shared);
+        }
+        if !shared.barrier.wait() {
+            return;
+        }
+        if shared.finished.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Runs `trace` against `vmm` on `threads` host workers and returns the
+/// report. The report is byte-identical for every `threads` value.
 ///
-/// Panics if the trace shape is invalid (mismatched barrier counts or a
-/// core count different from the kernel's).
-pub fn run_deterministic<R: Recorder>(vmm: &Vmm<R>, trace: &Trace) -> RunReport {
+/// Panics if `threads == 0`, if the trace shape is invalid (mismatched
+/// barrier counts), or if the trace's core count differs from the
+/// kernel's.
+pub fn run<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) -> RunReport {
+    run_with_worker_hook(vmm, trace, threads, &|_| {})
+}
+
+/// [`run`] with a per-worker, per-epoch hook — a test seam for fault
+/// injection into the host-threading layer (e.g. proving that a worker
+/// panic surfaces instead of wedging the run).
+#[doc(hidden)]
+pub fn run_with_worker_hook<R: Recorder, F: Fn(usize) + Sync>(
+    vmm: &Vmm<R>,
+    trace: &Trace,
+    threads: usize,
+    hook: &F,
+) -> RunReport {
+    assert!(threads > 0, "engine thread count must be >= 1");
     trace.validate().expect("invalid trace");
     let n = trace.cores.len();
     assert_eq!(
@@ -38,86 +414,110 @@ pub fn run_deterministic<R: Recorder>(vmm: &Vmm<R>, trace: &Trace) -> RunReport 
         "trace core count must match kernel config"
     );
 
-    let mut runners: Vec<CoreRunner> = (0..n)
-        .map(|c| CoreRunner::new(CoreId(c as u16), vmm))
-        .collect();
+    let window = vmm.cost().min_cross_core_latency();
+    let threads = threads.min(n.max(1));
+    let shared = Shared {
+        slots: (0..n)
+            .map(|_| {
+                Mutex::new(Slot {
+                    status: Status::Running,
+                    stamp: 0,
+                })
+            })
+            .collect(),
+        // All clocks start at zero, so the first ceiling is the window.
+        ceiling: AtomicU64::new(window),
+        finished: AtomicBool::new(n == 0),
+        barrier: PhaseBarrier::new(threads),
+    };
+    let mut committer = Committer {
+        window,
+        scanning: vmm.wants_periodic_scan(),
+        scan_period: vmm.scan_period(),
+        next_scan: vmm.scan_period(),
+        rebuild_period: vmm.rebuild_period(),
+        next_rebuild: vmm.rebuild_period(),
+        barrier_seq: 0,
+    };
 
-    // Min-heap of (clock, core); ties broken by core id for determinism.
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|c| Reverse((0u64, c))).collect();
-    let mut waiting: Vec<usize> = Vec::new(); // cores parked at the barrier
-    let mut done = 0usize;
-    let scan_period = vmm.scan_period();
-    let scanning = vmm.wants_periodic_scan();
-    let mut next_scan = scan_period;
-    let rebuild_period = vmm.rebuild_period();
-    let mut next_rebuild = rebuild_period;
-    let mut barrier_seq = 0u64;
+    // Core i belongs to worker i % threads, like the old parallel
+    // engine's chunking — neighbours spread across workers.
+    let mut chunks: Vec<Vec<(usize, CoreRunner)>> = (0..threads).map(|_| Vec::new()).collect();
+    for i in 0..n {
+        chunks[i % threads].push((i, CoreRunner::new(CoreId(i as u16), vmm)));
+    }
 
-    while let Some(Reverse((clock, core))) = heap.pop() {
-        // Fire the statistics timer for every period boundary "now" has
-        // crossed (now = the smallest clock, which is this core's).
-        if scanning {
-            while clock >= next_scan {
-                vmm.scan_tick();
-                next_scan += scan_period;
-            }
-        }
-        if rebuild_period > 0 {
-            while clock >= next_rebuild {
-                vmm.rebuild_pspt();
-                next_rebuild += rebuild_period;
-            }
-        }
-        match runners[core].step(vmm, &trace.cores[core]) {
-            StepResult::Ran => {
-                heap.push(Reverse((vmm.clocks()[core].now(), core)));
-            }
-            StepResult::AtBarrier => {
-                waiting.push(core);
-                // Everyone still running must reach the barrier: live
-                // cores = n - done; all of them are either in the heap or
-                // waiting.
-                if waiting.len() == n - done {
-                    debug_assert!(heap.is_empty(), "live cores must all be parked");
-                    let release = waiting
-                        .iter()
-                        .map(|&c| vmm.clocks()[c].now())
-                        .max()
-                        .unwrap_or(clock);
-                    for &c in &waiting {
-                        if R::ENABLED {
-                            let arrived = vmm.clocks()[c].now();
-                            vmm.tracer().record(
-                                c as u16,
-                                release,
-                                EventKind::BarrierArrive,
-                                barrier_seq,
-                                release - arrived,
-                            );
-                        }
-                        vmm.clocks()[c].advance_to(release);
-                        heap.push(Reverse((release, c)));
-                    }
-                    barrier_seq += 1;
-                    waiting.clear();
-                }
-            }
-            StepResult::Done => {
-                done += 1;
-                // A finished core can release a barrier only if every
-                // other live core is already waiting — but a well-formed
-                // trace has equal barrier counts, so nobody can be
-                // waiting for a core that already finished.
-                debug_assert!(
-                    waiting.is_empty() || done < n,
-                    "barrier deadlock: cores waiting while others finished"
+    if n > 0 {
+        if threads == 1 {
+            // The degenerate case: phase A and phase B alternate on this
+            // thread with no spawns and free barriers — the deterministic
+            // engine, by construction rather than by a separate code path.
+            worker(
+                0,
+                &mut chunks[0],
+                vmm,
+                trace,
+                &shared,
+                hook,
+                Some(&mut committer),
+            );
+        } else {
+            let (chunk0, rest) = chunks.split_at_mut(1);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = rest
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(k, chunk)| {
+                        let shared = &shared;
+                        scope.spawn(move || worker(k + 1, chunk, vmm, trace, shared, hook, None))
+                    })
+                    .collect();
+                worker(
+                    0,
+                    &mut chunk0[0],
+                    vmm,
+                    trace,
+                    &shared,
+                    hook,
+                    Some(&mut committer),
                 );
-            }
+                // Join explicitly so a panicked worker's original payload
+                // propagates (the scope's implicit join would replace it
+                // with "a scoped thread panicked").
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
         }
     }
-    assert_eq!(done, n, "all cores must finish");
 
+    let mut all: Vec<(usize, CoreRunner)> = chunks.into_iter().flatten().collect();
+    all.sort_by_key(|(i, _)| *i);
+    let runners: Vec<CoreRunner> = all.into_iter().map(|(_, r)| r).collect();
     RunReport::collect(vmm, &runners, &trace.label, &config_label(vmm))
+}
+
+/// Runs `trace` against `vmm` single-threaded. Kept as the familiar
+/// name for the bit-reproducible configuration; it is [`run`] with
+/// `threads = 1`, not a separate engine.
+pub fn run_deterministic<R: Recorder>(vmm: &Vmm<R>, trace: &Trace) -> RunReport {
+    run(vmm, trace, 1)
+}
+
+/// Runs `trace` against `vmm` on `threads` host workers; `threads = 0`
+/// selects the available parallelism. The report is byte-identical to
+/// [`run_deterministic`]'s regardless of the count.
+pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) -> RunReport {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    };
+    run(vmm, trace, threads)
 }
 
 pub(crate) fn config_label<R: Recorder>(vmm: &Vmm<R>) -> String {
@@ -156,6 +556,31 @@ mod tests {
         t
     }
 
+    /// Cores share a hot range and write private ranges — eviction
+    /// pressure with cross-core shootdown traffic when memory is tight.
+    fn shared_and_private_trace(cores: usize, rounds: usize) -> Trace {
+        let mut t = Trace::new(cores, "par-test");
+        for c in 0..cores {
+            let private = VirtPage(0x1000 + ((c as u64) << 8));
+            for _ in 0..rounds {
+                t.cores[c].ops.push(Op::Stream {
+                    start: VirtPage(0),
+                    pages: 16,
+                    write: false,
+                    work_per_page: 2,
+                });
+                t.cores[c].ops.push(Op::Stream {
+                    start: private,
+                    pages: 32,
+                    write: true,
+                    work_per_page: 2,
+                });
+                t.cores[c].ops.push(Op::Barrier);
+            }
+        }
+        t
+    }
+
     #[test]
     fn run_completes_and_reports() {
         let t = private_sweep_trace(2, 64, 3);
@@ -178,6 +603,61 @@ mod tests {
             (r.runtime_cycles, r.avg_page_faults(), r.global.evictions)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_thread_counts() {
+        // The tentpole invariant in miniature: eviction pressure, LRU
+        // (scan timer live), shootdowns — and the full report rendering
+        // must agree byte-for-byte at 1, 2, and 4 workers.
+        let t = shared_and_private_trace(4, 4);
+        let render = |threads: usize| {
+            let vmm = Vmm::new(KernelConfig::new(4, 48).with_policy(PolicyKind::Lru));
+            format!("{:?}", super::run(&vmm, &t, threads))
+        };
+        let base = render(1);
+        assert_eq!(base, render(2), "threads=2 must match threads=1");
+        assert_eq!(base, render(4), "threads=4 must match threads=1");
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped() {
+        let t = private_sweep_trace(2, 16, 1);
+        let vmm = Vmm::new(KernelConfig::new(2, 64));
+        let r = super::run(&vmm, &t, 64);
+        assert_eq!(r.per_core.len(), 2);
+        assert_eq!(r.per_core[0].page_faults, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_is_rejected() {
+        let t = private_sweep_trace(1, 1, 1);
+        let vmm = Vmm::new(KernelConfig::new(1, 4));
+        super::run(&vmm, &t, 0);
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_the_panic() {
+        // Regression for the PR 2 wedge class: a dead worker must not
+        // leave the survivors spinning on a frozen horizon. The poisoned
+        // phase barrier bails everyone out and the original panic
+        // propagates through the scope join.
+        let t = private_sweep_trace(4, 64, 2);
+        let vmm = Vmm::new(KernelConfig::new(4, 256));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_with_worker_hook(&vmm, &t, 4, &|id| {
+                if id == 2 {
+                    panic!("injected worker panic");
+                }
+            })
+        }));
+        let payload = result.expect_err("the worker panic must propagate, not wedge");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(
+            msg.contains("injected worker panic"),
+            "original payload must survive: {msg:?}"
+        );
     }
 
     #[test]
@@ -214,6 +694,20 @@ mod tests {
         assert!(r.per_core[0].page_faults > 64);
         assert!(r.dma_bytes.1 > 0, "dirty sweeps write back");
         assert!(r.global.refaults > 0);
+    }
+
+    #[test]
+    fn parallel_run_handles_memory_pressure() {
+        let t = shared_and_private_trace(4, 4);
+        // Footprint: 16 shared + 4×32 private = 144 pages; constrain to 64.
+        let vmm = Vmm::new(KernelConfig::new(4, 64).with_policy(PolicyKind::Cmcp { p: 0.5 }));
+        let r = super::run(&vmm, &t, 4);
+        assert!(r.global.evictions > 0);
+        assert!(r.runtime_cycles > 0);
+        // Every core executed all its touches.
+        for c in &r.per_core {
+            assert_eq!(c.dtlb_accesses, 4 * (16 + 32));
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! # cmcp-sim — execution engines
+//! # cmcp-sim — the execution engine
 //!
 //! Drives simulated cores through page-access traces against the
 //! [`cmcp_kernel::Vmm`], accumulating virtual time.
@@ -6,13 +6,14 @@
 //! * [`trace`] — the workload representation: per-core op streams
 //!   (page-granular access runs, compute delays, barriers).
 //! * [`runner`] — one core's execution state: its TLB, its position in
-//!   the trace, dirty-block tracking, invalidation draining.
-//! * [`engine`] — the **deterministic engine**: always advances the core
-//!   with the smallest virtual clock (min-heap), yielding bit-identical
-//!   runs; used by all experiments and tests.
-//! * [`parallel`] — the **parallel engine**: one OS thread per group of
-//!   simulated cores (crossbeam scoped threads), statistically identical
-//!   results, used for large sweeps.
+//!   the trace, dirty-block tracking, invalidation draining; advances
+//!   freely to an epoch ceiling and *parks* at kernel entries.
+//! * [`engine`] — the **unified sharded discrete-event engine**: cores
+//!   partitioned over host workers, advancing in epoch windows bounded
+//!   by the minimum cross-core interaction latency, with all kernel
+//!   effects committed sequentially in virtual-time stamp order. One
+//!   code path for every thread count; `(seed, config)` yields a
+//!   byte-identical report whether run on 1 thread or 8.
 //! * [`report`] — the merged run report: runtime, per-core Table-1
 //!   counters, DMA/lock occupancy, sharing histogram.
 
@@ -20,12 +21,10 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
-pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod trace;
 
-pub use engine::run_deterministic;
-pub use parallel::run_parallel;
+pub use engine::{run, run_deterministic, run_parallel};
 pub use report::RunReport;
 pub use trace::{CoreTrace, Op, Trace};

@@ -1,31 +1,54 @@
 //! One simulated core's execution state.
 //!
 //! A [`CoreRunner`] owns the core's TLB and its position in the trace,
-//! and knows how to execute a bounded *step* (a chunk of page touches).
-//! Both engines — deterministic and parallel — drive the same runner, so
-//! the simulated semantics are identical; only the interleaving differs.
+//! and knows how to [`CoreRunner::advance`] freely through the trace
+//! until it either reaches the engine's epoch ceiling or *parks* at a
+//! kernel entry point: a failed page walk (the fault trap), a syscall,
+//! or a rendezvous barrier. The engine executes the parked kernel work
+//! sequentially in virtual-time stamp order and then resumes the core —
+//! so a single runner implementation serves every thread count, and all
+//! cross-core kernel effects happen at exact, reproducible stamps.
 
 use std::collections::HashSet;
 
-use cmcp_arch::{CoreId, Tlb, TlbLookup, VirtPage};
-use cmcp_kernel::Vmm;
+use cmcp_arch::{CoreId, Cycles, Tlb, TlbLookup, VirtPage};
+use cmcp_kernel::{Syscall, Vmm};
 use cmcp_trace::Recorder;
 
 use crate::trace::{CoreTrace, Op};
 
-/// How many pages of a long stream run are processed per step, so the
-/// deterministic engine interleaves cores at a fine, fixed granularity.
-pub const STREAM_CHUNK: u32 = 32;
-
-/// Result of one [`CoreRunner::step`].
+/// Why [`CoreRunner::advance`] handed control back to the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StepResult {
-    /// More ops remain; call `step` again.
-    Ran,
-    /// The core reached a barrier and must wait for the others.
-    AtBarrier,
+pub enum Pause {
+    /// The core's clock reached the epoch ceiling; more ops remain.
+    Ceiling,
+    /// The page walk found no translation: the core is parked in the
+    /// fault trap at its current clock, waiting for the engine to run
+    /// the kernel's handler at that stamp.
+    Fault {
+        /// The faulting virtual page.
+        page: VirtPage,
+        /// Whether the faulting access was a store.
+        write: bool,
+    },
+    /// The trace issued a host-offloaded syscall; the engine executes
+    /// it in stamp order.
+    Syscall {
+        /// The offloaded call.
+        call: Syscall,
+    },
+    /// The core arrived at its next rendezvous barrier.
+    Barrier,
     /// The trace is exhausted.
     Done,
+}
+
+/// A page touch interrupted by a fault: completed on the next
+/// [`CoreRunner::advance`] after the engine has run the handler.
+#[derive(Clone, Copy)]
+struct PendingFault {
+    page: VirtPage,
+    write: bool,
 }
 
 /// Execution state of one simulated core.
@@ -35,6 +58,8 @@ pub struct CoreRunner {
     tlb: Tlb,
     op_idx: usize,
     stream_pos: u32,
+    /// A touch that faulted and awaits the kernel's handler.
+    pending: Option<PendingFault>,
     /// Blocks this core has already marked dirty (dedupes the PTE dirty
     /// write on TLB-hit stores; cleared when the block is invalidated).
     written: HashSet<u64>,
@@ -50,6 +75,7 @@ impl CoreRunner {
             tlb: Tlb::knc(vmm.cost()),
             op_idx: 0,
             stream_pos: 0,
+            pending: None,
             written: HashSet::new(),
             inval_buf: Vec::new(),
             block_span: vmm.config().block_size.pages_4k() as u64,
@@ -83,14 +109,65 @@ impl CoreRunner {
         }
     }
 
-    /// Executes one page touch. Returns whether it took a page fault.
-    fn touch<R: Recorder>(&mut self, vmm: &Vmm<R>, page: VirtPage, write: bool, work: u32) -> bool {
+    /// Retires the stream position of a just-completed touch.
+    fn retire_touch(&mut self, trace: &CoreTrace) {
+        if let Some(Op::Stream { pages, .. }) = trace.ops.get(self.op_idx) {
+            self.stream_pos += 1;
+            if self.stream_pos == *pages {
+                self.op_idx += 1;
+                self.stream_pos = 0;
+            }
+        }
+    }
+
+    /// Finishes a touch whose fault the engine has since handled, or
+    /// re-parks if a concurrent eviction tore the fresh mapping down
+    /// before the walk re-read it — the hardware would simply fault
+    /// again, and each retry pairs the extra fault with the extra walk
+    /// it implies, so faults never outnumber misses in anyone's books.
+    fn resume_pending<R: Recorder>(&mut self, vmm: &Vmm<R>, trace: &CoreTrace) -> Option<Pause> {
+        let pf = self.pending?;
+        let clock = &vmm.clocks()[self.core.index()];
+        match vmm.translate(self.core, pf.page) {
+            Some(tr) => {
+                self.tlb.fill(pf.page, tr.size);
+                vmm.mark_accessed(self.core, pf.page, pf.write);
+                if pf.write {
+                    self.written
+                        .insert(pf.page.align_down(vmm.config().block_size).0);
+                }
+                clock.advance(self.tlb.drain_cycles());
+                clock.settle();
+                self.pending = None;
+                self.retire_touch(trace);
+                None
+            }
+            None => {
+                self.tlb.rewalk();
+                clock.advance(self.tlb.drain_cycles());
+                clock.settle();
+                Some(Pause::Fault {
+                    page: pf.page,
+                    write: pf.write,
+                })
+            }
+        }
+    }
+
+    /// Executes one page touch. `Some(pause)` means the walk failed and
+    /// the core parked in the fault trap (the touch is left pending).
+    fn touch<R: Recorder>(
+        &mut self,
+        vmm: &Vmm<R>,
+        page: VirtPage,
+        write: bool,
+        work: u32,
+    ) -> Option<Pause> {
         let size = vmm.config().block_size;
         let cost = vmm.cost();
         let clock = &vmm.clocks()[self.core.index()];
         clock.advance(work as u64 * cost.work_unit);
 
-        let mut faulted = false;
         match self.tlb.access(page, size) {
             TlbLookup::L1 | TlbLookup::L2 => {
                 // First store through a cached clean translation sets the
@@ -102,100 +179,98 @@ impl CoreRunner {
                     }
                 }
             }
-            TlbLookup::Miss => {
-                // Walk, fault, and refill are not atomic against other
-                // cores in the parallel engine: a concurrent eviction can
-                // pick this block as victim and tear the fresh mapping
-                // down before the walk re-reads it. The hardware would
-                // simply fault again, so retry until a translation
-                // sticks; each retry is a genuine extra fault (the block
-                // really was evicted before first use). Single iteration
-                // in the deterministic engine, where no eviction can
-                // interleave with a step.
-                let tr = loop {
-                    if let Some(tr) = vmm.translate(self.core, page) {
-                        break tr;
+            TlbLookup::Miss => match vmm.translate(self.core, page) {
+                Some(tr) => {
+                    self.tlb.fill(page, tr.size);
+                    vmm.mark_accessed(self.core, page, write);
+                    if write {
+                        self.written.insert(page.align_down(size).0);
                     }
-                    if faulted {
-                        // Retry round: pair the extra fault with the extra
-                        // walk it implies, so faults never outnumber
-                        // misses in anyone's books.
-                        self.tlb.rewalk();
-                    }
-                    vmm.handle_fault(self.core, page, write);
-                    faulted = true;
-                };
-                self.tlb.fill(page, tr.size);
-                vmm.mark_accessed(self.core, page, write);
-                if write {
-                    self.written.insert(page.align_down(size).0);
                 }
-            }
+                None => {
+                    // The walk completes (and stalls the pipeline)
+                    // before the trap is taken: charge it, then park at
+                    // the resulting stamp.
+                    clock.advance(self.tlb.drain_cycles());
+                    clock.settle();
+                    self.pending = Some(PendingFault { page, write });
+                    return Some(Pause::Fault { page, write });
+                }
+            },
         }
         clock.advance(self.tlb.drain_cycles());
         clock.settle();
-        faulted
+        None
     }
 
-    /// Runs the next chunk of the trace: at most [`STREAM_CHUNK`] page
-    /// touches, one compute op, or up to (and including) one barrier.
-    pub fn step<R: Recorder>(&mut self, vmm: &Vmm<R>, trace: &CoreTrace) -> StepResult {
+    /// Runs the trace until the core's clock reaches `ceiling`, a kernel
+    /// entry parks it, or the trace ends.
+    ///
+    /// Ops are atomic: a touch or compute op that *crosses* the ceiling
+    /// completes (the clock may overshoot); the check happens between
+    /// ops and between the touches of a stream. With `ceiling ==
+    /// u64::MAX` this runs until the next park, which is exactly the
+    /// single-threaded degenerate case.
+    pub fn advance<R: Recorder>(
+        &mut self,
+        vmm: &Vmm<R>,
+        trace: &CoreTrace,
+        ceiling: Cycles,
+    ) -> Pause {
         self.drain_invalidations(vmm);
-        let Some(op) = trace.ops.get(self.op_idx) else {
-            return StepResult::Done;
-        };
-        match *op {
-            Op::Stream {
-                start,
-                pages,
-                write,
-                work_per_page,
-            } => {
-                // A page fault ends the chunk: faults advance this core's
-                // clock by orders of magnitude more than a TLB hit, and
-                // ending the step lets the engine hand control to the
-                // core that is now furthest behind — keeping the virtual-
-                // time ordering of lock/DMA reservations tight.
-                let end = (self.stream_pos + STREAM_CHUNK).min(pages);
-                let mut k = self.stream_pos;
-                while k < end {
-                    let faulted = self.touch(vmm, start.add(k as u64), write, work_per_page);
-                    k += 1;
-                    if faulted {
-                        break;
+        if let Some(parked) = self.resume_pending(vmm, trace) {
+            return parked;
+        }
+        let clock_idx = self.core.index();
+        loop {
+            if vmm.clocks()[clock_idx].now() >= ceiling {
+                return Pause::Ceiling;
+            }
+            let Some(op) = trace.ops.get(self.op_idx) else {
+                return Pause::Done;
+            };
+            match *op {
+                Op::Stream {
+                    start,
+                    pages,
+                    write,
+                    work_per_page,
+                } => {
+                    while self.stream_pos < pages {
+                        if vmm.clocks()[clock_idx].now() >= ceiling {
+                            return Pause::Ceiling;
+                        }
+                        let page = start.add(self.stream_pos as u64);
+                        if let Some(parked) = self.touch(vmm, page, write, work_per_page) {
+                            return parked;
+                        }
+                        self.stream_pos += 1;
                     }
-                }
-                if k == pages {
                     self.op_idx += 1;
                     self.stream_pos = 0;
-                } else {
-                    self.stream_pos = k;
                 }
-                StepResult::Ran
-            }
-            Op::Compute(cycles) => {
-                vmm.clocks()[self.core.index()].advance(cycles);
-                self.op_idx += 1;
-                StepResult::Ran
-            }
-            Op::Syscall {
-                service,
-                payload,
-                write,
-            } => {
-                let call = if write {
-                    cmcp_kernel::Syscall::Write(payload)
-                } else {
-                    cmcp_kernel::Syscall::Read(payload)
-                };
-                let _ = service; // catalogued in the offload engine
-                vmm.offload_syscall(self.core, call);
-                self.op_idx += 1;
-                StepResult::Ran
-            }
-            Op::Barrier => {
-                self.op_idx += 1;
-                StepResult::AtBarrier
+                Op::Compute(cycles) => {
+                    vmm.clocks()[clock_idx].advance(cycles);
+                    self.op_idx += 1;
+                }
+                Op::Syscall {
+                    service,
+                    payload,
+                    write,
+                } => {
+                    let call = if write {
+                        Syscall::Write(payload)
+                    } else {
+                        Syscall::Read(payload)
+                    };
+                    let _ = service; // catalogued in the offload engine
+                    self.op_idx += 1;
+                    return Pause::Syscall { call };
+                }
+                Op::Barrier => {
+                    self.op_idx += 1;
+                    return Pause::Barrier;
+                }
             }
         }
     }
@@ -214,6 +289,22 @@ mod tests {
         CoreTrace { ops }
     }
 
+    /// Drives a runner to its next non-fault pause, executing parked
+    /// kernel work inline (the single-threaded engine in miniature).
+    fn drive(r: &mut CoreRunner, v: &Vmm, t: &CoreTrace) -> Pause {
+        loop {
+            match r.advance(v, t, u64::MAX) {
+                Pause::Fault { page, write } => {
+                    v.handle_fault(r.core, page, write);
+                }
+                Pause::Syscall { call } => {
+                    v.offload_syscall(r.core, call);
+                }
+                other => return other,
+            }
+        }
+    }
+
     #[test]
     fn touch_faults_then_hits() {
         let v = vmm(4);
@@ -222,9 +313,7 @@ mod tests {
             Op::touch(VirtPage(5), false, 1),
             Op::touch(VirtPage(5), false, 1),
         ]);
-        assert_eq!(r.step(&v, &t), StepResult::Ran);
-        assert_eq!(r.step(&v, &t), StepResult::Ran);
-        assert_eq!(r.step(&v, &t), StepResult::Done);
+        assert_eq!(drive(&mut r, &v, &t), Pause::Done);
         let s = r.tlb_stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.l1_hits, 1);
@@ -237,7 +326,29 @@ mod tests {
     }
 
     #[test]
-    fn long_stream_is_chunked() {
+    fn fault_parks_and_resume_completes_the_touch() {
+        let v = vmm(4);
+        let mut r = CoreRunner::new(CoreId(0), &v);
+        let t = trace_of(vec![Op::touch(VirtPage(5), false, 1)]);
+        // The cold touch parks in the fault trap without handling it...
+        match r.advance(&v, &t, u64::MAX) {
+            Pause::Fault { page, write } => {
+                assert_eq!(page, VirtPage(5));
+                assert!(!write);
+            }
+            other => panic!("expected fault park, got {other:?}"),
+        }
+        // ...the park stamp already includes the failed walk...
+        let parked_at = v.clocks()[0].now();
+        assert!(parked_at > 0, "work + walk must be charged before parking");
+        // ...and after the engine runs the handler the touch retires.
+        v.handle_fault(CoreId(0), VirtPage(5), false);
+        assert_eq!(r.advance(&v, &t, u64::MAX), Pause::Done);
+        assert_eq!(r.tlb_stats().misses, 1);
+    }
+
+    #[test]
+    fn ceiling_bounds_a_long_stream() {
         let v = vmm(256);
         let mut r = CoreRunner::new(CoreId(0), &v);
         let t = trace_of(vec![Op::Stream {
@@ -246,22 +357,23 @@ mod tests {
             write: false,
             work_per_page: 1,
         }]);
-        // Every page of the cold stream faults, and a fault ends the
-        // step, so the op takes one step per page...
-        let mut steps = 0;
-        while r.step(&v, &t) == StepResult::Ran {
-            steps += 1;
-        }
-        assert_eq!(steps, 100);
+        // A ceiling of 1 cycle stops the core at its first park or
+        // boundary — here the first cold touch faults immediately.
+        assert!(matches!(
+            r.advance(&v, &t, 1),
+            Pause::Fault {
+                page: VirtPage(0),
+                ..
+            }
+        ));
+        v.handle_fault(CoreId(0), VirtPage(0), false);
+        // With the fault handled, a tiny ceiling pauses at the boundary
+        // without consuming further touches...
+        assert_eq!(r.advance(&v, &t, 1), Pause::Ceiling);
+        assert_eq!(r.tlb_stats().accesses, 1);
+        // ...and an unbounded drive finishes all 100 pages.
+        assert_eq!(drive(&mut r, &v, &t), Pause::Done);
         assert_eq!(r.tlb_stats().accesses, 100);
-        // ...while a warm re-run of the same stream is chunked 32 pages
-        // at a time (ceil(100/32) = 4 steps).
-        let mut warm = CoreRunner::new(CoreId(0), &v);
-        let mut steps = 0;
-        while warm.step(&v, &t) == StepResult::Ran {
-            steps += 1;
-        }
-        assert_eq!(steps, 4);
     }
 
     #[test]
@@ -273,9 +385,7 @@ mod tests {
             Op::touch(VirtPage(5), true, 1),  // TLB hit, first write
             Op::touch(VirtPage(5), true, 1),  // TLB hit, already dirty
         ]);
-        for _ in 0..3 {
-            r.step(&v, &t);
-        }
+        assert_eq!(drive(&mut r, &v, &t), Pause::Done);
         // The block is dirty: evicting it must cost a write-back.
         v.handle_fault(CoreId(0), VirtPage(100), false);
         v.handle_fault(CoreId(0), VirtPage(101), false);
@@ -286,13 +396,30 @@ mod tests {
     }
 
     #[test]
-    fn barrier_stops_the_step() {
+    fn barrier_parks_the_core() {
         let v = vmm(4);
         let mut r = CoreRunner::new(CoreId(0), &v);
         let t = trace_of(vec![Op::Barrier, Op::touch(VirtPage(1), false, 1)]);
-        assert_eq!(r.step(&v, &t), StepResult::AtBarrier);
-        assert_eq!(r.step(&v, &t), StepResult::Ran);
-        assert_eq!(r.step(&v, &t), StepResult::Done);
+        assert_eq!(r.advance(&v, &t, u64::MAX), Pause::Barrier);
+        assert_eq!(drive(&mut r, &v, &t), Pause::Done);
+    }
+
+    #[test]
+    fn syscall_parks_with_the_call() {
+        let v = vmm(4);
+        let mut r = CoreRunner::new(CoreId(0), &v);
+        let t = trace_of(vec![Op::Syscall {
+            service: 1,
+            payload: 4096,
+            write: true,
+        }]);
+        match r.advance(&v, &t, u64::MAX) {
+            Pause::Syscall {
+                call: Syscall::Write(4096),
+            } => {}
+            other => panic!("expected write syscall park, got {other:?}"),
+        }
+        assert_eq!(r.advance(&v, &t, u64::MAX), Pause::Done);
     }
 
     #[test]
@@ -300,7 +427,7 @@ mod tests {
         let v = vmm(4);
         let mut r = CoreRunner::new(CoreId(0), &v);
         let t = trace_of(vec![Op::Compute(12345)]);
-        r.step(&v, &t);
+        assert_eq!(r.advance(&v, &t, u64::MAX), Pause::Done);
         assert_eq!(v.clocks()[0].now(), 12345);
         assert_eq!(r.tlb_stats().accesses, 0);
     }
@@ -310,7 +437,7 @@ mod tests {
         let v = vmm(4);
         let mut r0 = CoreRunner::new(CoreId(0), &v);
         let t0 = trace_of(vec![Op::touch(VirtPage(5), true, 1)]);
-        r0.step(&v, &t0);
+        drive(&mut r0, &v, &t0);
         assert_eq!(r0.tlb_stats().misses, 1);
         // Another core's fault evicts page 5's block once memory fills.
         for b in 0..4u64 {
@@ -322,7 +449,7 @@ mod tests {
         assert!(v.has_pending_invalidations(CoreId(0)));
         let t0b = trace_of(vec![Op::touch(VirtPage(6), false, 1)]);
         let mut r0b = CoreRunner { op_idx: 0, ..r0 };
-        r0b.step(&v, &t0b);
+        drive(&mut r0b, &v, &t0b);
         assert!(!v.has_pending_invalidations(CoreId(0)));
     }
 }

@@ -3,22 +3,13 @@
 use cmcp_arch::{CostModel, FaultPlan, PageSize};
 use cmcp_core::PolicyKind;
 use cmcp_kernel::{KernelConfig, SchemeChoice, Vmm};
-use cmcp_sim::{run_deterministic, run_parallel, RunReport, Trace};
+use cmcp_sim::{RunReport, Trace};
 use cmcp_trace::{Event, Recorder, RingTracer};
 use cmcp_workloads::Workload;
 
 /// Default per-core event-ring capacity for traced runs: large enough
 /// that the tier-1 workloads complete without wraparound.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
-
-/// Which engine executes the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EngineMode {
-    /// Bit-reproducible, min-clock-ordered execution (the default).
-    Deterministic,
-    /// Crossbeam-threaded execution; `0` means auto thread count.
-    Parallel(usize),
-}
 
 /// Builds and runs one simulation.
 ///
@@ -35,7 +26,7 @@ pub struct SimulationBuilder {
     page_size: PageSize,
     memory: MemorySpec,
     cost: CostModel,
-    engine: EngineMode,
+    threads: usize,
     scan_budget: usize,
     pspt_rebuild_period: u64,
     trace_capacity: usize,
@@ -89,7 +80,7 @@ impl SimulationBuilder {
             page_size: PageSize::K4,
             memory: MemorySpec::Ratio(1.0),
             cost: CostModel::default(),
-            engine: EngineMode::Deterministic,
+            threads: 1,
             scan_budget: 0,
             pspt_rebuild_period: 0,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
@@ -145,9 +136,12 @@ impl SimulationBuilder {
         self
     }
 
-    /// Selects the engine (default: deterministic).
-    pub fn engine(mut self, e: EngineMode) -> Self {
-        self.engine = e;
+    /// Number of host worker threads the engine distributes simulated
+    /// cores over (default: 1). The report is byte-identical for every
+    /// value — thread count is a wall-clock knob, not a semantic one.
+    /// `0` selects the available parallelism.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
         self
     }
 
@@ -209,10 +203,7 @@ impl SimulationBuilder {
     }
 
     fn dispatch<R: Recorder>(&self, vmm: &Vmm<R>, trace: &Trace) -> RunReport {
-        match self.engine {
-            EngineMode::Deterministic => run_deterministic(vmm, trace),
-            EngineMode::Parallel(threads) => run_parallel(vmm, trace, threads),
-        }
+        cmcp_sim::run_parallel(vmm, trace, self.threads)
     }
 
     /// Generates the trace, sizes the memory, runs the simulation.

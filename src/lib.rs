@@ -32,7 +32,7 @@
 //! | page tables | [`pagetable`] | 4-level tables, 64 kB PTE format, regular vs PSPT |
 //! | policies | [`policies`] | CMCP, FIFO, two-list LRU, CLOCK, LFU, adaptive CMCP |
 //! | kernel | [`kernel`] | fault path, eviction, shootdowns, scan timer |
-//! | engines | [`sim`] | deterministic + parallel execution |
+//! | engine | [`sim`] | unified sharded engine, deterministic at any thread count |
 //! | workloads | [`workloads`] | CG/LU/BT/SCALE trace generators + real numerics |
 //!
 //! See `DESIGN.md` for the paper-to-module mapping and `EXPERIMENTS.md`
@@ -43,7 +43,7 @@
 
 mod builder;
 
-pub use builder::{EngineMode, SimulationBuilder, TracedRun, DEFAULT_TRACE_CAPACITY};
+pub use builder::{SimulationBuilder, TracedRun, DEFAULT_TRACE_CAPACITY};
 
 pub use cmcp_arch as arch;
 pub use cmcp_core as policies;

@@ -1,13 +1,13 @@
-//! Parallel-engine stress tests: many worker threads hammering the
-//! sharded kernel state under eviction pressure. These catch lost
-//! updates, frame-pool leaks, and deadlocks that the small equivalence
-//! tests are too gentle to provoke.
+//! Engine stress tests: many worker threads hammering the sharded
+//! kernel state under eviction pressure. These catch lost updates,
+//! frame-pool leaks, and deadlocks that the small determinism tests
+//! are too gentle to provoke.
 //!
 //! CI runs this suite both with the default test harness and with
 //! `--test-threads=1`, so it must be self-contained per test.
 
 use cmcp::workloads::synthetic;
-use cmcp::{EngineMode, PolicyKind, SimulationBuilder};
+use cmcp::{PolicyKind, SimulationBuilder};
 
 const STRESS_WORKERS: usize = 8;
 
@@ -25,7 +25,7 @@ fn eight_workers_under_heavy_pressure_conserve_every_touch() {
         let r = SimulationBuilder::trace(t.clone())
             .policy(policy)
             .memory_ratio(0.5)
-            .engine(EngineMode::Parallel(STRESS_WORKERS))
+            .threads(STRESS_WORKERS)
             .run();
         assert!(
             r.global.evictions > 0,
@@ -55,7 +55,7 @@ fn repeated_stress_runs_complete_and_agree_on_footprint() {
         let r = SimulationBuilder::trace(t.clone())
             .policy(PolicyKind::Cmcp { p: 0.75 })
             .memory_ratio(1.25)
-            .engine(EngineMode::Parallel(STRESS_WORKERS))
+            .threads(STRESS_WORKERS)
             .run();
         assert_eq!(r.global.evictions, 0);
         fault_totals.push(r.per_core.iter().map(|c| c.page_faults).sum::<u64>());
@@ -75,7 +75,7 @@ fn traced_stress_run_still_validates_exactly() {
     let traced = SimulationBuilder::trace(t)
         .policy(PolicyKind::Cmcp { p: 0.5 })
         .memory_ratio(0.6)
-        .engine(EngineMode::Parallel(STRESS_WORKERS))
+        .threads(STRESS_WORKERS)
         .run_traced();
     assert_eq!(traced.dropped, 0, "default ring must hold the stress run");
     let b = traced.report.breakdown.expect("traced run has a breakdown");
@@ -98,7 +98,7 @@ fn stress_workers_survive_a_one_percent_dma_error_plan() {
     let r = SimulationBuilder::trace(t)
         .policy(PolicyKind::Cmcp { p: 0.5 })
         .memory_ratio(0.5)
-        .engine(EngineMode::Parallel(STRESS_WORKERS))
+        .threads(STRESS_WORKERS)
         .fault_plan(cmcp::FaultPlan::new(7).dma_errors(0.01).enospc(0.005))
         .run();
     let executed: u64 = r.per_core.iter().map(|c| c.dtlb_accesses).sum();
@@ -127,7 +127,7 @@ fn mixed_schemes_survive_stress() {
         let r = SimulationBuilder::trace(t.clone())
             .scheme(scheme)
             .memory_ratio(0.5)
-            .engine(EngineMode::Parallel(STRESS_WORKERS))
+            .threads(STRESS_WORKERS)
             .run();
         assert!(r.global.evictions > 0);
         assert!(r.runtime_cycles > 0);

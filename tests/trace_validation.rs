@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use cmcp::arch::VirtPage;
 use cmcp::sim::{Op, Trace};
 use cmcp::trace::{to_chrome_trace, to_jsonl, EventKind};
-use cmcp::{EngineMode, PolicyKind, SimulationBuilder};
+use cmcp::{PolicyKind, SimulationBuilder};
 
 /// Random well-formed traces (same barrier count on every core).
 fn trace_strategy() -> impl Strategy<Value = Trace> {
@@ -141,7 +141,7 @@ fn parallel_engine_traced_run_validates() {
     let traced = SimulationBuilder::trace(t)
         .policy(PolicyKind::Cmcp { p: 0.75 })
         .memory_ratio(0.6)
-        .engine(EngineMode::Parallel(2))
+        .threads(2)
         .run_traced();
     assert_eq!(traced.dropped, 0);
     let b = traced
