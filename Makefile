@@ -1,7 +1,7 @@
 # Convenience targets mirroring .github/workflows/ci.yml.
 # Everything runs offline: external crates are in-repo shims (shims/README.md).
 
-.PHONY: verify fmt lint test test-serial test-faults test-loom test-miri test-tsan stress determinism bench-smoke bench-parallel bench-parallel-save ci
+.PHONY: verify fmt lint test test-serial test-faults test-loom test-miri test-tsan stress determinism test-tiers bench-smoke bench-parallel bench-parallel-save bench-tiers-save ci
 
 # The canonical acceptance gate: release build + full test suite.
 verify:
@@ -65,6 +65,13 @@ stress:
 determinism:
 	cargo test -q --release --test thread_determinism
 
+# The tier-subsystem acceptance suite: cross-tier shadow oracle,
+# tier/page-size proptests, and the multi-tier determinism leg.
+test-tiers:
+	cargo test -q --test tier_hierarchy
+	cargo test -q --test proptest_tiers
+	cargo test -q --release --test thread_determinism tiered_and_adaptive
+
 # One pass over the policies benchmark bodies (no measurement).
 bench-smoke:
 	cargo bench -p cmcp-bench --bench policies -- --test
@@ -88,15 +95,22 @@ bench-hotpath:
 bench-hotpath-save:
 	cargo run -q --release -p cmcp-bench --bin fault_latency -- --save
 
+# Pressure sweep of static page sizes vs the adaptive scheme on the
+# 2-tier hierarchy; rewrites the committed results/BENCH_tiers.json
+# baseline (virtual cycles, so deterministic) and fails if adaptive
+# loses to the worst static size anywhere in the sweep.
+bench-tiers-save:
+	cargo run -q --release -p cmcp-bench --bin tier_sweep
+
 # Regenerate every deterministic golden and require byte-identity with
 # the committed results/ files (the CI golden-identity job).
 goldens:
 	cargo build -q --release
-	for b in table1 fig6 fig7 fig8 fig9 fig10; do ./target/release/$$b; done
+	for b in table1 fig6 fig7 fig8 fig9 fig10 tier_sweep; do ./target/release/$$b; done
 	./target/release/cmcp-cli --workload cg.B --cores 8 \
 		--fault-plan "seed=42,dma=0.01,enospc=0.005" --json \
 		> results/golden_faulted_cg.json
 	git diff --exit-code -- results/
 
-ci: fmt lint verify test-serial test-faults test-loom stress bench-smoke \
-    bench-hotpath goldens
+ci: fmt lint verify test-serial test-faults test-loom stress test-tiers \
+    bench-smoke bench-hotpath goldens

@@ -21,6 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::clock::Cycles;
+use crate::tier::TierConfig;
 use crate::types::PageSize;
 
 /// Cycle costs for every simulated hardware and kernel operation.
@@ -104,6 +105,14 @@ pub struct CostModel {
     /// Per-hop latency of the bidirectional ring interconnect, used by
     /// the IPI model for distance-dependent delivery.
     pub ring_hop: Cycles,
+
+    /// The backing-tier hierarchy behind the device RAM (see
+    /// [`crate::tier`]). The default is the paper's flat host-DRAM
+    /// store: one unbounded zero-cost tier, bit-identical to the
+    /// pre-tier kernel. Deeper hierarchies charge each transfer the
+    /// landing tier's latency/bandwidth penalty on top of the PCIe DMA
+    /// model above.
+    pub tiers: TierConfig,
 }
 
 impl Default for CostModel {
@@ -129,6 +138,7 @@ impl Default for CostModel {
             scan_pte: 45,
             scan_period: 10_530_000,
             ring_hop: 15,
+            tiers: TierConfig::flat(),
         }
     }
 }

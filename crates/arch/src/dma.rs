@@ -165,6 +165,25 @@ impl DmaModel {
         tracer: &R,
         core: u16,
     ) -> CheckedTransfer {
+        self.transfer_checked_tiered(now, bytes, dir, inj, tracer, core, 0)
+    }
+
+    /// [`DmaModel::transfer_checked`] keyed by the backing tier the
+    /// transfer lands in (or is served from): the DMA error and latency
+    /// rolls draw from that tier's independent injection sequence, so
+    /// each tier of a hierarchy can fail on its own schedule. Tier 0
+    /// hashes exactly as the untiered path — flat runs are unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_checked_tiered<R: cmcp_trace::Recorder>(
+        &self,
+        now: Cycles,
+        bytes: u64,
+        dir: DmaDirection,
+        inj: Option<&FaultInjector>,
+        tracer: &R,
+        core: u16,
+        tier: usize,
+    ) -> CheckedTransfer {
         let reservation = self.transfer_traced(now, bytes, dir, tracer, core);
         let mut out = CheckedTransfer {
             reservation,
@@ -172,7 +191,7 @@ impl DmaModel {
             failed: false,
         };
         if let Some(inj) = inj {
-            if let Some(mult) = inj.roll_param(FaultSite::DmaLatency) {
+            if let Some(mult) = inj.roll_param_tiered(FaultSite::DmaLatency, tier) {
                 let streaming = bytes * 1024 / self.bytes_per_kcycle;
                 out.spike_cycles = mult * streaming.max(1);
                 out.reservation.end += out.spike_cycles;
@@ -181,7 +200,7 @@ impl DmaModel {
                 DmaDirection::HostToDevice => FaultSite::DmaIn,
                 DmaDirection::DeviceToHost => FaultSite::DmaOut,
             };
-            out.failed = inj.roll(err_site);
+            out.failed = inj.roll_tiered(err_site, tier);
         }
         out
     }

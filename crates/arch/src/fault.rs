@@ -25,6 +25,8 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use serde::{Deserialize, Serialize};
 
+use crate::tier::MAX_TIERS;
+
 /// Hard ceiling on any fault rate: 50 % (500 000 ppm). Above this,
 /// bounded-retry recovery would stop converging quickly.
 pub const MAX_RATE_PPM: u32 = 500_000;
@@ -296,15 +298,35 @@ const SITE_SALT: [u64; FAULT_SITES] = [
     0x93c4_67e5_0d1a_88ff,
 ];
 
+/// Per-tier salts folded into the injection hash so the same site on
+/// different backing tiers draws independent failure sequences. Tier 0
+/// salts with zero: a single-tier (flat) run hashes exactly as the
+/// pre-tier injector did, keeping every committed faulted golden
+/// byte-identical.
+const TIER_SALT: [u64; MAX_TIERS] = [
+    0,
+    0x7b8f_0d4e_9c21_a653,
+    0xc59d_3b87_14f6_e0a1,
+    0x2e64_af05_d83b_7c19,
+    0x9a17_c2d8_5e40_b3f7,
+    0x41fb_68e3_a79d_025c,
+    0xe80c_95ba_361f_d4a7,
+    0x5d23_e791_b0c8_46fe,
+];
+
 /// The compiled, shared-state form of a [`FaultPlan`]: per-site rates
-/// plus per-site atomic sequence counters that make each injection
-/// decision a pure function of `(seed, site, sequence_number)`.
+/// plus per-(site, tier) atomic sequence counters that make each
+/// injection decision a pure function of
+/// `(seed, site, tier, sequence_number)`.
 #[derive(Debug)]
 pub struct FaultInjector {
     seed: u64,
     rate_ppm: [u32; FAULT_SITES],
     param: [u64; FAULT_SITES],
-    seq: [AtomicU64; FAULT_SITES],
+    /// Sequence counters, one per (site, tier), flattened as
+    /// `site * MAX_TIERS + tier`. Sites that never see a tier (IKC,
+    /// offload) only ever touch their tier-0 counter.
+    seq: [AtomicU64; FAULT_SITES * MAX_TIERS],
 }
 
 impl FaultInjector {
@@ -320,7 +342,7 @@ impl FaultInjector {
             seed: plan.seed,
             rate_ppm,
             param,
-            seq: Default::default(),
+            seq: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -343,14 +365,26 @@ impl FaultInjector {
     /// Rolls the dice for one operation at `site`. Returns `true` when
     /// the operation must fail. Consumes one sequence number at the
     /// site (even when the site's rate is zero, so adding a rule to one
-    /// site never perturbs another site's schedule).
+    /// site never perturbs another site's schedule). Operations with no
+    /// tier affinity roll against tier 0, whose salt is zero — this is
+    /// bit-for-bit the pre-tier injector.
     pub fn roll(&self, site: FaultSite) -> bool {
+        self.roll_tiered(site, 0)
+    }
+
+    /// [`FaultInjector::roll`] keyed by backing tier: each (site, tier)
+    /// pair owns an independent sequence counter and folds its own salt
+    /// into the hash, so per-tier failure schedules neither shift nor
+    /// correlate when another tier's traffic changes.
+    pub fn roll_tiered(&self, site: FaultSite, tier: usize) -> bool {
+        debug_assert!(tier < MAX_TIERS, "tier {tier} out of range");
         let i = site as usize;
-        let n = self.seq[i].fetch_add(1, Relaxed);
+        let tier = tier.min(MAX_TIERS - 1);
+        let n = self.seq[i * MAX_TIERS + tier].fetch_add(1, Relaxed);
         if self.rate_ppm[i] == 0 {
             return false;
         }
-        let h = splitmix64(self.seed ^ SITE_SALT[i] ^ splitmix64(n));
+        let h = splitmix64(self.seed ^ SITE_SALT[i] ^ TIER_SALT[tier] ^ splitmix64(n));
         h % PPM < self.rate_ppm[i] as u64
     }
 
@@ -359,9 +393,25 @@ impl FaultInjector {
         self.roll(site).then(|| self.param[site as usize])
     }
 
-    /// Number of rolls taken at `site` so far (for reports/tests).
+    /// [`FaultInjector::roll_tiered`], returning the site parameter on
+    /// a hit.
+    pub fn roll_param_tiered(&self, site: FaultSite, tier: usize) -> Option<u64> {
+        self.roll_tiered(site, tier)
+            .then(|| self.param[site as usize])
+    }
+
+    /// Number of rolls taken at `site` so far across all tiers (for
+    /// reports/tests).
     pub fn rolls(&self, site: FaultSite) -> u64 {
-        self.seq[site as usize].load(Relaxed)
+        let i = site as usize;
+        (0..MAX_TIERS)
+            .map(|t| self.seq[i * MAX_TIERS + t].load(Relaxed))
+            .sum()
+    }
+
+    /// Number of rolls taken at `(site, tier)` so far.
+    pub fn rolls_tiered(&self, site: FaultSite, tier: usize) -> u64 {
+        self.seq[site as usize * MAX_TIERS + tier.min(MAX_TIERS - 1)].load(Relaxed)
     }
 }
 
@@ -460,6 +510,73 @@ mod tests {
         assert_eq!(inj.offload_death_after(), Some(64));
         let none = FaultInjector::new(&FaultPlan::new(1));
         assert_eq!(none.offload_death_after(), None);
+    }
+
+    #[test]
+    fn tier_zero_rolls_are_the_legacy_sequence() {
+        // The whole flat-golden story rests on this: an untiered call
+        // site (roll) and an explicit tier-0 call site must draw the
+        // same schedule, because TIER_SALT[0] == 0 reduces the hash to
+        // the pre-tier formula.
+        let plan = FaultPlan::new(42).dma_errors(0.2);
+        let a = FaultInjector::new(&plan);
+        let b = FaultInjector::new(&plan);
+        let legacy: Vec<bool> = (0..500).map(|_| a.roll(FaultSite::DmaIn)).collect();
+        let tier0: Vec<bool> = (0..500)
+            .map(|_| b.roll_tiered(FaultSite::DmaIn, 0))
+            .collect();
+        assert_eq!(legacy, tier0);
+    }
+
+    #[test]
+    fn tiers_draw_independent_sequences() {
+        let plan = FaultPlan::new(7).dma_errors(0.2);
+        let a = FaultInjector::new(&plan);
+        let b = FaultInjector::new(&plan);
+        let t0: Vec<bool> = (0..1000)
+            .map(|_| a.roll_tiered(FaultSite::DmaIn, 0))
+            .collect();
+        // Interleave heavy tier-1 traffic on `b`: tier 0's schedule
+        // must not shift (per-tier sequence counters), and tier 1's
+        // schedule must not mirror tier 0's (per-tier salt).
+        let mut t0_interleaved = Vec::new();
+        let mut t1 = Vec::new();
+        for _ in 0..1000 {
+            t1.push(b.roll_tiered(FaultSite::DmaIn, 1));
+            b.roll_tiered(FaultSite::DmaIn, 1);
+            t0_interleaved.push(b.roll_tiered(FaultSite::DmaIn, 0));
+        }
+        assert_eq!(t0, t0_interleaved, "tier-1 traffic shifted tier 0");
+        assert_ne!(t0, t1, "tier salts failed to decorrelate");
+        assert!(t1.iter().any(|&f| f), "tier 1 at 0.2 over 1000 must hit");
+        assert_eq!(a.rolls_tiered(FaultSite::DmaIn, 0), 1000);
+        assert_eq!(b.rolls_tiered(FaultSite::DmaIn, 1), 2000);
+        assert_eq!(b.rolls(FaultSite::DmaIn), 3000, "rolls sums tiers");
+    }
+
+    #[test]
+    fn tiered_schedule_is_seed_stable() {
+        // Regression pin: the exact hit indices for a fixed (seed,
+        // rate, site, tier). If the hash, a salt, or the sequence
+        // layout changes, committed faulted goldens silently shift —
+        // this test makes that loud instead.
+        let inj = FaultInjector::new(&FaultPlan::new(42).dma_errors(0.1));
+        let hits = |tier: usize| -> Vec<u64> {
+            (0u64..200)
+                .filter(|_| inj.roll_tiered(FaultSite::DmaOut, tier))
+                .collect()
+        };
+        assert_eq!(
+            hits(0),
+            vec![1, 19, 31, 47, 49, 62, 67, 79, 84, 94, 100, 108, 113, 130]
+        );
+        assert_eq!(
+            hits(1),
+            vec![
+                27, 28, 44, 71, 72, 85, 99, 100, 102, 112, 113, 120, 134, 149, 161, 169, 175, 177,
+                185, 191, 195
+            ]
+        );
     }
 
     #[test]

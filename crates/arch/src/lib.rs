@@ -24,6 +24,9 @@
 //! * [`fault`] — seeded, declarative fault injection for the PCIe and
 //!   backing path ([`fault::FaultPlan`] → [`fault::FaultInjector`]),
 //!   used by the kernel's recovery machinery and test harness.
+//! * [`tier`] — the backing-tier hierarchy model ([`tier::TierConfig`]):
+//!   ordered HBM/DRAM/NVM/CXL-style tiers with per-tier capacity,
+//!   latency, and bandwidth, plus the map-count demotion ranking.
 //! * [`resource`] — virtual-time reservation resources (`start =
 //!   max(now, free); free = start + service`) used to model queueing on
 //!   shared hardware (the DMA engine) and software (page-table locks).
@@ -47,6 +50,7 @@ pub mod hash;
 pub mod ikc;
 pub mod resource;
 pub mod ring;
+pub mod tier;
 pub mod tlb;
 pub mod types;
 
@@ -58,5 +62,6 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ikc::{IkcChannel, IkcMessage};
 pub use resource::VirtualResource;
 pub use ring::RingModel;
+pub use tier::{TierConfig, TierSpec, MAX_TIERS};
 pub use tlb::{Tlb, TlbConfig, TlbLookup, TlbStats};
 pub use types::{CoreId, CoreSet, PageSize, PhysFrame, VirtAddr, VirtPage, MAX_CORES};

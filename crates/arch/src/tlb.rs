@@ -260,6 +260,39 @@ impl Tlb {
         TlbLookup::Miss
     }
 
+    /// Translates an access to the 4 kB page `page` when the mapping's
+    /// size class is not known in advance (the adaptive-page-size mode,
+    /// where the kernel mixes sizes online). Probes every size class —
+    /// which is what the hardware does anyway: all L1 arrays are
+    /// searched in parallel and the entry's class is a PTE property.
+    /// Counts exactly one access; a hit in any class's L1 is an L1 hit,
+    /// a hit under any class tag in the unified L2 promotes back into
+    /// that class's L1.
+    pub fn access_any(&mut self, page: VirtPage) -> TlbLookup {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let stamp = self.stamp;
+        for size in PageSize::ALL {
+            let vpn_in_class = page.0 >> (size.shift() - 12);
+            if self.l1_for(size).lookup(vpn_in_class, stamp) {
+                self.stats.l1_hits += 1;
+                return TlbLookup::L1;
+            }
+        }
+        for size in PageSize::ALL {
+            if self.l2.lookup(Self::class_tag(page, size), stamp) {
+                self.stats.l2_hits += 1;
+                self.pending_cycles += self.l2_hit_cost;
+                let vpn_in_class = page.0 >> (size.shift() - 12);
+                self.l1_for(size).insert(vpn_in_class, stamp);
+                return TlbLookup::L2;
+            }
+        }
+        self.stats.misses += 1;
+        self.pending_cycles += self.walk_cost;
+        TlbLookup::Miss
+    }
+
     /// Records an additional full walk for an access whose fault had to
     /// be retried: the mapping the fault handler installed was torn down
     /// by a concurrent eviction before this walk could re-read it, so
@@ -495,6 +528,36 @@ mod tests {
         assert!(t.invalidate(VirtPage(0)));
         assert_eq!(t.access(VirtPage(0), PageSize::K4), TlbLookup::Miss);
         assert_eq!(t.access(VirtPage(0), PageSize::M2), TlbLookup::Miss);
+    }
+
+    #[test]
+    fn access_any_finds_every_size_class() {
+        let mut t = tlb();
+        t.fill(VirtPage(0x100), PageSize::K64); // covers 0x100..0x110
+        t.fill(VirtPage(0x400), PageSize::M2); // covers 0x400..0x600
+        t.fill(VirtPage(7), PageSize::K4);
+        assert_eq!(t.access_any(VirtPage(0x105)), TlbLookup::L1);
+        assert_eq!(t.access_any(VirtPage(0x5ff)), TlbLookup::L1);
+        assert_eq!(t.access_any(VirtPage(7)), TlbLookup::L1);
+        assert_eq!(t.access_any(VirtPage(0x111)), TlbLookup::Miss);
+        let s = t.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.l1_hits, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn access_any_promotes_from_l2_into_the_right_class() {
+        let mut t = tlb();
+        // Push a 2 MB entry out of its 8-entry L1 but keep it in L2.
+        for i in 0..9u64 {
+            let p = VirtPage(i * 512);
+            t.access(p, PageSize::M2);
+            t.fill(p, PageSize::M2);
+        }
+        assert_eq!(t.access_any(VirtPage(5)), TlbLookup::L2);
+        // The promotion restored a 2 MB-class L1 entry covering page 5.
+        assert_eq!(t.access(VirtPage(5), PageSize::M2), TlbLookup::L1);
     }
 
     #[test]

@@ -166,6 +166,28 @@ impl PageSize {
     pub fn shift(self) -> u32 {
         self.bytes().trailing_zeros()
     }
+
+    /// The next smaller granularity a block of this size splits into
+    /// (2 MB → 64 kB → 4 kB), or `None` for 4 kB.
+    #[inline]
+    pub fn split_child(self) -> Option<PageSize> {
+        match self {
+            PageSize::K4 => None,
+            PageSize::K64 => Some(PageSize::K4),
+            PageSize::M2 => Some(PageSize::K64),
+        }
+    }
+
+    /// The next larger granularity (inverse of
+    /// [`PageSize::split_child`]), or `None` for 2 MB.
+    #[inline]
+    pub fn merge_parent(self) -> Option<PageSize> {
+        match self {
+            PageSize::K4 => Some(PageSize::K64),
+            PageSize::K64 => Some(PageSize::M2),
+            PageSize::M2 => None,
+        }
+    }
 }
 
 impl fmt::Display for PageSize {

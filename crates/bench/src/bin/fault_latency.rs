@@ -126,6 +126,7 @@ fn bench_kernel() -> (Vmm, usize) {
         scan_budget: 0,
         pspt_rebuild_period: 0,
         fault_plan: None,
+        adaptive: false,
     };
     (Vmm::new(cfg), device_blocks)
 }

@@ -1,0 +1,103 @@
+//! Pressure sweep over page sizes on a two-tier backing hierarchy: the
+//! paper's Figure 9/10 story retold vertically. The best *static* page
+//! size flips as memory pressure grows — 2 MB amortizes tier latency
+//! when RAM is plentiful, 4 kB wastes the least capacity when it is
+//! scarce — and the adaptive scheme (huge mappings at low pressure,
+//! split-on-pressure as the device fills) must never be the worst of
+//! them at any point of the sweep.
+//!
+//! The table is in virtual cycles, so the output is deterministic and
+//! `results/BENCH_tiers.json` is covered by the golden-identity CI job.
+//! The bin exits non-zero if the adaptive scheme fails to beat the worst
+//! static size at any pressure point — the acceptance gate for the
+//! adaptive controller.
+
+use serde::Serialize;
+
+use cmcp::{
+    PageSize, PolicyKind, RunReport, SimulationBuilder, TierConfig, Workload, WorkloadClass,
+};
+use cmcp_bench::{best_p, markdown_table, save_results};
+
+/// The sweep: from almost-uncontended down to heavy pressure.
+const RATIOS: [f64; 5] = [0.9, 0.7, 0.5, 0.37, 0.25];
+const CORES: usize = 8;
+
+#[derive(Serialize)]
+struct TierSweepPoint {
+    memory_ratio: f64,
+    page_size: String,
+    runtime_cycles: u64,
+    page_faults: u64,
+    block_splits: u64,
+    tier_penalty_cycles: u64,
+}
+
+fn run(ratio: f64, size: Option<PageSize>) -> RunReport {
+    let w = Workload::Cg(WorkloadClass::B);
+    let mut b = SimulationBuilder::workload(w)
+        .cores(CORES)
+        .policy(PolicyKind::Cmcp { p: best_p(w) })
+        .tiers(TierConfig::parse("2tier").unwrap())
+        .memory_ratio(ratio);
+    b = match size {
+        Some(s) => b.page_size(s),
+        None => b.adaptive_page_size(),
+    };
+    b.run()
+}
+
+fn main() {
+    let modes: [(&str, Option<PageSize>); 4] = [
+        ("4kB", Some(PageSize::K4)),
+        ("64kB", Some(PageSize::K64)),
+        ("2MB", Some(PageSize::M2)),
+        ("adaptive", None),
+    ];
+    println!(
+        "# tier_sweep — page-size pressure sweep on the 2-tier hierarchy (cg.B, {CORES} cores)\n"
+    );
+    let headers: Vec<String> = std::iter::once("memory".to_string())
+        .chain(modes.iter().map(|(label, _)| label.to_string()))
+        .collect();
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    let mut adaptive_beats_worst = true;
+    for ratio in RATIOS {
+        let mut row = vec![format!("{:.0}%", ratio * 100.0)];
+        let mut static_worst = 0u64;
+        let mut adaptive_cycles = 0u64;
+        for (label, size) in modes {
+            let r = run(ratio, size);
+            match size {
+                Some(_) => static_worst = static_worst.max(r.runtime_cycles),
+                None => adaptive_cycles = r.runtime_cycles,
+            }
+            row.push(format!("{}", r.runtime_cycles));
+            results.push(TierSweepPoint {
+                memory_ratio: ratio,
+                page_size: label.to_string(),
+                runtime_cycles: r.runtime_cycles,
+                page_faults: r.per_core.iter().map(|c| c.page_faults).sum(),
+                block_splits: r.global.block_splits,
+                tier_penalty_cycles: r.per_core.iter().map(|c| c.tier_penalty_cycles).sum(),
+            });
+        }
+        if adaptive_cycles >= static_worst {
+            adaptive_beats_worst = false;
+            eprintln!(
+                "FAIL at {:.0}% memory: adaptive {adaptive_cycles} cycles is not faster \
+                 than the worst static size ({static_worst})",
+                ratio * 100.0
+            );
+        }
+        rows.push(row);
+    }
+    println!("{}", markdown_table(&headers, &rows));
+    println!("Check: the adaptive scheme beats the worst static page size at every");
+    println!("pressure point (it adapts toward whichever static size wins there).");
+    save_results("BENCH_tiers", &results);
+    if !adaptive_beats_worst {
+        std::process::exit(1);
+    }
+}

@@ -10,7 +10,8 @@
 use std::process::ExitCode;
 
 use cmcp::{
-    FaultPlan, PageSize, PolicyKind, SchemeChoice, SimulationBuilder, Workload, WorkloadClass,
+    FaultPlan, PageSize, PolicyKind, SchemeChoice, SimulationBuilder, TierConfig, Workload,
+    WorkloadClass,
 };
 
 const USAGE: &str = "\
@@ -37,10 +38,19 @@ OPTIONS:
     --policy <P>         fifo | lru | clock | lfu | random | adaptive |
                          cmcp[:RATIO]        (default: cmcp:0.75)
     --scheme <S>         pspt | regular      (default: pspt)
-    --page-size <SZ>     4k | 64k | 2m       (default: 4k)
+    --page-size <SZ>     4k | 64k | 2m | adaptive  (default: 4k);
+                         `adaptive` maps fresh 2 MB regions at the
+                         granularity current memory pressure suggests
+                         and splits oversized eviction victims in place
     --memory <RATIO>     device RAM as a fraction of the declared
                          footprint (default: the workload's paper
                          constraint)
+    --tiers <SPEC>       backing-store hierarchy, fastest tier first:
+                         name:capacity@latency/bandwidth pairs joined
+                         by `;` (capacity in 4 kB pages, 0 = unbounded
+                         last tier; latency in cycles; bandwidth in
+                         bytes/kcycle), or a preset: flat | 2tier |
+                         4tier        (default: flat)
     --threads <N>        host worker threads, >= 1 (default: 1); the
                          report is byte-identical at every count — more
                          threads only change wall-clock time
@@ -62,6 +72,8 @@ struct Args {
     policy: PolicyKind,
     scheme: SchemeChoice,
     page_size: PageSize,
+    adaptive: bool,
+    tiers: TierConfig,
     memory: Option<f64>,
     threads: usize,
     rebuild_ms: u64,
@@ -115,7 +127,9 @@ fn parse_page_size(s: &str) -> Result<PageSize, String> {
         "4k" | "4kb" => Ok(PageSize::K4),
         "64k" | "64kb" => Ok(PageSize::K64),
         "2m" | "2mb" => Ok(PageSize::M2),
-        _ => Err(format!("unknown page size '{s}' (4k | 64k | 2m)")),
+        _ => Err(format!(
+            "unknown page size '{s}' (4k | 64k | 2m | adaptive)"
+        )),
     }
 }
 
@@ -138,6 +152,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         policy: PolicyKind::Cmcp { p: 0.75 },
         scheme: SchemeChoice::Pspt,
         page_size: PageSize::K4,
+        adaptive: false,
+        tiers: TierConfig::flat(),
         memory: None,
         threads: 1,
         rebuild_ms: 0,
@@ -192,7 +208,17 @@ fn parse_args() -> Result<Option<Args>, String> {
                     other => return Err(format!("unknown scheme '{other}'")),
                 }
             }
-            "--page-size" => args.page_size = parse_page_size(&value("--page-size")?)?,
+            "--page-size" => {
+                let v = value("--page-size")?;
+                if v.eq_ignore_ascii_case("adaptive") {
+                    args.adaptive = true;
+                    args.page_size = PageSize::M2;
+                } else {
+                    args.adaptive = false;
+                    args.page_size = parse_page_size(&v)?;
+                }
+            }
+            "--tiers" => args.tiers = TierConfig::parse(&value("--tiers")?)?,
             "--memory" => {
                 let m: f64 = value("--memory")?
                     .parse()
@@ -253,9 +279,13 @@ fn main() -> ExitCode {
         .scheme(args.scheme)
         .policy(args.policy)
         .page_size(args.page_size)
+        .tiers(args.tiers)
         .memory_ratio(memory)
         .threads(args.threads)
         .pspt_rebuild_period(args.rebuild_ms * 1_053_000);
+    if args.adaptive {
+        builder = builder.adaptive_page_size();
+    }
     let faulted = args.fault_plan.is_some();
     if let Some(plan) = args.fault_plan {
         builder = builder.fault_plan(plan);
@@ -300,7 +330,7 @@ fn main() -> ExitCode {
     };
 
     if args.json {
-        let value = serde_json::json!({
+        let mut value = serde_json::json!({
             "workload": report.label,
             "config": report.config,
             "runtime_cycles": report.runtime_cycles,
@@ -312,6 +342,29 @@ fn main() -> ExitCode {
             "sharing_histogram": report.sharing_histogram,
             "breakdown": report.breakdown,
         });
+        // Appended only for tiered hierarchies so flat-run JSON (and the
+        // committed goldens) keeps its exact pre-tier shape.
+        if let Some(t) = &report.tiers {
+            let rows: Vec<serde_json::Value> = t
+                .names
+                .iter()
+                .zip(t.counters.iter())
+                .map(|(name, c)| {
+                    serde_json::json!({
+                        "name": name,
+                        "used_pages": c.used_pages,
+                        "spans": c.spans,
+                        "stores": c.stores,
+                        "loads": c.loads,
+                        "demoted_in": c.demoted_in,
+                        "promoted_in": c.promoted_in,
+                    })
+                })
+                .collect();
+            if let serde_json::Value::Object(entries) = &mut value {
+                entries.push(("tiers".to_string(), serde_json::json!(rows)));
+            }
+        }
         println!(
             "{}",
             serde_json::to_string_pretty(&value).expect("serializable report")
@@ -343,6 +396,24 @@ fn main() -> ExitCode {
             report.dma_bytes.0 as f64 / 1e6,
             report.dma_bytes.1 as f64 / 1e6
         );
+        if let Some(t) = &report.tiers {
+            println!(
+                "  tiers: {} demotions, {} promotions",
+                report.global.tier_demotions, report.global.tier_promotions
+            );
+            for (name, c) in t.names.iter().zip(t.counters.iter()) {
+                println!(
+                    "    {:>6}: {:>8} pages resident, {} stores, {} loads, {} demoted in, {} promoted in",
+                    name, c.used_pages, c.stores, c.loads, c.demoted_in, c.promoted_in
+                );
+            }
+        }
+        if report.global.block_splits > 0 {
+            println!(
+                "  adaptive page sizes: {} block splits",
+                report.global.block_splits
+            );
+        }
         if faulted {
             let g = &report.global;
             println!(

@@ -1,6 +1,6 @@
 //! Experiment configuration for the kernel memory manager.
 
-use cmcp_arch::{CostModel, FaultPlan, PageSize};
+use cmcp_arch::{CostModel, FaultPlan, PageSize, TierConfig};
 use cmcp_core::PolicyKind;
 
 /// Which page-table scheme the address space uses.
@@ -49,6 +49,12 @@ pub struct KernelConfig {
     /// (the default) injects nothing and leaves the fault path
     /// bit-identical to a build without the fault layer.
     pub fault_plan: Option<FaultPlan>,
+    /// Online page-size adaptation: `block_size` becomes the *largest*
+    /// granularity (2 MB), faults map at the pressure-chosen size, and
+    /// oversized victims split one level instead of evicting whole.
+    /// `false` (the default) keeps the paper's fixed-size behavior
+    /// bit-identical.
+    pub adaptive: bool,
 }
 
 impl KernelConfig {
@@ -64,6 +70,7 @@ impl KernelConfig {
             scan_budget: 0,
             pspt_rebuild_period: 0,
             fault_plan: None,
+            adaptive: false,
         }
     }
 
@@ -89,6 +96,26 @@ impl KernelConfig {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> KernelConfig {
         self.fault_plan = Some(plan);
         self
+    }
+
+    /// Builder-style backing-tier hierarchy selection (stored in the
+    /// cost model, where the per-tier penalties live).
+    pub fn with_tiers(mut self, tiers: TierConfig) -> KernelConfig {
+        self.cost.tiers = tiers;
+        self
+    }
+
+    /// Builder-style adaptive page-size mode: forces the 2 MB maximum
+    /// granularity and enables online split/promote decisions.
+    pub fn with_adaptive(mut self) -> KernelConfig {
+        self.adaptive = true;
+        self.block_size = PageSize::M2;
+        self
+    }
+
+    /// The configured backing hierarchy.
+    pub fn tiers(&self) -> &TierConfig {
+        &self.cost.tiers
     }
 }
 

@@ -27,12 +27,15 @@
 #![forbid(unsafe_code)]
 
 pub mod backing;
+pub mod buddy;
 pub mod config;
 pub mod frames;
 pub mod offload;
 pub mod stats;
 pub mod vmm;
 
+pub use backing::{BackingStore, TierCounters, TieredStore};
+pub use buddy::BuddyPool;
 pub use config::{KernelConfig, SchemeChoice};
 pub use frames::FramePool;
 pub use offload::{OffloadEngine, Syscall};

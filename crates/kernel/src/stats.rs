@@ -54,6 +54,11 @@ pub struct CoreStats {
     /// Frames this core moved to the quarantine list after
     /// unrecoverable page-in DMA errors.
     pub quarantines: AtomicU64,
+    /// Cycles this core spent on backing-tier latency/bandwidth
+    /// penalties — page-ins served from (and write-backs landing on) a
+    /// tier below the host DRAM. A component of `fault_cycles`; zero in
+    /// flat single-tier runs.
+    pub tier_penalty_cycles: AtomicU64,
 }
 
 impl CoreStats {
@@ -72,6 +77,7 @@ impl CoreStats {
             fault_retries: self.fault_retries.load(Relaxed),
             retry_backoff_cycles: self.retry_backoff_cycles.load(Relaxed),
             quarantines: self.quarantines.load(Relaxed),
+            tier_penalty_cycles: self.tier_penalty_cycles.load(Relaxed),
             dtlb_misses: 0,
             dtlb_accesses: 0,
             cycles: 0,
@@ -107,6 +113,8 @@ pub struct CoreStatsSnapshot {
     pub retry_backoff_cycles: u64,
     /// Frames quarantined by this core.
     pub quarantines: u64,
+    /// Cycles spent on backing-tier penalties (zero when flat).
+    pub tier_penalty_cycles: u64,
     /// Data TLB misses (page walks) — Table 1.
     pub dtlb_misses: u64,
     /// Translated accesses.
@@ -145,6 +153,13 @@ pub struct GlobalStats {
     pub sync_syscalls: AtomicU64,
     /// Frames currently on the quarantine list.
     pub quarantined_frames: AtomicU64,
+    /// Spans pushed down a tier by backing-capacity cascades.
+    pub tier_demotions: AtomicU64,
+    /// Spans pulled up a tier by page-in promotion.
+    pub tier_promotions: AtomicU64,
+    /// Oversized victims split one granularity level under pressure
+    /// instead of being evicted whole (adaptive page-size mode).
+    pub block_splits: AtomicU64,
 }
 
 impl GlobalStats {
@@ -164,6 +179,9 @@ impl GlobalStats {
             sync_writebacks: self.sync_writebacks.load(Relaxed),
             sync_syscalls: self.sync_syscalls.load(Relaxed),
             quarantined_frames: self.quarantined_frames.load(Relaxed),
+            tier_demotions: self.tier_demotions.load(Relaxed),
+            tier_promotions: self.tier_promotions.load(Relaxed),
+            block_splits: self.block_splits.load(Relaxed),
         }
     }
 }
@@ -197,6 +215,12 @@ pub struct GlobalStatsSnapshot {
     pub sync_syscalls: u64,
     /// Frames held in quarantine at run end.
     pub quarantined_frames: u64,
+    /// Spans demoted by backing-capacity cascades.
+    pub tier_demotions: u64,
+    /// Spans promoted by page-in accesses.
+    pub tier_promotions: u64,
+    /// Oversized victims split instead of evicted (adaptive mode).
+    pub block_splits: u64,
 }
 
 #[cfg(test)]

@@ -38,7 +38,8 @@ use cmcp_core::{AccessBitOracle, PolicyEvent, ReplacementPolicy};
 use cmcp_pagetable::{MapOutcome, Pspt, RegularTables, TableScheme, Translation};
 use cmcp_trace::{EventKind, NullTracer, Recorder, MAINTENANCE_CORE};
 
-use crate::backing::BackingStore;
+use crate::backing::{TierCounters, TieredStore};
+use crate::buddy::BuddyPool;
 use crate::config::{KernelConfig, SchemeChoice};
 use crate::frames::FramePool;
 use crate::offload::{OffloadEngine, Syscall};
@@ -99,12 +100,35 @@ const FLUSH_STACK_EVENTS: usize = 8;
 /// lookup-or-insert here, and SipHash was measurable on the hot path.
 #[derive(Debug, Default)]
 struct ResidentShard {
-    /// block head → frame head for resident blocks of this stripe.
-    map: FxHashMap<u64, PhysFrame>,
+    /// block head → residency entry for resident blocks of this stripe.
+    map: FxHashMap<u64, Resident>,
     /// Blocks whose dirty bits were harvested by a PSPT rebuild before
     /// they could be written back: they still owe a write-back when
     /// eventually evicted.
     pending_dirty: FxHashSet<u64>,
+    /// Adaptive page-size mode only: 2 MB region head → (granularity all
+    /// blocks of the region use, number of resident blocks). A region's
+    /// granularity is chosen by the pressure controller at its first
+    /// fault and lowered by split-on-evict; it resets when the region
+    /// empties. Keeping it in the stripe (adaptive stripes are keyed by
+    /// the 2 MB head) means region and blocks share one lock.
+    regions: FxHashMap<u64, (PageSize, u32)>,
+}
+
+/// One resident block: its device frame head and mapping granularity
+/// (always `cfg.block_size` outside adaptive mode).
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    frame: PhysFrame,
+    size: PageSize,
+}
+
+/// Device-RAM allocator: the fixed-size lock-free pool for normal runs,
+/// the mutex-guarded mixed-size buddy for adaptive page-size runs (whose
+/// fault path the engine serializes anyway).
+enum Frames {
+    Pool(FramePool),
+    Buddy(BuddyPool),
 }
 
 /// Classification of a handled fault.
@@ -130,8 +154,8 @@ pub struct Vmm<R: Recorder = NullTracer> {
     cfg: KernelConfig,
     scheme: SchemeObj,
     policy: Mutex<Box<dyn ReplacementPolicy>>,
-    pool: FramePool,
-    backing: BackingStore,
+    frames: Frames,
+    backing: TieredStore,
     dma: DmaModel,
     ring: RingModel,
     /// Lock-striped residency metadata, indexed by block hash.
@@ -163,8 +187,10 @@ pub struct Vmm<R: Recorder = NullTracer> {
     /// PSPT: sharded fine-grained locks.
     pt_shard_locks: Vec<VirtualResource>,
     clocks: Arc<Vec<CoreClock>>,
-    /// Pending TLB invalidations per core, applied by the owning core.
-    mailboxes: Vec<Mutex<Vec<VirtPage>>>,
+    /// Pending TLB invalidations per core, applied by the owning core:
+    /// `(head, span_4k)` — flat runs always post the configured block
+    /// span; adaptive runs post the victim's actual granularity.
+    mailboxes: Vec<Mutex<Vec<(VirtPage, u32)>>>,
     mailbox_flags: Vec<AtomicBool>,
     core_stats: Vec<CoreStats>,
     global: GlobalStats,
@@ -219,14 +245,21 @@ impl<R: Recorder> Vmm<R> {
         Vmm {
             scheme,
             policy: Mutex::new(cfg.policy.build(cfg.device_blocks)),
-            // One freelist shard per core (capped): a pure function of
-            // the config, so identical runs allocate identically.
-            pool: FramePool::with_shards(
-                cfg.block_size,
-                cfg.device_blocks,
-                cfg.cores.min(RESIDENT_SHARDS),
-            ),
-            backing: BackingStore::new(),
+            frames: if cfg.adaptive {
+                // Adaptive page sizes need mixed-granularity allocation:
+                // the buddy pool spans the same device RAM, counted in
+                // 2 MB regions.
+                Frames::Buddy(BuddyPool::new(cfg.device_blocks))
+            } else {
+                // One freelist shard per core (capped): a pure function
+                // of the config, so identical runs allocate identically.
+                Frames::Pool(FramePool::with_shards(
+                    cfg.block_size,
+                    cfg.device_blocks,
+                    cfg.cores.min(RESIDENT_SHARDS),
+                ))
+            },
+            backing: TieredStore::new(cfg.tiers(), cfg.adaptive),
             dma: DmaModel::with_clients(&cfg.cost, cfg.cores),
             ring: RingModel::new(cfg.cores, &cfg.cost),
             resident: (0..RESIDENT_SHARDS)
@@ -455,30 +488,90 @@ impl<R: Recorder> Vmm<R> {
         self.offload_dead.load(Relaxed)
     }
 
-    /// Whether `page`'s block is currently resident in device RAM.
-    /// Quiescent-state query for the test oracles.
+    /// Whether `page` is currently resident in device RAM (any block
+    /// granularity). Quiescent-state query for the test oracles.
     pub fn block_resident(&self, page: VirtPage) -> bool {
+        if self.cfg.adaptive {
+            let m2 = page.align_down(PageSize::M2);
+            let shard = self.resident[self.resident_shard_of(m2)].lock();
+            return PageSize::ALL.iter().any(|&s| {
+                let head = page.align_down(s);
+                shard.map.get(&head.0).is_some_and(|ent| ent.size == s)
+            });
+        }
         let head = self.block_of(page);
         let idx = self.resident_shard_of(head);
         self.resident[idx].lock().map.contains_key(&head.0)
     }
 
-    /// Whether the backing store holds a written-back copy of `page`'s
-    /// block. Quiescent-state query for the test oracles.
+    /// Whether the backing store holds a written-back copy of `page`.
+    /// Quiescent-state query for the test oracles.
     pub fn backing_contains(&self, page: VirtPage) -> bool {
-        self.backing.contains(self.block_of(page))
+        if self.cfg.adaptive {
+            self.backing.contains(page, 1)
+        } else {
+            self.backing.contains(self.block_of(page), 1)
+        }
+    }
+
+    /// Per-tier backing-store occupancy and traffic counters; `None` for
+    /// the flat single-tier store.
+    pub fn tier_counters(&self) -> Option<Vec<TierCounters>> {
+        self.backing.tier_counters()
+    }
+
+    /// Backing-store invariant audit: panics on span overlap, per-tier
+    /// book drift, or a bounded tier over capacity. Test-oracle hook.
+    pub fn backing_audit(&self) {
+        self.backing.audit();
     }
 
     /// Frame-conservation audit: `(free, resident, quarantined, total)`
     /// blocks. At any quiescent point `free + resident + quarantined ==
     /// total` — a lost or doubly-freed frame breaks the equality.
+    /// Fixed-size runs only; adaptive runs audit in pages via
+    /// [`Vmm::frame_audit_pages`].
     pub fn frame_audit(&self) -> (usize, usize, u64, usize) {
         (
-            self.pool.free_blocks(),
+            self.pool().free_blocks(),
             self.resident_blocks(),
-            self.pool.quarantined_blocks(),
-            self.pool.total_blocks(),
+            self.pool().quarantined_blocks(),
+            self.pool().total_blocks(),
         )
+    }
+
+    /// Frame-conservation audit in 4 kB pages, valid for both allocator
+    /// shapes: `(free, resident, quarantined, total)` with the same
+    /// conservation equality as [`Vmm::frame_audit`].
+    pub fn frame_audit_pages(&self) -> (u64, u64, u64, u64) {
+        let resident: u64 = self
+            .resident
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .map
+                    .values()
+                    .map(|ent| ent.size.pages_4k() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        match &self.frames {
+            Frames::Buddy(b) => (
+                b.free_pages(),
+                resident,
+                b.quarantined_pages(),
+                b.total_pages(),
+            ),
+            Frames::Pool(p) => {
+                let bp = self.cfg.block_size.pages_4k() as u64;
+                (
+                    p.free_blocks() as u64 * bp,
+                    resident,
+                    p.quarantined_blocks() * bp,
+                    p.total_blocks() as u64 * bp,
+                )
+            }
+        }
     }
 
     /// Records one injected fault against `core`: bumps the per-core
@@ -539,10 +632,10 @@ impl<R: Recorder> Vmm<R> {
         self.mailbox_flags[core.index()].load(Relaxed)
     }
 
-    /// Drains `core`'s pending invalidations into `out` (the engine
-    /// applies them to the core's TLB; the interrupt cost was already
-    /// charged by the shootdown).
-    pub fn drain_invalidations(&self, core: CoreId, out: &mut Vec<VirtPage>) {
+    /// Drains `core`'s pending invalidations — `(head, span_4k)` pairs —
+    /// into `out` (the engine applies them to the core's TLB; the
+    /// interrupt cost was already charged by the shootdown).
+    pub fn drain_invalidations(&self, core: CoreId, out: &mut Vec<(VirtPage, u32)>) {
         if !self.has_pending_invalidations(core) {
             return;
         }
@@ -623,15 +716,17 @@ impl<R: Recorder> Vmm<R> {
                     0,
                 );
             }
-            let ResidentShard { map, pending_dirty } = &mut *guard;
-            for &head in map.keys() {
+            let ResidentShard {
+                map, pending_dirty, ..
+            } = &mut *guard;
+            for (&head, ent) in map.iter() {
                 let head = VirtPage(head);
-                if let Some(out) = with_scheme!(self, s => s.unmap_all(head, self.cfg.block_size)) {
+                if let Some(out) = with_scheme!(self, s => s.unmap_all(head, ent.size)) {
                     torn += 1;
                     // The rebuild runs on the dedicated maintenance
                     // hyperthreads (like the scan timer); targets still pay
                     // their interrupt cost.
-                    self.shootdown(None, head, &out.mappers);
+                    self.shootdown(None, head, ent.size.pages_4k() as u32, &out.mappers);
                     // Unmapping discards the PTE dirty bits; remember the
                     // write-back debt for the eventual eviction.
                     if out.dirty {
@@ -673,13 +768,37 @@ impl<R: Recorder> Vmm<R> {
         self.cfg.block_size.bytes()
     }
 
-    /// PTE writes needed to (un)map one block on one core.
+    /// The fixed-size frame pool (every non-adaptive run).
     #[inline]
-    fn subentries(&self) -> u64 {
-        match self.cfg.block_size {
+    fn pool(&self) -> &FramePool {
+        match &self.frames {
+            Frames::Pool(p) => p,
+            Frames::Buddy(_) => unreachable!("fixed-size path in adaptive mode"),
+        }
+    }
+
+    /// The buddy allocator (adaptive page-size runs only).
+    #[inline]
+    fn buddy(&self) -> &BuddyPool {
+        match &self.frames {
+            Frames::Buddy(b) => b,
+            Frames::Pool(_) => unreachable!("adaptive path without buddy pool"),
+        }
+    }
+
+    /// PTE writes needed to (un)map one `size` block on one core.
+    #[inline]
+    fn subentries_of(size: PageSize) -> u64 {
+        match size {
             PageSize::M2 => 1,
             s => s.pages_4k() as u64,
         }
+    }
+
+    /// PTE writes needed to (un)map one configured block on one core.
+    #[inline]
+    fn subentries(&self) -> u64 {
+        Self::subentries_of(self.cfg.block_size)
     }
 
     fn lock_for(&self, head: VirtPage) -> (&VirtualResource, Cycles) {
@@ -695,13 +814,14 @@ impl<R: Recorder> Vmm<R> {
         }
     }
 
-    /// Sends TLB shootdowns for `page` to `targets`.
+    /// Sends TLB shootdowns for the `span` 4 kB pages at `page` to
+    /// `targets`.
     ///
     /// `requester = Some(core)` charges the serialized send loop and ack
     /// wait to that core (and counts it as sender); `None` models the
     /// dedicated statistics hyperthreads, whose own time is free but whose
     /// IPIs still interrupt every target.
-    fn shootdown(&self, requester: Option<CoreId>, page: VirtPage, targets: &CoreSet) {
+    fn shootdown(&self, requester: Option<CoreId>, page: VirtPage, span: u32, targets: &CoreSet) {
         let source = requester.unwrap_or(CoreId(0));
         let cost = self.ring.shootdown(source, targets);
         if cost.targets > 0 {
@@ -728,7 +848,7 @@ impl<R: Recorder> Vmm<R> {
                 self.core_stats[t.index()]
                     .remote_inv_received
                     .fetch_add(1, Relaxed);
-                self.mailboxes[t.index()].lock().push(page);
+                self.mailboxes[t.index()].lock().push((page, span));
                 self.mailbox_flags[t.index()].store(true, Relaxed);
                 if R::ENABLED {
                     self.tracer.record(
@@ -745,7 +865,7 @@ impl<R: Recorder> Vmm<R> {
         if let Some(req) = requester {
             if targets.contains(req) {
                 self.clocks[req.index()].advance(self.cfg.cost.tlb_invlpg);
-                self.mailboxes[req.index()].lock().push(page);
+                self.mailboxes[req.index()].lock().push((page, span));
                 self.mailbox_flags[req.index()].store(true, Relaxed);
             }
         }
@@ -758,7 +878,7 @@ impl<R: Recorder> Vmm<R> {
     fn alloc_frame(&self, requester: CoreId) -> PhysFrame {
         let mut dry_spins = 0u32;
         loop {
-            if let Some(frame) = self.pool.alloc_for(requester.index()) {
+            if let Some(frame) = self.pool().alloc_for(requester.index()) {
                 return frame;
             }
             if let Some(frame) = self.try_evict_one(requester) {
@@ -813,7 +933,7 @@ impl<R: Recorder> Vmm<R> {
         // a stripe lock — events are buffered instead.)
         let shard_idx = self.resident_shard_of(victim);
         let mut shard = self.lock_resident_shard(requester, shard_idx);
-        let frame = shard
+        let ent = shard
             .map
             .remove(&victim.0)
             .expect("victim tracked in resident map");
@@ -828,22 +948,64 @@ impl<R: Recorder> Vmm<R> {
         // rebuild: resident, but every PTE already torn down.
         let out = with_scheme!(self, s => s.unmap_all(victim, self.cfg.block_size));
         let clock = &self.clocks[requester.index()];
+        let mut map_count = 0u32;
         if let Some(out) = &out {
             clock.advance(self.cfg.cost.pte_update * out.ptes_removed as u64);
-            self.shootdown(Some(requester), victim, &out.mappers);
+            self.shootdown(
+                Some(requester),
+                victim,
+                self.cfg.block_size.pages_4k() as u32,
+                &out.mappers,
+            );
             dirty |= out.dirty;
+            map_count = out.mappers.count() as u32;
         }
         if dirty {
-            self.write_back(requester, victim);
+            // CMCP's priority signal also drives *how far down* the
+            // hierarchy a victim goes: widely shared blocks land in the
+            // fastest tier that can take them, private blocks sink.
+            let rank = self.cfg.tiers().demotion_rank(map_count);
+            self.write_back(
+                requester,
+                victim,
+                self.cfg.block_size.pages_4k() as u64,
+                rank,
+            );
         }
         drop(shard);
         policy.on_evict(victim);
         self.global.evictions.fetch_add(1, Relaxed);
-        Some(frame)
+        Some(ent.frame)
     }
 
-    /// Writes a dirty victim back to the host, riding out injected DMA
-    /// errors and backing-store write failures.
+    /// Charges `core` the extra virtual-time cost of touching backing
+    /// tier `tier` with `bytes` of traffic, on top of the DMA link time.
+    /// Tier 0 of the flat hierarchy has zero latency and unmetered
+    /// bandwidth, so flat runs take the early return and stay
+    /// byte-identical to the pre-tier code (no clock advance, no
+    /// counter, no event).
+    fn charge_tier_penalty(&self, core: CoreId, tier: usize, bytes: u64) {
+        let pen = self.cfg.tiers().tiers[tier].penalty(bytes);
+        if pen == 0 {
+            return;
+        }
+        let clock = &self.clocks[core.index()];
+        clock.advance(pen);
+        owner_add(&self.core_stats[core.index()].tier_penalty_cycles, pen);
+        if R::ENABLED {
+            self.tracer.record(
+                core.0,
+                clock.now(),
+                EventKind::TierPenalty,
+                pen,
+                tier as u64,
+            );
+        }
+    }
+
+    /// Writes a dirty victim of `pages` 4 kB pages back to the tier the
+    /// demotion `rank` selects, riding out injected DMA errors and
+    /// backing-store write failures.
     ///
     /// The happy path (no injector, or no fault rolled) is a single
     /// transfer plus the store — byte-identical to the pre-fault-layer
@@ -856,19 +1018,22 @@ impl<R: Recorder> Vmm<R> {
     /// synchronous path (`GlobalStats::sync_writebacks`). The victim's
     /// data is never dropped: this returns only once the host store
     /// accepted the block.
-    fn write_back(&self, requester: CoreId, victim: VirtPage) {
+    fn write_back(&self, requester: CoreId, victim: VirtPage, pages: u64, rank: usize) {
         let clock = &self.clocks[requester.index()];
         let st = &self.core_stats[requester.index()];
         let inj = self.injector.as_ref();
+        let bytes = pages * PageSize::K4.bytes();
+        let tier = rank.min(self.cfg.tiers().tiers.len() - 1);
         let mut attempt = 0u32;
         loop {
-            let c = self.dma.transfer_checked(
+            let c = self.dma.transfer_checked_tiered(
                 clock.now(),
-                self.block_bytes(),
+                bytes,
                 DmaDirection::DeviceToHost,
                 inj,
                 &self.tracer,
                 requester.0,
+                tier,
             );
             let wait = c.reservation.end.saturating_sub(clock.now());
             clock.advance(wait);
@@ -899,7 +1064,15 @@ impl<R: Recorder> Vmm<R> {
             );
         }
         let mut store_attempt = 0u32;
-        while !self.backing.try_store(victim, inj) {
+        loop {
+            let out = self.backing.try_store(victim, pages, rank, inj);
+            if out.stored {
+                self.charge_tier_penalty(requester, out.tier, bytes);
+                if out.demoted > 0 {
+                    self.global.tier_demotions.fetch_add(out.demoted, Relaxed);
+                }
+                break;
+            }
             self.global.enospc_events.fetch_add(1, Relaxed);
             self.note_injected(requester, FaultSite::Backing, store_attempt as u64);
             self.charge_backoff(requester, store_attempt, FaultSite::Backing);
@@ -917,6 +1090,9 @@ impl<R: Recorder> Vmm<R> {
 
     /// Handles a page fault raised by `core` on the 4 kB page `page`.
     pub fn handle_fault(&self, core: CoreId, page: VirtPage, _write: bool) -> FaultKind {
+        if self.cfg.adaptive {
+            return self.handle_fault_adaptive(core, page);
+        }
         let head = self.block_of(page);
         let clock = &self.clocks[core.index()];
         let st = &self.core_stats[core.index()];
@@ -952,9 +1128,10 @@ impl<R: Recorder> Vmm<R> {
         let shard_idx = self.resident_shard_of(head);
         let kind = 'fault: loop {
             let mut shard = self.lock_resident_shard(core, shard_idx);
-            if let Some(frame) = shard.map.get(&head.0).copied() {
+            if let Some(ent) = shard.map.get(&head.0).copied() {
                 // Resident: PSPT minor fault (copy a sibling's PTE).
-                match with_scheme!(self, s => s.map(core, head, frame, self.cfg.block_size, true)) {
+                match with_scheme!(self, s => s.map(core, head, ent.frame, self.cfg.block_size, true))
+                {
                     Ok(MapOutcome::Copied { probes, map_count }) => {
                         clock.advance(
                             self.cfg.cost.pspt_probe * probes as u64
@@ -999,10 +1176,11 @@ impl<R: Recorder> Vmm<R> {
             if shard.map.contains_key(&head.0) {
                 // Lost the race: hand the frame back and retry as minor.
                 drop(shard);
-                self.pool.free_for(frame, core.index());
+                self.pool().free_for(frame, core.index());
                 continue 'fault;
             }
-            if self.backing.contains(head) {
+            let block_pages = self.cfg.block_size.pages_4k() as u64;
+            if let Some(tin) = self.backing.load(head, block_pages) {
                 // Real content on the host: DMA it in, riding out
                 // injected transfer errors. A failed attempt may have
                 // torn a partial block into the frame, so the frame is
@@ -1013,13 +1191,14 @@ impl<R: Recorder> Vmm<R> {
                 let inj = self.injector.as_ref();
                 let mut attempt = 0u32;
                 loop {
-                    let c = self.dma.transfer_checked(
+                    let c = self.dma.transfer_checked_tiered(
                         clock.now(),
                         self.block_bytes(),
                         DmaDirection::HostToDevice,
                         inj,
                         &self.tracer,
                         core.0,
+                        tin.tier,
                     );
                     let wait = c.reservation.end.saturating_sub(clock.now());
                     clock.advance(wait);
@@ -1048,13 +1227,13 @@ impl<R: Recorder> Vmm<R> {
                         attempt < MAX_RECOVERY_ATTEMPTS,
                         "{MAX_RECOVERY_ATTEMPTS} consecutive page-in DMA errors on {head}"
                     );
-                    if self.pool.usable_blocks() > self.cfg.cores {
+                    if self.pool().usable_blocks() > self.cfg.cores {
                         // Quarantine the poisoned frame and retry into a
                         // fresh one. Allocation may need to evict, which
                         // takes the policy lock and a victim stripe —
                         // never while holding this block's stripe.
                         drop(shard);
-                        self.pool.quarantine(frame);
+                        self.pool().quarantine(frame);
                         owner_add(&st.quarantines, 1);
                         self.global.quarantined_frames.fetch_add(1, Relaxed);
                         if R::ENABLED {
@@ -1072,20 +1251,412 @@ impl<R: Recorder> Vmm<R> {
                             // Another core faulted the block in while the
                             // stripe was unlocked: retry as minor.
                             drop(shard);
-                            self.pool.free_for(frame, core.index());
+                            self.pool().free_for(frame, core.index());
                             continue 'fault;
                         }
                     }
+                }
+                self.charge_tier_penalty(core, tin.tier, self.block_bytes());
+                if tin.promoted > 0 {
+                    self.global.tier_promotions.fetch_add(tin.promoted, Relaxed);
                 }
                 self.global.refaults.fetch_add(1, Relaxed);
             }
             with_scheme!(self, s => s.map(core, head, frame, self.cfg.block_size, true))
                 .expect("fresh block maps cleanly");
             clock.advance(self.cfg.cost.pte_update * self.subentries());
-            shard.map.insert(head.0, frame);
+            shard.map.insert(
+                head.0,
+                Resident {
+                    frame,
+                    size: self.cfg.block_size,
+                },
+            );
             // Mutated under the stripe lock only — see the eviction path.
             let len = &self.resident_len[shard_idx];
             len.store(len.load(Relaxed) + 1, Relaxed);
+            self.push_policy_event(
+                core,
+                PolicyEvent::Insert {
+                    block: head,
+                    map_count: 1,
+                },
+            );
+            break FaultKind::Major;
+        };
+        self.maybe_flush(core);
+        let spent = clock.now() - t0;
+        owner_add(&st.fault_cycles, spent);
+        if R::ENABLED {
+            let resolution = match kind {
+                FaultKind::Major => 0,
+                FaultKind::MinorCopy => 1,
+                FaultKind::Spurious => 2,
+            };
+            self.tracer
+                .record(core.0, clock.now(), EventKind::FaultEnd, resolution, spent);
+        }
+        kind
+    }
+
+    /// Pressure controller: the mapping granularity for the next fresh
+    /// region, from the buddy pool's free ratio. Plenty of headroom →
+    /// 2 MB mappings (fewest faults, fewest PTEs); moderate pressure →
+    /// 64 kB; a nearly full pool → 4 kB so eviction displaces the least
+    /// data. Thresholds are in 1/256ths of the pool.
+    fn adaptive_target(&self) -> PageSize {
+        let b = self.buddy();
+        let ratio = b.free_pages() * 256 / b.total_pages().max(1);
+        if ratio >= 128 {
+            PageSize::M2
+        } else if ratio >= 32 {
+            PageSize::K64
+        } else {
+            PageSize::K4
+        }
+    }
+
+    /// The resident entry covering `page` at any granularity, with its
+    /// head. Caller holds the stripe lock of `page`'s 2 MB region (all
+    /// candidate heads share it — adaptive stripes hash the region head).
+    fn covering_entry(shard: &ResidentShard, page: VirtPage) -> Option<(VirtPage, Resident)> {
+        PageSize::ALL.iter().find_map(|&s| {
+            let head = page.align_down(s);
+            shard
+                .map
+                .get(&head.0)
+                .filter(|ent| ent.size == s)
+                .map(|&ent| (head, ent))
+        })
+    }
+
+    /// Adaptive-mode allocation: a `size` block from the buddy pool,
+    /// evicting (or splitting oversized victims) while it is dry or too
+    /// fragmented. Mirrors [`Vmm::alloc_frame`], without the direct
+    /// frame handoff — buddy coalescing decides what the freed pages can
+    /// satisfy.
+    fn alloc_block_adaptive(&self, requester: CoreId, size: PageSize) -> PhysFrame {
+        let mut dry_spins = 0u32;
+        loop {
+            if let Some(frame) = self.buddy().alloc(size) {
+                return frame;
+            }
+            if self.try_evict_one_adaptive(requester, size) {
+                continue;
+            }
+            dry_spins += 1;
+            assert!(
+                dry_spins < ALLOC_RETRY_LIMIT,
+                "device RAM exhausted but policy tracks no blocks"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    /// Evicts one victim (or splits an oversized one and retries) to
+    /// make progress toward a free block of `want` pages. Returns `false`
+    /// when the policy has nothing to offer.
+    ///
+    /// This is where page-size adaptation meets CMCP: when the policy
+    /// picks a victim *larger* than the granularity pressure currently
+    /// wants, the victim is split in place — a radix-node rewrite, no
+    /// shootdown, no DMA — and its children re-enter the policy with the
+    /// parent's map count. Only blocks already at (or below) the wanted
+    /// size are actually evicted, so high pressure sheds small amounts
+    /// of data at a time.
+    fn try_evict_one_adaptive(&self, requester: CoreId, want: PageSize) -> bool {
+        let mut policy = self.policy.lock();
+        // The victim decision must see every insert that already
+        // happened, so the buffers flush first.
+        self.flush_locked(&mut policy);
+        let clock = &self.clocks[requester.index()];
+        loop {
+            let mut oracle = KernelOracle {
+                vmm: self,
+                requester: Some(requester),
+            };
+            let Some(victim) = policy.select_victim(&mut oracle) else {
+                return false;
+            };
+            if R::ENABLED {
+                let count = with_scheme!(self, s => s.mapping_cores(victim)).count() as u64;
+                let group = policy.victim_group(victim) as u64;
+                self.tracer.record(
+                    requester.0,
+                    clock.now(),
+                    EventKind::VictimSelect,
+                    victim.0,
+                    (count << 8) | group,
+                );
+            }
+            let m2 = victim.align_down(PageSize::M2);
+            let shard_idx = self.resident_shard_of(m2);
+            let mut shard = self.lock_resident_shard(requester, shard_idx);
+            let ent = shard
+                .map
+                .get(&victim.0)
+                .copied()
+                .expect("victim tracked in resident map");
+            if ent.size > want {
+                // Split instead of evicting: the policy re-decides over
+                // the children, each inheriting the parent's map count
+                // (the CMCP signal survives the granularity change).
+                let mc = with_scheme!(self, s => s.mapping_cores(victim)).count();
+                let child = with_scheme!(self, s => s.split_block(victim, ent.size))
+                    .unwrap_or_else(|| {
+                        // Resident but unmapped everywhere (post-rebuild):
+                        // nothing to rewrite in the tables, the residency
+                        // metadata still splits.
+                        ent.size.split_child().expect("split of a >4 kB block")
+                    });
+                let cspan = child.pages_4k() as u64;
+                let children = ent.size.pages_4k() / child.pages_4k();
+                shard.map.remove(&victim.0);
+                let owed = shard.pending_dirty.remove(&victim.0);
+                for k in 0..children as u64 {
+                    let chead = VirtPage(victim.0 + k * cspan);
+                    shard.map.insert(
+                        chead.0,
+                        Resident {
+                            frame: ent.frame.add((k * cspan) as u32),
+                            size: child,
+                        },
+                    );
+                    if owed {
+                        // The parent's write-back debt covers every byte;
+                        // each child now owes its share.
+                        shard.pending_dirty.insert(chead.0);
+                    }
+                }
+                let len = &self.resident_len[shard_idx];
+                len.store(len.load(Relaxed) + children - 1, Relaxed);
+                let r = shard.regions.entry(m2.0).or_insert((ent.size, 1));
+                r.0 = child;
+                r.1 += children as u32 - 1;
+                drop(shard);
+                // One PTE rewrite per new head (the radix rewrite touched
+                // every sub-entry, but those writes displace the unmap +
+                // remap a whole-block eviction would have cost).
+                clock.advance(self.cfg.cost.pte_update * children as u64);
+                self.global.block_splits.fetch_add(1, Relaxed);
+                // Under the held policy lock (buffers already flushed):
+                // the parent leaves, the children enter with its count.
+                policy.on_evict(victim);
+                for k in 0..children as u64 {
+                    policy.on_insert(VirtPage(victim.0 + k * cspan), mc);
+                }
+                continue;
+            }
+            // Victim is at (or below) the wanted granularity: evict it.
+            shard.map.remove(&victim.0);
+            let len = &self.resident_len[shard_idx];
+            len.store(len.load(Relaxed) - 1, Relaxed);
+            let region_empty = if let Some(r) = shard.regions.get_mut(&m2.0) {
+                r.1 -= 1;
+                r.1 == 0
+            } else {
+                false
+            };
+            if region_empty {
+                // The next fault in this region re-consults the pressure
+                // controller from scratch.
+                shard.regions.remove(&m2.0);
+            }
+            let mut dirty =
+                !shard.pending_dirty.is_empty() && shard.pending_dirty.remove(&victim.0);
+            let out = with_scheme!(self, s => s.unmap_all(victim, ent.size));
+            let mut map_count = 0u32;
+            if let Some(out) = &out {
+                clock.advance(self.cfg.cost.pte_update * out.ptes_removed as u64);
+                self.shootdown(
+                    Some(requester),
+                    victim,
+                    ent.size.pages_4k() as u32,
+                    &out.mappers,
+                );
+                dirty |= out.dirty;
+                map_count = out.mappers.count() as u32;
+            }
+            if dirty {
+                let rank = self.cfg.tiers().demotion_rank(map_count);
+                self.write_back(requester, victim, ent.size.pages_4k() as u64, rank);
+            }
+            drop(shard);
+            self.buddy().free(ent.frame, ent.size);
+            policy.on_evict(victim);
+            self.global.evictions.fetch_add(1, Relaxed);
+            return true;
+        }
+    }
+
+    /// Adaptive-mode fault handler: like [`Vmm::handle_fault`], but the
+    /// mapping granularity is chosen per 2 MB region by the pressure
+    /// controller instead of fixed by the configuration, and device RAM
+    /// comes from the buddy pool.
+    fn handle_fault_adaptive(&self, core: CoreId, page: VirtPage) -> FaultKind {
+        let m2 = page.align_down(PageSize::M2);
+        let clock = &self.clocks[core.index()];
+        let st = &self.core_stats[core.index()];
+        owner_add(&st.page_faults, 1);
+        let t0 = clock.now();
+        if R::ENABLED {
+            self.tracer
+                .record(core.0, t0, EventKind::FaultStart, page.0, 0);
+        }
+        clock.advance(self.cfg.cost.fault_base);
+
+        // Page-table lock, keyed by the region head so every granularity
+        // of the same region serializes on one virtual resource.
+        let (lock, hold) = self.lock_for(m2);
+        let t_req = clock.now();
+        let res = lock.acquire_bounded(t_req, hold, 4 * self.cfg.cores as u64 * hold);
+        if res.queue_delay > 0 {
+            owner_add(&st.lock_wait_cycles, res.queue_delay);
+        }
+        clock.advance_to(res.end);
+        if R::ENABLED {
+            self.tracer
+                .record(core.0, t_req, EventKind::LockAcquire, res.queue_delay, hold);
+            self.tracer
+                .record(core.0, res.end, EventKind::LockRelease, m2.0, 0);
+        }
+
+        let shard_idx = self.resident_shard_of(m2);
+        let kind = 'fault: loop {
+            let mut shard = self.lock_resident_shard(core, shard_idx);
+            if let Some((head, ent)) = Self::covering_entry(&shard, page) {
+                // Resident at some granularity: PSPT minor fault.
+                match with_scheme!(self, s => s.map(core, head, ent.frame, ent.size, true)) {
+                    Ok(MapOutcome::Copied { probes, map_count }) => {
+                        clock.advance(
+                            self.cfg.cost.pspt_probe * probes as u64
+                                + self.cfg.cost.pte_update * Self::subentries_of(ent.size),
+                        );
+                        self.push_policy_event(
+                            core,
+                            PolicyEvent::MapCount {
+                                block: head,
+                                map_count,
+                            },
+                        );
+                        break FaultKind::MinorCopy;
+                    }
+                    Ok(MapOutcome::Fresh) => {
+                        clock.advance(self.cfg.cost.pte_update * Self::subentries_of(ent.size));
+                        self.push_policy_event(
+                            core,
+                            PolicyEvent::MapCount {
+                                block: head,
+                                map_count: 1,
+                            },
+                        );
+                        break FaultKind::MinorCopy;
+                    }
+                    Err(_) => break FaultKind::Spurious,
+                }
+            }
+            // Not resident: pick the region's granularity (the pressure
+            // controller decides for a fresh region) and allocate with
+            // the stripe released.
+            let size = shard
+                .regions
+                .get(&m2.0)
+                .map(|r| r.0)
+                .unwrap_or_else(|| self.adaptive_target());
+            let head = page.align_down(size);
+            drop(shard);
+            let mut frame = self.alloc_block_adaptive(core, size);
+            shard = self.lock_resident_shard(core, shard_idx);
+            // Re-check both races: the block may have been faulted in by
+            // another core, and the region's granularity may have been
+            // lowered by a split while the stripe was unlocked.
+            if Self::covering_entry(&shard, page).is_some()
+                || shard.regions.get(&m2.0).map(|r| r.0).unwrap_or(size) != size
+            {
+                drop(shard);
+                self.buddy().free(frame, size);
+                continue 'fault;
+            }
+            if let Some(tin) = self.backing.load(head, size.pages_4k() as u64) {
+                let inj = self.injector.as_ref();
+                let mut attempt = 0u32;
+                loop {
+                    let c = self.dma.transfer_checked_tiered(
+                        clock.now(),
+                        size.bytes(),
+                        DmaDirection::HostToDevice,
+                        inj,
+                        &self.tracer,
+                        core.0,
+                        tin.tier,
+                    );
+                    let wait = c.reservation.end.saturating_sub(clock.now());
+                    clock.advance(wait);
+                    owner_add(&st.dma_wait_cycles, wait);
+                    if R::ENABLED {
+                        self.tracer.record(
+                            core.0,
+                            clock.now(),
+                            EventKind::DmaComplete,
+                            wait,
+                            DmaDirection::HostToDevice.code(),
+                        );
+                    }
+                    if c.spike_cycles > 0 {
+                        self.global.latency_spikes.fetch_add(1, Relaxed);
+                        self.note_injected(core, FaultSite::DmaLatency, attempt as u64);
+                    }
+                    if !c.failed {
+                        break;
+                    }
+                    self.global.dma_errors.fetch_add(1, Relaxed);
+                    self.note_injected(core, FaultSite::DmaIn, attempt as u64);
+                    self.charge_backoff(core, attempt, FaultSite::DmaIn);
+                    attempt += 1;
+                    assert!(
+                        attempt < MAX_RECOVERY_ATTEMPTS,
+                        "{MAX_RECOVERY_ATTEMPTS} consecutive page-in DMA errors on {head}"
+                    );
+                    if self.buddy().usable_pages() > (self.cfg.cores * size.pages_4k()) as u64 {
+                        // Quarantine the poisoned block and retry into a
+                        // fresh one (see the fixed-size path).
+                        drop(shard);
+                        self.buddy().quarantine(frame, size);
+                        owner_add(&st.quarantines, 1);
+                        self.global.quarantined_frames.fetch_add(1, Relaxed);
+                        if R::ENABLED {
+                            self.tracer.record(
+                                core.0,
+                                clock.now(),
+                                EventKind::Quarantine,
+                                frame.0 as u64,
+                                head.0,
+                            );
+                        }
+                        frame = self.alloc_block_adaptive(core, size);
+                        shard = self.lock_resident_shard(core, shard_idx);
+                        if Self::covering_entry(&shard, page).is_some()
+                            || shard.regions.get(&m2.0).map(|r| r.0).unwrap_or(size) != size
+                        {
+                            drop(shard);
+                            self.buddy().free(frame, size);
+                            continue 'fault;
+                        }
+                    }
+                }
+                self.charge_tier_penalty(core, tin.tier, size.bytes());
+                if tin.promoted > 0 {
+                    self.global.tier_promotions.fetch_add(tin.promoted, Relaxed);
+                }
+                self.global.refaults.fetch_add(1, Relaxed);
+            }
+            with_scheme!(self, s => s.map(core, head, frame, size, true))
+                .expect("fresh block maps cleanly");
+            clock.advance(self.cfg.cost.pte_update * Self::subentries_of(size));
+            shard.map.insert(head.0, Resident { frame, size });
+            let len = &self.resident_len[shard_idx];
+            len.store(len.load(Relaxed) + 1, Relaxed);
+            shard.regions.entry(m2.0).or_insert((size, 0)).1 += 1;
             self.push_policy_event(
                 core,
                 PolicyEvent::Insert {
@@ -1144,8 +1715,23 @@ struct KernelOracle<'a, R: Recorder> {
 
 impl<R: Recorder> AccessBitOracle for KernelOracle<'_, R> {
     fn test_and_clear(&mut self, block: VirtPage) -> bool {
-        let scan =
-            with_scheme!(self.vmm, s => s.test_and_clear_accessed(block, self.vmm.cfg.block_size));
+        // Adaptive mode: the policy tracks mixed-size blocks, so look up
+        // the victim candidate's actual granularity. Safe to take the
+        // stripe here — the oracle is only consulted with no stripe lock
+        // held (victim selection precedes the stripe acquisition, and
+        // the scan timer holds none).
+        let size = if self.vmm.cfg.adaptive {
+            let m2 = block.align_down(PageSize::M2);
+            let shard = self.vmm.resident[self.vmm.resident_shard_of(m2)].lock();
+            shard
+                .map
+                .get(&block.0)
+                .map(|ent| ent.size)
+                .unwrap_or(self.vmm.cfg.block_size)
+        } else {
+            self.vmm.cfg.block_size
+        };
+        let scan = with_scheme!(self.vmm, s => s.test_and_clear_accessed(block, size));
         self.vmm
             .global
             .scan_ptes
@@ -1174,7 +1760,12 @@ impl<R: Recorder> AccessBitOracle for KernelOracle<'_, R> {
         if scan.accessed && !scan.invalidate.is_empty() {
             // x86 requirement: a cleared accessed bit forces the cached
             // translation out of every affected TLB (paper §3).
-            self.vmm.shootdown(self.requester, block, &scan.invalidate);
+            self.vmm.shootdown(
+                self.requester,
+                block,
+                size.pages_4k() as u32,
+                &scan.invalidate,
+            );
         }
         scan.accessed
     }
@@ -1275,7 +1866,7 @@ mod tests {
         // Their mailboxes hold the invalidation.
         let mut out = Vec::new();
         v.drain_invalidations(CoreId(0), &mut out);
-        assert_eq!(out, vec![VirtPage(0)]);
+        assert_eq!(out, vec![(VirtPage(0), 1)]);
     }
 
     #[test]
@@ -1394,7 +1985,7 @@ mod tests {
 
     impl Vmm {
         fn pool_free(&self) -> usize {
-            self.pool.free_blocks()
+            self.pool().free_blocks()
         }
     }
 }

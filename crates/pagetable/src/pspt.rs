@@ -191,6 +191,35 @@ impl TableScheme for Pspt {
             .unwrap_or_else(CoreSet::empty)
     }
 
+    fn split_block(&self, head: VirtPage, size: PageSize) -> Option<PageSize> {
+        let child = size.split_child()?;
+        // Take the block out of the directory first (shard lock held so
+        // no map/unmap of the whole block interleaves), rewrite every
+        // mapper's table, then register the children under the same
+        // core set — their heads may hash to different shards, which is
+        // fine: the engine serializes split against child operations.
+        let mappers = {
+            let mut dir = self.shard(head).lock();
+            let set = *dir.get(&head.0)?;
+            if set.is_empty() {
+                return None;
+            }
+            dir.remove(&head.0);
+            set
+        };
+        for core in mappers.iter() {
+            let done = self.tables[core.index()].write().split(head, size);
+            debug_assert!(done, "directory said {core} maps {head} but split failed");
+        }
+        let step = child.pages_4k() as u64;
+        let children = size.pages_4k() / child.pages_4k();
+        for k in 0..children as u64 {
+            let ch = head.add(k * step);
+            self.shard(ch).lock().insert(ch.0, mappers);
+        }
+        Some(child)
+    }
+
     fn test_and_clear_accessed(&self, head: VirtPage, size: PageSize) -> ScanOutcome {
         let mappers = self.mapping_cores(head);
         let mut any = false;

@@ -95,6 +95,15 @@ impl TableScheme for RegularTables {
         self.cores
     }
 
+    fn split_block(&self, head: VirtPage, size: PageSize) -> Option<PageSize> {
+        let child = size.split_child()?;
+        if self.table.write().split(head, size) {
+            Some(child)
+        } else {
+            None
+        }
+    }
+
     fn test_and_clear_accessed(&self, head: VirtPage, size: PageSize) -> ScanOutcome {
         let (accessed, examined) = self.table.write().test_and_clear_accessed_block(head, size);
         ScanOutcome {

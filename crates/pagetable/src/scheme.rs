@@ -132,6 +132,15 @@ pub trait TableScheme: Send + Sync {
     /// mapping set — *and its size is CMCP's priority signal*.
     fn mapping_cores(&self, head: VirtPage) -> CoreSet;
 
+    /// Splits the `size` block at `head` into blocks of the next
+    /// smaller granularity in every table that maps it, preserving
+    /// translations, frames and attribute bits (adaptive page-size
+    /// mode: an oversized victim is split under pressure instead of
+    /// evicted whole — a radix-node rewrite, so no TLB shootdown is
+    /// required because no translation changes). Returns the child size,
+    /// or `None` when the block is unmapped or already 4 kB.
+    fn split_block(&self, head: VirtPage, size: PageSize) -> Option<PageSize>;
+
     /// OS statistics pass: read-and-clear accessed bits over the block.
     fn test_and_clear_accessed(&self, head: VirtPage, size: PageSize) -> ScanOutcome;
 

@@ -477,6 +477,184 @@ impl PageTable {
         }
     }
 
+    /// Splits the mapping block of `size` covering `vpage` into blocks
+    /// of the next smaller granularity, in place: translations, frames,
+    /// writability and the head map count are preserved, only the
+    /// mapping *unit* shrinks. Returns whether a block was split.
+    ///
+    /// * 2 MB → 32 × 64 kB: the PD leaf is rewritten as a dense PT of
+    ///   hint-bit runs (one radix-node rewrite, no tree restructuring
+    ///   above it). The leaf's accessed/dirty bits — which hardware kept
+    ///   block-wide — are propagated to every child's head sub-entry,
+    ///   the conservative sound choice (a dirty 2 MB page must not
+    ///   become 32 clean 64 kB pages).
+    /// * 64 kB → 16 × 4 kB: the sixteen sub-entries drop their hint bit
+    ///   and each becomes an independent head carrying the map count;
+    ///   per-sub-entry accessed/dirty bits are already exact.
+    pub fn split(&mut self, vpage: VirtPage, size: PageSize) -> bool {
+        let head = vpage.align_down(size);
+        match size {
+            PageSize::K4 => false,
+            PageSize::M2 => {
+                let Some((di, i2)) = self.pd_slot(head.0, false) else {
+                    return false;
+                };
+                let h = self.dirs[di][i2];
+                if tag_of(h) != TAG_2M {
+                    return false;
+                }
+                let mi = index_of(h);
+                let big = self.leaf2m[mi];
+                self.leaf2m[mi] = Pte::EMPTY;
+                self.free_2m.push(mi as u32);
+                let base = big
+                    .flags()
+                    .difference(PteFlags::LARGE | PteFlags::ACCESSED | PteFlags::DIRTY)
+                    | PteFlags::HINT_64K;
+                let mut attrs = PteFlags::empty();
+                if big.accessed() {
+                    attrs = attrs | PteFlags::ACCESSED;
+                }
+                if big.dirty() {
+                    attrs = attrs | PteFlags::DIRTY;
+                }
+                let li = self.alloc_pt();
+                let sub = PageSize::K64.pages_4k();
+                let pt = &mut self.leaves[li];
+                for k in 0..FANOUT {
+                    let flags = if k % sub == 0 { base | attrs } else { base };
+                    let mut pte = Pte::new(big.frame().add(k as u32), flags);
+                    if k % sub == 0 {
+                        pte.set_map_count(big.map_count());
+                    }
+                    pt.ptes[k] = pte;
+                }
+                pt.live = FANOUT as u32;
+                self.dirs[di][i2] = handle(TAG_PT, li);
+                true
+            }
+            PageSize::K64 => {
+                let Some(li) = self.pt_for(head.0, false) else {
+                    return false;
+                };
+                let pt = &mut self.leaves[li];
+                let base = (head.0 & 0x1ff) as usize;
+                let n = size.pages_4k();
+                if pt.ptes[base..base + n]
+                    .iter()
+                    .any(|p| !p.present() || !p.hint_64k())
+                {
+                    return false;
+                }
+                let count = pt.ptes[base].map_count();
+                for slot in &mut pt.ptes[base..base + n] {
+                    slot.clear_hint_64k();
+                    slot.set_map_count(count);
+                }
+                true
+            }
+        }
+    }
+
+    /// Merges the aligned children covering `vpage` back into one block
+    /// of `target` size — the inverse of [`PageTable::split`], possible
+    /// only when every child is present at the child granularity, the
+    /// frames form one naturally aligned contiguous run, and writability
+    /// agrees. Accessed/dirty/quarantine bits are OR-aggregated (a dirty
+    /// child makes the merged block dirty); the head child's map count
+    /// is kept. Returns whether the merge happened.
+    pub fn merge(&mut self, vpage: VirtPage, target: PageSize) -> bool {
+        let head = vpage.align_down(target);
+        match target {
+            PageSize::K4 => false,
+            PageSize::K64 => {
+                let Some(li) = self.pt_for(head.0, false) else {
+                    return false;
+                };
+                let pt = &mut self.leaves[li];
+                let base = (head.0 & 0x1ff) as usize;
+                let n = target.pages_4k();
+                let slots = &pt.ptes[base..base + n];
+                let f0 = slots[0].frame();
+                let ok = f0.0.is_multiple_of(n as u32)
+                    && slots.iter().enumerate().all(|(k, p)| {
+                        p.present()
+                            && !p.hint_64k()
+                            && p.frame() == f0.add(k as u32)
+                            && p.writable() == slots[0].writable()
+                    });
+                if !ok {
+                    return false;
+                }
+                let count = slots[0].map_count();
+                for (k, slot) in pt.ptes[base..base + n].iter_mut().enumerate() {
+                    slot.set_hint_64k();
+                    slot.set_map_count(if k == 0 { count } else { 0 });
+                }
+                true
+            }
+            PageSize::M2 => {
+                let Some((di, i2)) = self.pd_slot(head.0, false) else {
+                    return false;
+                };
+                let h = self.dirs[di][i2];
+                if tag_of(h) != TAG_PT {
+                    return false;
+                }
+                let li = index_of(h);
+                let pt = &self.leaves[li];
+                if pt.live != FANOUT as u32 {
+                    return false;
+                }
+                let f0 = pt.ptes[0].frame();
+                let ok = f0.0.is_multiple_of(FANOUT as u32)
+                    && pt.ptes.iter().enumerate().all(|(k, p)| {
+                        p.present()
+                            && p.hint_64k()
+                            && p.frame() == f0.add(k as u32)
+                            && p.writable() == pt.ptes[0].writable()
+                    });
+                if !ok {
+                    return false;
+                }
+                let mut flags = pt.ptes[0]
+                    .flags()
+                    .difference(PteFlags::HINT_64K | PteFlags::ACCESSED | PteFlags::DIRTY)
+                    | PteFlags::LARGE;
+                for p in &pt.ptes {
+                    if p.accessed() {
+                        flags = flags | PteFlags::ACCESSED;
+                    }
+                    if p.dirty() {
+                        flags = flags | PteFlags::DIRTY;
+                    }
+                    if p.quarantined() {
+                        flags = flags | PteFlags::QUARANTINE;
+                    }
+                }
+                let count = pt.ptes[0].map_count();
+                let pt = &mut self.leaves[li];
+                pt.ptes = [Pte::EMPTY; FANOUT];
+                pt.live = 0;
+                self.free_pt.push(li as u32);
+                let mut pte = Pte::new(f0, flags);
+                pte.set_map_count(count);
+                let mi = match self.free_2m.pop() {
+                    Some(i) => {
+                        self.leaf2m[i as usize] = pte;
+                        i as usize
+                    }
+                    None => {
+                        self.leaf2m.push(pte);
+                        self.leaf2m.len() - 1
+                    }
+                };
+                self.dirs[di][i2] = handle(TAG_2M, mi);
+                true
+            }
+        }
+    }
+
     /// Unmaps the block of `size` at `vpage` (head-aligned). Returns the
     /// head PTE with accessed/dirty OR-ed across all sub-entries, or
     /// `None` if nothing was mapped.
@@ -828,6 +1006,120 @@ mod tests {
             t.unmap(VirtPage(0x200), PageSize::M2).unwrap();
         }
         assert_eq!(t.mapped_pages_4k(), 0);
+    }
+
+    #[test]
+    fn split_2m_preserves_translations_and_marks_children_dirty() {
+        let mut t = table();
+        t.map_counted(
+            VirtPage(0x200),
+            PhysFrame(0x200),
+            PageSize::M2,
+            PteFlags::WRITABLE,
+            3,
+        )
+        .unwrap();
+        t.mark_accessed(VirtPage(0x233), true);
+        assert!(t.split(VirtPage(0x233), PageSize::M2));
+        // Every 4 kB page still translates to the same frame, now via
+        // 64 kB hint runs.
+        for k in [0u64, 0x10, 0xff, 0x1ff] {
+            let tr = t.translate(VirtPage(0x200 + k)).unwrap();
+            assert_eq!(tr.frame, PhysFrame(0x200 + k as u32));
+            assert_eq!(tr.size, PageSize::K64);
+            assert!(tr.writable);
+        }
+        assert_eq!(t.mapped_pages_4k(), 512);
+        // The block-wide dirty bit became per-child dirty: every child
+        // must report dirty (conservative), and map counts carried over.
+        for k in 0..32u64 {
+            let head = VirtPage(0x200 + k * 16);
+            assert!(t.block_dirty(head, PageSize::K64), "child {k}");
+            assert_eq!(
+                t.with_pte(head, |p| p.map_count()).unwrap(),
+                3,
+                "child {k} head map count"
+            );
+        }
+    }
+
+    #[test]
+    fn split_64k_unhints_subentries() {
+        let mut t = table();
+        t.map_counted(
+            VirtPage(0x40),
+            PhysFrame(0x40),
+            PageSize::K64,
+            PteFlags::WRITABLE,
+            2,
+        )
+        .unwrap();
+        t.mark_accessed(VirtPage(0x45), true);
+        assert!(t.split(VirtPage(0x4f), PageSize::K64));
+        for k in 0..16u64 {
+            let tr = t.translate(VirtPage(0x40 + k)).unwrap();
+            assert_eq!(tr.size, PageSize::K4, "sub {k}");
+            assert_eq!(tr.frame, PhysFrame(0x40 + k as u32));
+            assert_eq!(
+                t.with_pte(VirtPage(0x40 + k), |p| p.map_count()).unwrap(),
+                2
+            );
+        }
+        // The sub-entry that was dirty stays dirty, its siblings clean.
+        assert!(t.block_dirty(VirtPage(0x45), PageSize::K4));
+        assert!(!t.block_dirty(VirtPage(0x46), PageSize::K4));
+    }
+
+    #[test]
+    fn split_of_unmapped_or_4k_is_refused() {
+        let mut t = table();
+        assert!(!t.split(VirtPage(0x200), PageSize::M2));
+        t.map(VirtPage(0), PhysFrame(0), PageSize::K4, PteFlags::empty())
+            .unwrap();
+        assert!(!t.split(VirtPage(0), PageSize::K4));
+    }
+
+    #[test]
+    fn merge_is_the_inverse_of_split() {
+        let mut t = table();
+        t.map_counted(
+            VirtPage(0x200),
+            PhysFrame(0x400),
+            PageSize::M2,
+            PteFlags::WRITABLE,
+            5,
+        )
+        .unwrap();
+        t.mark_accessed(VirtPage(0x2aa), true);
+        assert!(t.split(VirtPage(0x200), PageSize::M2));
+        assert!(t.merge(VirtPage(0x200), PageSize::M2));
+        let tr = t.translate(VirtPage(0x2aa)).unwrap();
+        assert_eq!(tr.size, PageSize::M2);
+        assert_eq!(tr.frame, PhysFrame(0x400 + 0xaa));
+        assert!(
+            t.block_dirty(VirtPage(0x200), PageSize::M2),
+            "dirty survives"
+        );
+        assert_eq!(t.with_pte(VirtPage(0x200), |p| p.map_count()).unwrap(), 5);
+        assert_eq!(t.mapped_pages_4k(), 512);
+    }
+
+    #[test]
+    fn merge_refuses_discontiguous_frames() {
+        let mut t = table();
+        // Two 4 kB pages with non-adjacent frames cannot form a 64 kB run.
+        for k in 0..16u64 {
+            let frame = if k == 7 { 0x999 } else { 0x40 + k as u32 };
+            t.map(
+                VirtPage(0x40 + k),
+                PhysFrame(frame),
+                PageSize::K4,
+                PteFlags::empty(),
+            )
+            .unwrap();
+        }
+        assert!(!t.merge(VirtPage(0x40), PageSize::K64));
+        assert_eq!(t.translate(VirtPage(0x47)).unwrap().frame, PhysFrame(0x999));
     }
 
     #[test]

@@ -522,12 +522,19 @@ pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) ->
 
 pub(crate) fn config_label<R: Recorder>(vmm: &Vmm<R>) -> String {
     let cfg = vmm.config();
-    format!(
+    let mut label = format!(
         "{} + {} @ {}",
         cfg.scheme,
         cfg.policy.label(),
         cfg.block_size
-    )
+    );
+    if cfg.adaptive {
+        label.push_str(" (adaptive)");
+    }
+    if !cfg.tiers().is_flat() {
+        label.push_str(&format!(" [{} tiers]", cfg.tiers().tiers.len()));
+    }
+    label
 }
 
 #[cfg(test)]

@@ -26,5 +26,5 @@ pub mod runner;
 pub mod trace;
 
 pub use engine::{run, run_deterministic, run_parallel};
-pub use report::RunReport;
+pub use report::{RunReport, TierReport};
 pub use trace::{CoreTrace, Op, Trace};

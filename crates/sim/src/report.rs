@@ -1,10 +1,20 @@
 //! The merged run report: everything the experiment harness prints.
 
 use cmcp_arch::{Cycles, TlbStats};
-use cmcp_kernel::{CoreStatsSnapshot, GlobalStatsSnapshot, Vmm};
+use cmcp_kernel::{CoreStatsSnapshot, GlobalStatsSnapshot, TierCounters, Vmm};
 use cmcp_trace::{Breakdown, CoreTotals, Recorder};
 
 use crate::runner::CoreRunner;
+
+/// Per-tier backing-store roll-up: one row per configured tier, in
+/// hierarchy order (fastest first).
+#[derive(Debug, Clone, Default)]
+pub struct TierReport {
+    /// Tier names from the hierarchy spec.
+    pub names: Vec<String>,
+    /// Occupancy and traffic counters, parallel to `names`.
+    pub counters: Vec<TierCounters>,
+}
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +45,8 @@ pub struct RunReport {
     /// traced. Validated against the kernel counters unless events were
     /// dropped (ring wraparound).
     pub breakdown: Option<Breakdown>,
+    /// Per-tier backing counters; `None` for the flat single-tier store.
+    pub tiers: Option<TierReport>,
 }
 
 impl RunReport {
@@ -70,6 +82,7 @@ impl RunReport {
                     page_faults: c.page_faults,
                     fault_cycles: c.fault_cycles,
                     dma_wait_cycles: c.dma_wait_cycles,
+                    tier_penalty_cycles: c.tier_penalty_cycles,
                     shootdown_cycles: c.shootdown_cycles,
                     lock_wait_cycles: c.lock_wait_cycles,
                     shard_lock_acquires: c.shard_lock_acquires,
@@ -98,6 +111,16 @@ impl RunReport {
             dma_bytes: (vmm.dma().bytes_in(), vmm.dma().bytes_out()),
             sharing_histogram: vmm.sharing_histogram(),
             breakdown,
+            tiers: vmm.tier_counters().map(|counters| TierReport {
+                names: vmm
+                    .config()
+                    .tiers()
+                    .tiers
+                    .iter()
+                    .map(|t| t.name.clone())
+                    .collect(),
+                counters,
+            }),
             per_core,
         }
     }

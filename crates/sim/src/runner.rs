@@ -11,7 +11,7 @@
 
 use std::collections::HashSet;
 
-use cmcp_arch::{CoreId, Cycles, Tlb, TlbLookup, VirtPage};
+use cmcp_arch::{CoreId, Cycles, PageSize, Tlb, TlbLookup, VirtPage};
 use cmcp_kernel::{Syscall, Vmm};
 use cmcp_trace::Recorder;
 
@@ -62,9 +62,13 @@ pub struct CoreRunner {
     pending: Option<PendingFault>,
     /// Blocks this core has already marked dirty (dedupes the PTE dirty
     /// write on TLB-hit stores; cleared when the block is invalidated).
+    /// Keyed by block head at a fixed block size, by exact 4 kB page in
+    /// adaptive mode (where the mapping granularity varies per region).
     written: HashSet<u64>,
-    inval_buf: Vec<VirtPage>,
-    block_span: u64,
+    inval_buf: Vec<(VirtPage, u32)>,
+    /// Adaptive page-size mode: translations come in mixed size classes,
+    /// so TLB probes search every class.
+    adaptive: bool,
 }
 
 impl CoreRunner {
@@ -78,7 +82,17 @@ impl CoreRunner {
             pending: None,
             written: HashSet::new(),
             inval_buf: Vec::new(),
-            block_span: vmm.config().block_size.pages_4k() as u64,
+            adaptive: vmm.config().adaptive,
+        }
+    }
+
+    /// The dirty-dedupe key for `page`: the enclosing block head at a
+    /// fixed block size, the page itself in adaptive mode.
+    fn dirty_key(&self, page: VirtPage, size: PageSize) -> u64 {
+        if self.adaptive {
+            page.0
+        } else {
+            page.align_down(size).0
         }
     }
 
@@ -99,11 +113,15 @@ impl CoreRunner {
         } else {
             0
         };
-        for head in self.inval_buf.drain(..) {
-            // Invalidate every TLB entry covering the block.
-            for k in 0..self.block_span {
+        for (head, span) in self.inval_buf.drain(..) {
+            // Invalidate every TLB entry covering the block — the span
+            // rides in the mailbox entry now that adaptive mode evicts
+            // mixed-granularity victims.
+            for k in 0..span as u64 {
+                let p = head.add(k);
                 self.tlb
-                    .invalidate_traced(head.add(k), vmm.tracer(), self.core.0, now);
+                    .invalidate_traced(p, vmm.tracer(), self.core.0, now);
+                self.written.remove(&p.0);
             }
             self.written.remove(&head.0);
         }
@@ -133,8 +151,8 @@ impl CoreRunner {
                 self.tlb.fill(pf.page, tr.size);
                 vmm.mark_accessed(self.core, pf.page, pf.write);
                 if pf.write {
-                    self.written
-                        .insert(pf.page.align_down(vmm.config().block_size).0);
+                    let key = self.dirty_key(pf.page, vmm.config().block_size);
+                    self.written.insert(key);
                 }
                 clock.advance(self.tlb.drain_cycles());
                 clock.settle();
@@ -168,13 +186,19 @@ impl CoreRunner {
         let clock = &vmm.clocks()[self.core.index()];
         clock.advance(work as u64 * cost.work_unit);
 
-        match self.tlb.access(page, size) {
+        let lookup = if self.adaptive {
+            // Mixed size classes online: probe them all, as hardware does.
+            self.tlb.access_any(page)
+        } else {
+            self.tlb.access(page, size)
+        };
+        match lookup {
             TlbLookup::L1 | TlbLookup::L2 => {
                 // First store through a cached clean translation sets the
                 // dirty bit in the PTE (hardware assist).
                 if write {
-                    let head = page.align_down(size);
-                    if self.written.insert(head.0) {
+                    let key = self.dirty_key(page, size);
+                    if self.written.insert(key) {
                         vmm.mark_accessed(self.core, page, true);
                     }
                 }
@@ -184,7 +208,7 @@ impl CoreRunner {
                     self.tlb.fill(page, tr.size);
                     vmm.mark_accessed(self.core, page, write);
                     if write {
-                        self.written.insert(page.align_down(size).0);
+                        self.written.insert(self.dirty_key(page, size));
                     }
                 }
                 None => {

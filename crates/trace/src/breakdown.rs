@@ -25,6 +25,8 @@ pub struct CoreTotals {
     pub fault_cycles: u64,
     /// Cycles stalled on DMA completions.
     pub dma_wait_cycles: u64,
+    /// Cycles charged as backing-tier latency/bandwidth penalties.
+    pub tier_penalty_cycles: u64,
     /// Cycles initiating TLB shootdowns.
     pub shootdown_cycles: u64,
     /// Cycles queued on the page-table lock.
@@ -58,6 +60,9 @@ pub struct CoreBreakdown {
     pub shootdown_cycles: u64,
     /// ... of which: stalled on DMA.
     pub dma_wait_cycles: u64,
+    /// ... of which: backing-tier latency/bandwidth penalties
+    /// (`TierPenalty` payload sum; zero on flat single-tier runs).
+    pub tier_penalty_cycles: u64,
     /// ... of which: scanning accessed bits for the policy.
     pub policy_scan_cycles: u64,
     /// ... of which: everything else (allocation, PTE updates, copies,
@@ -126,6 +131,7 @@ impl Breakdown {
                     row.ack_cycles += e.b;
                 }
                 EventKind::DmaComplete => row.dma_wait_cycles += e.a,
+                EventKind::TierPenalty => row.tier_penalty_cycles += e.a,
                 EventKind::PolicyScan => row.policy_scan_cycles += e.b,
                 EventKind::TlbInvalidate => row.tlb_invalidations += 1,
                 EventKind::BarrierArrive => row.barrier_wait_cycles += e.b,
@@ -147,6 +153,7 @@ impl Breakdown {
                 + row.lock_hold_cycles
                 + row.shootdown_cycles
                 + row.dma_wait_cycles
+                + row.tier_penalty_cycles
                 + row.policy_scan_cycles
                 + row.retry_backoff_cycles;
             row.other_cycles = row.fault_cycles.saturating_sub(components);
@@ -183,6 +190,11 @@ impl Breakdown {
                 ("lock_wait_cycles", row.lock_wait_cycles, t.lock_wait_cycles),
                 ("shootdown_cycles", row.shootdown_cycles, t.shootdown_cycles),
                 ("dma_wait_cycles", row.dma_wait_cycles, t.dma_wait_cycles),
+                (
+                    "tier_penalty_cycles",
+                    row.tier_penalty_cycles,
+                    t.tier_penalty_cycles,
+                ),
                 (
                     "shard_lock_acquires",
                     row.shard_lock_acquires,
@@ -379,6 +391,37 @@ mod tests {
             .validate(&wrong)
             .unwrap_err();
         assert!(err.contains("fault_retries"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn tier_penalties_are_a_fault_component() {
+        let events = [
+            e(0, EventKind::FaultStart, 7, 0),
+            e(0, EventKind::DmaComplete, 40, 1),
+            e(0, EventKind::TierPenalty, 25, 2), // 25 cycles against tier 2
+            e(0, EventKind::FaultEnd, 0, 100),
+        ];
+        let b = Breakdown::from_events(&events, 1, 0);
+        let row = &b.per_core[0];
+        assert_eq!(row.tier_penalty_cycles, 25);
+        assert_eq!(row.other_cycles, 100 - 40 - 25);
+        let totals = [CoreTotals {
+            page_faults: 1,
+            fault_cycles: 100,
+            dma_wait_cycles: 40,
+            tier_penalty_cycles: 25,
+            ..CoreTotals::default()
+        }];
+        assert!(b.validate_against(&totals).unwrap().validated);
+        // A penalty mismatch is caught.
+        let wrong = [CoreTotals {
+            tier_penalty_cycles: 24,
+            ..totals[0]
+        }];
+        let err = Breakdown::from_events(&events, 1, 0)
+            .validate(&wrong)
+            .unwrap_err();
+        assert!(err.contains("tier_penalty_cycles"), "unexpected: {err}");
     }
 
     #[test]

@@ -114,6 +114,11 @@ pub enum EventKind {
     /// error. `a` = frame head page, `b` = faulting block head page.
     /// Counted against `CoreStats.quarantines`; zero cycles.
     Quarantine = 16,
+    /// A backing-tier access charged its latency/bandwidth penalty on
+    /// top of the DMA link time. `a` = penalty cycles charged (the exact
+    /// `tier_penalty_cycles` increment), `b` = tier index. Never emitted
+    /// by flat single-tier runs (tier 0 is free there).
+    TierPenalty = 17,
 }
 
 impl EventKind {
@@ -137,6 +142,7 @@ impl EventKind {
             EventKind::FaultInjected => "fault_injected",
             EventKind::Retry => "retry",
             EventKind::Quarantine => "quarantine",
+            EventKind::TierPenalty => "tier_penalty",
         }
     }
 
@@ -159,6 +165,7 @@ impl EventKind {
             14 => EventKind::FaultInjected,
             15 => EventKind::Retry,
             16 => EventKind::Quarantine,
+            17 => EventKind::TierPenalty,
             _ => return None,
         })
     }

@@ -1,6 +1,6 @@
 //! The high-level simulation builder: one experiment, one call chain.
 
-use cmcp_arch::{CostModel, FaultPlan, PageSize};
+use cmcp_arch::{CostModel, FaultPlan, PageSize, TierConfig};
 use cmcp_core::PolicyKind;
 use cmcp_kernel::{KernelConfig, SchemeChoice, Vmm};
 use cmcp_sim::{RunReport, Trace};
@@ -31,6 +31,7 @@ pub struct SimulationBuilder {
     pspt_rebuild_period: u64,
     trace_capacity: usize,
     fault_plan: Option<FaultPlan>,
+    adaptive: bool,
 }
 
 /// A traced run: the usual report (with its validated breakdown) plus
@@ -85,6 +86,7 @@ impl SimulationBuilder {
             pspt_rebuild_period: 0,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             fault_plan: None,
+            adaptive: false,
         }
     }
 
@@ -112,6 +114,25 @@ impl SimulationBuilder {
     /// Mapping granularity (default: 4 kB).
     pub fn page_size(mut self, s: PageSize) -> Self {
         self.page_size = s;
+        self
+    }
+
+    /// Online pressure-adaptive page sizes: fresh 2 MB regions map at
+    /// the granularity the current memory pressure suggests (2 MB when
+    /// RAM is plentiful, down to 4 kB when it is nearly full), and
+    /// oversized eviction victims are split in place instead of evicted
+    /// whole. Overrides [`SimulationBuilder::page_size`].
+    pub fn adaptive_page_size(mut self) -> Self {
+        self.adaptive = true;
+        self.page_size = PageSize::M2;
+        self
+    }
+
+    /// Backing-store tier hierarchy (default: the flat zero-penalty host
+    /// store). See [`TierConfig::parse`] for the spec language and the
+    /// `"2tier"`/`"4tier"` presets.
+    pub fn tiers(mut self, t: TierConfig) -> Self {
+        self.cost.tiers = t;
         self
     }
 
@@ -198,6 +219,7 @@ impl SimulationBuilder {
             scan_budget: self.scan_budget,
             pspt_rebuild_period: self.pspt_rebuild_period,
             fault_plan: self.fault_plan.clone(),
+            adaptive: self.adaptive,
         };
         (trace, cfg)
     }

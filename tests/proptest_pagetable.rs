@@ -171,6 +171,76 @@ proptest! {
         }
     }
 
+    /// Split/merge is a lossless radix-node rewrite: splitting a block
+    /// down to 4 kB preserves every translation, frame, and the dirty
+    /// aggregate; merging back restores the original leaf exactly.
+    #[test]
+    fn split_to_4k_and_merge_back_round_trips(
+        slot in 0u64..32,
+        size in prop_oneof![Just(PageSize::K64), Just(PageSize::M2)],
+        write in any::<bool>(),
+        touch in 0u64..512,
+    ) {
+        let mut table = PageTable::new();
+        let head = VirtPage(slot * 512);
+        let span = size.pages_4k() as u64;
+        let frame = PhysFrame((slot as u32) * 512);
+        let flags = if write { PteFlags::WRITABLE } else { PteFlags::empty() };
+        table.map(head, frame, size, flags).unwrap();
+        table.mark_accessed(VirtPage(head.0 + touch % span), write);
+        let was_dirty = table.block_dirty(head, size);
+        prop_assert_eq!(was_dirty, write, "a write dirties the block");
+
+        // Split down to 4 kB, one granularity level at a time.
+        prop_assert!(table.split(head, size));
+        if size == PageSize::M2 {
+            for k in 0..32u64 {
+                prop_assert!(table.split(VirtPage(head.0 + k * 16), PageSize::K64));
+            }
+        }
+        for k in 0..span {
+            let tr = table.translate(VirtPage(head.0 + k)).expect("split keeps mappings");
+            prop_assert_eq!(tr.size, PageSize::K4, "fully split to base pages");
+            prop_assert_eq!(tr.frame.0, frame.0 + k as u32, "frames undisturbed");
+        }
+        prop_assert_eq!(table.mapped_pages_4k(), span as usize);
+
+        // Merge back up; every 16-run first, then the 2 MB leaf.
+        for k in 0..span / 16 {
+            prop_assert!(table.merge(VirtPage(head.0 + k * 16), PageSize::K64));
+        }
+        if size == PageSize::M2 {
+            prop_assert!(table.merge(head, PageSize::M2));
+        }
+        for k in [0, span / 2, span - 1] {
+            let tr = table.translate(VirtPage(head.0 + k)).expect("merged block maps");
+            prop_assert_eq!(tr.size, size, "original granularity restored");
+            prop_assert_eq!(tr.frame.0, frame.0 + k as u32);
+        }
+        prop_assert_eq!(
+            table.block_dirty(head, size), was_dirty,
+            "split/merge must not launder the dirty bit"
+        );
+        prop_assert_eq!(table.mapped_pages_4k(), span as usize);
+    }
+
+    /// Merge refuses torn runs: after one 4 kB child is unmapped, the
+    /// 64 kB merge fails and the survivors still translate.
+    #[test]
+    fn merge_refuses_partial_runs(slot in 0u64..32, victim in 0u64..16) {
+        let mut table = PageTable::new();
+        let head = VirtPage(slot * 512);
+        let frame = PhysFrame((slot as u32) * 512);
+        table.map(head, frame, PageSize::K64, PteFlags::WRITABLE).unwrap();
+        prop_assert!(table.split(head, PageSize::K64));
+        table.unmap(VirtPage(head.0 + victim), PageSize::K4).expect("child unmaps");
+        prop_assert!(!table.merge(head, PageSize::K64), "torn run must not merge");
+        for k in 0..16u64 {
+            let got = table.translate(VirtPage(head.0 + k));
+            prop_assert_eq!(got.is_some(), k != victim);
+        }
+    }
+
     /// Accessed/dirty aggregation: marking any 4 kB sub-page of a block
     /// makes the block-level queries see it, on the marking core only.
     #[test]

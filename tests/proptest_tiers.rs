@@ -1,0 +1,151 @@
+//! Property tests for the backing-tier subsystem: the `--tiers` spec
+//! grammar round-trips through `Display`, and random store/load action
+//! sequences against the span-based tiered store keep its resident set
+//! equal to a flat `BTreeMap` oracle — demotion cascades, promotions,
+//! and span trimming may move pages *between* tiers, but never create,
+//! drop, or duplicate one.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use cmcp::arch::VirtPage;
+use cmcp::kernel::TieredStore;
+use cmcp::{TierConfig, TierSpec};
+
+/// Name pool covering the grammar's whole alphabet class, including
+/// digits, `_`, `-`, and mixed case. Uniqueness comes from indexing.
+const NAMES: [&str; 8] = [
+    "hbm", "dram-0", "Nvm_far", "cxl2", "a", "B-b_8", "z9", "Tier-X",
+];
+
+/// Random *valid* hierarchies: 1–4 tiers, unique names, bounded inner
+/// tiers, unbounded last tier.
+fn tier_config_strategy() -> impl Strategy<Value = TierConfig> {
+    (
+        0usize..NAMES.len(),
+        prop::collection::vec((1u64..100_000, 0u64..1_000_000, 0u64..50_000), 1..5),
+    )
+        .prop_map(|(name0, specs)| {
+            let last = specs.len() - 1;
+            TierConfig {
+                tiers: specs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (cap, latency, bw))| TierSpec {
+                        // Rotating through the pool keeps names unique.
+                        name: NAMES[(name0 + i) % NAMES.len()].to_string(),
+                        capacity_pages: if i == last { 0 } else { cap },
+                        latency,
+                        bytes_per_kcycle: bw,
+                    })
+                    .collect(),
+            }
+        })
+}
+
+/// One action against the tiered store. Spans are in 4 kB pages over a
+/// small universe so overlapping stores (span trims), capacity cascades
+/// (demotions), and refault promotions all fire routinely.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// `try_store(head, pages, rank)` — a write-back demoted to `rank`.
+    Store { head: u64, pages: u64, rank: usize },
+    /// `load(head, pages)` — a refault probe, promoting on hit.
+    Load { head: u64, pages: u64 },
+}
+
+const UNIVERSE: u64 = 192;
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u64..UNIVERSE, 1u64..48, 0usize..4).prop_map(|(head, pages, rank)| Action::Store {
+            head,
+            pages: pages.min(UNIVERSE - head).max(1),
+            rank,
+        }),
+        (0u64..UNIVERSE, 1u64..48).prop_map(|(head, pages)| Action::Load {
+            head,
+            pages: pages.min(UNIVERSE - head).max(1),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Valid hierarchies round-trip `Display` → `parse` exactly, and
+    /// the round-tripped config validates.
+    #[test]
+    fn tier_spec_parse_display_round_trips(cfg in tier_config_strategy()) {
+        cfg.validate().expect("strategy builds valid configs");
+        let spec = cfg.to_string();
+        let back = TierConfig::parse(&spec)
+            .unwrap_or_else(|e| panic!("`{spec}` failed to re-parse: {e}"));
+        prop_assert_eq!(&back, &cfg);
+        prop_assert_eq!(back.to_string(), spec);
+    }
+
+    /// `parse` never panics on arbitrary input — it either yields a
+    /// config that validates and round-trips, or a diagnostic.
+    #[test]
+    fn tier_spec_parse_total(bytes in prop::collection::vec(0u8..128, 0..64)) {
+        let s: String = bytes.into_iter().map(char::from).collect();
+        if let Ok(cfg) = TierConfig::parse(&s) {
+            cfg.validate().expect("parse only returns validated configs");
+            prop_assert_eq!(TierConfig::parse(&cfg.to_string()).unwrap(), cfg);
+        }
+    }
+
+    /// Random store/load sequences: after every action the store's
+    /// resident set (probed page by page) equals the BTreeMap oracle,
+    /// the per-tier books survive the audit, and the books' page total
+    /// equals the oracle's cardinality. Stores may cascade demotions and
+    /// loads may promote — neither may lose or duplicate a page.
+    #[test]
+    fn tiered_store_matches_set_oracle(
+        actions in prop::collection::vec(action_strategy(), 1..200),
+    ) {
+        // Tight capacities relative to the 192-page universe: cascades
+        // and refused promotions both occur in most sequences.
+        let tiers = TierConfig::parse("fast:48@10/0;mid:96@100/0;cold:0@1000/0").unwrap();
+        let store = TieredStore::new(&tiers, true);
+        let mut oracle: BTreeSet<u64> = BTreeSet::new();
+
+        for action in actions {
+            match action {
+                Action::Store { head, pages, rank } => {
+                    let out = store.try_store(VirtPage(head), pages, rank, None);
+                    prop_assert!(out.stored, "no injector, stores cannot fail");
+                    prop_assert!(out.tier < tiers.len());
+                    oracle.extend(head..head + pages);
+                }
+                Action::Load { head, pages } => {
+                    let hit = store.load(VirtPage(head), pages);
+                    let expect = (head..head + pages).any(|p| oracle.contains(&p));
+                    prop_assert_eq!(
+                        hit.is_some(),
+                        expect,
+                        "load [{}, {}) disagreed with the oracle",
+                        head,
+                        head + pages
+                    );
+                }
+            }
+            store.audit();
+            let counters = store.tier_counters().expect("span store has books");
+            let held: u64 = counters.iter().map(|c| c.used_pages).sum();
+            prop_assert_eq!(held, oracle.len() as u64, "page total drifted from the oracle");
+        }
+
+        // Final resident set: page-by-page equality with the oracle.
+        for p in 0..UNIVERSE {
+            prop_assert_eq!(
+                store.contains(VirtPage(p), 1),
+                oracle.contains(&p),
+                "page {} residency disagrees with the oracle",
+                p
+            );
+        }
+    }
+}

@@ -12,7 +12,7 @@ use cmcp::arch::VirtPage;
 use cmcp::sim::Op;
 use cmcp::workloads::scale::{scale_trace, ScaleConfig};
 use cmcp::workloads::synthetic;
-use cmcp::{FaultPlan, PolicyKind, RunReport, SchemeChoice, SimulationBuilder, Trace};
+use cmcp::{FaultPlan, PolicyKind, RunReport, SchemeChoice, SimulationBuilder, TierConfig, Trace};
 
 /// The thread counts the acceptance matrix pins. 8 oversubscribes the
 /// core counts used below on purpose: clamping must not change bytes.
@@ -231,6 +231,67 @@ proptest! {
         let want = fingerprint(&reference);
         for threads in [2usize, 4, 8] {
             prop_assert_eq!(&fingerprint(&run(threads)), &want, "threads={}", threads);
+        }
+    }
+}
+
+#[test]
+fn tiered_and_adaptive_runs_are_byte_identical_across_thread_counts() {
+    // The multi-tier leg of the acceptance matrix: the epoch-barrier
+    // determinism guarantee must survive the tier subsystem (Mutex-
+    // guarded span store, demotion cascades, promotions) and the
+    // adaptive page-size machinery (buddy allocator, split-on-evict,
+    // pressure controller), with the fault plan armed on the tightest
+    // config. A 24-page fast tier under the pressure trace guarantees
+    // capacity cascades; the reports must still be byte-equal at every
+    // thread count.
+    let t = synthetic::shared_hot(6, 32, 64, 4);
+    let tight = "fast:24@50/0;mid:64@500/2000;cold:0@5000/500";
+    let legs: [(&str, &str, bool, Option<FaultPlan>); 4] = [
+        ("2tier", "2tier", false, None),
+        ("4tier", "4tier", false, None),
+        (
+            "tight+faults",
+            tight,
+            false,
+            Some(FaultPlan::new(7).dma_errors(0.01).enospc(0.005)),
+        ),
+        ("tight+adaptive", tight, true, None),
+    ];
+    for (label, spec, adaptive, plan) in legs {
+        let tiers = TierConfig::parse(spec).unwrap();
+        let run = |threads| {
+            let mut b = SimulationBuilder::trace(t.clone())
+                .policy(PolicyKind::Cmcp { p: 0.5 })
+                .tiers(tiers.clone())
+                .memory_ratio(0.5)
+                .threads(threads);
+            if adaptive {
+                b = b.adaptive_page_size();
+            }
+            if let Some(plan) = plan.clone() {
+                b = b.fault_plan(plan);
+            }
+            b.run()
+        };
+        let reference = run(1);
+        assert!(
+            reference.global.evictions > 0,
+            "{label}: tier pressure must evict"
+        );
+        if spec == tight {
+            assert!(
+                reference.global.tier_demotions + reference.global.tier_promotions > 0,
+                "{label}: the 24-page fast tier must cascade spans"
+            );
+        }
+        let want = fingerprint(&reference);
+        for threads in THREAD_MATRIX {
+            assert_eq!(
+                fingerprint(&run(threads)),
+                want,
+                "{label}: threads={threads} diverged from threads=1"
+            );
         }
     }
 }
