@@ -17,7 +17,7 @@ use std::time::Instant;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cmcp::workloads::cg::{cg_trace, CgConfig};
-use cmcp::{PolicyKind, RunReport, SimulationBuilder, Trace};
+use cmcp::{HostScaling, PolicyKind, RunReport, SimulationBuilder, Trace};
 
 const CORES: usize = 8;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -43,6 +43,14 @@ fn run(trace: &Trace, threads: usize) -> RunReport {
         .memory_ratio(0.75)
         .threads(threads)
         .run()
+}
+
+fn run_with_stats(trace: &Trace, threads: usize) -> (RunReport, HostScaling) {
+    SimulationBuilder::trace(trace.clone())
+        .policy(PolicyKind::Cmcp { p: 0.5 })
+        .memory_ratio(0.75)
+        .threads(threads)
+        .run_with_host_stats()
 }
 
 /// Every thread count must reproduce the single-thread report byte for
@@ -95,18 +103,51 @@ fn write_baseline(trace: &Trace) {
         .iter()
         .map(|(t, ms)| format!("    \"threads_{t}\": {ms:.3}"))
         .collect();
+    let ms_at = |threads: usize| {
+        per_thread
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .expect("thread count sampled")
+            .1
+    };
+    let speedup_4 = per_thread[0].1 / ms_at(4);
     let speedup_8 = per_thread[0].1 / per_thread.last().unwrap().1;
     // Thread-level speedup needs host CPUs; record how many this
     // baseline had so readers can interpret the scaling column.
     let host_cpus = std::thread::available_parallelism().map_or(0, |p| p.get());
+    // The phase-B decomposition: deterministic counters (identical at
+    // every thread count) plus how many epochs each thread count
+    // actually committed concurrently, so a flat speedup column is
+    // diagnosable from this file alone (e.g. "all reconciliation").
+    let (report, _) = run_with_stats(trace, 1);
+    let s = report.scaling;
+    let rounds: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let (_, host) = run_with_stats(trace, t);
+            format!("    \"threads_{t}\": {}", host.parallel_rounds)
+        })
+        .collect();
     let json = format!(
         "{{\n  \"workload\": \"cg n=6144 nnz=16 iters=2\",\n  \"cores\": {CORES},\n  \
          \"policy\": \"cmcp p=0.5\",\n  \"memory_ratio\": 0.75,\n  \
          \"samples\": {BASELINE_SAMPLES},\n  \"host_cpus\": {host_cpus},\n  \
          \"byte_identical_reports\": true,\n  \
          \"mean_wall_ms\": {{\n{}\n  }},\n  \
+         \"phase_b\": {{\n    \"epochs\": {},\n    \"fast_forwards\": {},\n    \
+         \"committed\": {},\n    \"shardable\": {},\n    \"reconciled\": {},\n    \
+         \"barrier_releases\": {}\n  }},\n  \
+         \"parallel_rounds\": {{\n{}\n  }},\n  \
+         \"speedup_4t_over_1t\": {speedup_4:.3},\n  \
          \"speedup_8t_over_1t\": {speedup_8:.3}\n}}\n",
         entries.join(",\n"),
+        s.epochs,
+        s.fast_forwards,
+        s.committed,
+        s.shardable,
+        s.reconciled,
+        s.releases,
+        rounds.join(",\n"),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -13,13 +13,20 @@
 //!   page-table reads, commutative accessed/dirty PTE bits, and each
 //!   core's own TLB/clock/stats, so its outcome per core is independent
 //!   of scheduling.
-//! * **Phase B (sequential):** one committer executes every parked
-//!   kernel event and every due maintenance timer strictly below the
-//!   ceiling, ordered by `(virtual_time, event_rank, core_id)`. All
-//!   cross-core effects — evictions, shootdowns, policy updates, frame
-//!   movement — happen here, at exact reproducible stamps. Rendezvous
-//!   barriers release when every live core is waiting; the per-core
-//!   policy-event batches are flushed at each release and at run end.
+//! * **Phase B (sharded commit + sequential reconciliation):** the
+//!   epoch's parked kernel entries and due maintenance timers, all
+//!   strictly below the ceiling, are sorted by the total order
+//!   `(virtual_time, event_rank, core_id)` and *classified*. A prefix
+//!   of entries whose effects provably stay inside one commit shard
+//!   (PSPT minor faults, and fresh majors within the epoch's frame-pool
+//!   budget — see [`cmcp_kernel::Vmm::commit_shard_of`]) is committed by
+//!   all workers concurrently, each worker owning a disjoint set of
+//!   shards and draining its entries in local stamp order. Everything
+//!   from the first cross-shard entry onward — evictions, DMA-touching
+//!   refaults, syscalls, scan ticks, PSPT rebuilds, every regular-table
+//!   or adaptive-mode entry — is the *reconciliation tail*, committed by
+//!   worker 0 sequentially in exact stamp order. DESIGN.md §14 carries
+//!   the proof that this equals the pure sequential fold byte-for-byte.
 //!
 //! The epoch ceiling is `min(next event time) + W` where `W` is
 //! [`cmcp_arch::CostModel::min_cross_core_latency`]: since every kernel
@@ -28,22 +35,65 @@
 //! hardware cannot deliver one in less than the IPI send + handle
 //! latency. A core running up to `W` ahead of an eviction therefore
 //! never uses a translation staler than the hardware would permit.
+//! When no maintenance timer is armed, the window additionally
+//! *fast-forwards*: if the second-earliest horizon (other cores' clocks
+//! and parked stamps) lies beyond `min + W`, the ceiling jumps straight
+//! to it — the merged epochs are exactly the no-op epochs a fixed
+//! window would burn creeping a lone straggler forward, so the bytes
+//! cannot move (§14).
 //!
 //! Because the ceiling is a pure function of simulated state, phase A is
-//! per-core independent, and phase B is a deterministic sequential fold,
-//! `(seed, config) → byte-identical RunReport` at any thread count.
+//! per-core independent, and phase B commits in a provably
+//! fold-equivalent order, `(seed, config) → byte-identical RunReport`
+//! at any thread count.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+// The sleep tier needs a real OS condvar (the parking_lot shim is
+// spin-only by design); the barrier gate is cold, so std's poisoning
+// overhead is irrelevant there.
+use std::sync::{Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 
 use cmcp_arch::{CoreId, Cycles, VirtPage};
-use cmcp_kernel::{Syscall, Vmm};
+use cmcp_kernel::{SchemeChoice, Syscall, Vmm};
 use cmcp_trace::{EventKind, Recorder};
 
-use crate::report::RunReport;
+use crate::report::{EngineScaling, RunReport};
 use crate::runner::{CoreRunner, Pause};
 use crate::trace::Trace;
+
+/// Host-side (thread-count- and machine-dependent) scaling counters for
+/// one run. These never enter the byte-compared [`RunReport`] — repeat
+/// runs at the same thread count produce identical reports but may
+/// spin or sleep differently at the barriers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostScaling {
+    /// Worker threads the engine actually ran (after clamping to the
+    /// simulated core count).
+    pub threads: usize,
+    /// Epochs whose shardable prefix was large enough to commit
+    /// concurrently (the two extra barrier crossings were paid).
+    pub parallel_rounds: u64,
+    /// Barrier-wait spin iterations across all workers.
+    pub barrier_spins: u64,
+    /// Barrier-wait `yield_now` calls across all workers.
+    pub barrier_yields: u64,
+    /// Barrier waits that fell through to a condvar sleep (the
+    /// oversubscription tier: waiters stop burning a core).
+    pub barrier_sleeps: u64,
+}
+
+/// Engine tuning seams, exposed for tests.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineOptions {
+    /// Commit every entry on worker 0 in pure stamp order even when a
+    /// shardable prefix exists — the reference sequential fold the
+    /// sharded path is property-tested against. Classification still
+    /// runs (the scaling counters must not depend on execution mode).
+    pub force_sequential_commit: bool,
+}
 
 /// Where a core stands between epochs.
 #[derive(Clone, Copy)]
@@ -73,15 +123,36 @@ struct Slot {
     stamp: Cycles,
 }
 
-/// Host-side sense-reversing spin barrier with a poison bit: a worker
-/// that panics poisons it on unwind so the survivors return instead of
+/// Spin iterations before a barrier waiter starts yielding.
+const BARRIER_SPIN_LIMIT: u64 = 256;
+/// `yield_now` calls before a waiter falls through to a condvar sleep.
+/// Bounded so an oversubscribed run (threads > host CPUs) parks its
+/// surplus waiters instead of convoying the scheduler forever.
+const BARRIER_YIELD_LIMIT: u64 = 128;
+
+/// Host-side sense-reversing barrier with a poison bit: a worker that
+/// panics poisons it on unwind so the survivors return instead of
 /// spinning forever, the scope join completes, and the original panic
 /// propagates to the caller.
+///
+/// Waiting is three-tier — bounded spin, bounded `yield_now`, then a
+/// condvar sleep — so threads ≤ cores cross in nanoseconds while an
+/// oversubscribed run stops burning a host core per waiter.
 struct PhaseBarrier {
     parties: usize,
     arrived: AtomicUsize,
     generation: AtomicUsize,
     poisoned: AtomicBool,
+    /// Waiters currently registered on the sleep tier; reads and writes
+    /// are serialized by `gate`, so a releaser can only miss a sleeper
+    /// that will re-check the generation under the same lock.
+    sleepers: AtomicUsize,
+    gate: StdMutex<()>,
+    wake: Condvar,
+    // Host-side wait accounting (Relaxed; reported via `HostScaling`).
+    spins: AtomicU64,
+    yields: AtomicU64,
+    sleeps: AtomicU64,
 }
 
 impl PhaseBarrier {
@@ -91,6 +162,12 @@ impl PhaseBarrier {
             arrived: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            gate: StdMutex::new(()),
+            wake: Condvar::new(),
+            spins: AtomicU64::new(0),
+            yields: AtomicU64::new(0),
+            sleeps: AtomicU64::new(0),
         }
     }
 
@@ -103,6 +180,9 @@ impl PhaseBarrier {
     /// `Acquire` load of the new generation therefore sees all phase
     /// work that preceded the barrier, and the `arrived` reset by the
     /// releaser happens-before any re-arrival at the next generation.
+    /// The sleep tier re-checks the generation under `gate`, which the
+    /// releaser's store also holds — the classic monitor pattern, so a
+    /// waiter can never sleep through a release.
     fn wait(&self) -> bool {
         if self.poisoned.load(Ordering::Acquire) {
             return false;
@@ -113,28 +193,63 @@ impl PhaseBarrier {
         let gen = self.generation.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
             self.arrived.store(0, Ordering::Relaxed);
-            self.generation
-                .store(gen.wrapping_add(1), Ordering::Release);
-            true
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == gen {
-                if self.poisoned.load(Ordering::Acquire) {
-                    return false;
-                }
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
+            let any_sleepers = {
+                let _g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+                self.generation
+                    .store(gen.wrapping_add(1), Ordering::Release);
+                self.sleepers.load(Ordering::Relaxed) > 0
+            };
+            if any_sleepers {
+                self.wake.notify_all();
             }
             true
+        } else {
+            let mut spins = 0u64;
+            let mut yields = 0u64;
+            let crossed = loop {
+                if self.generation.load(Ordering::Acquire) != gen {
+                    break true;
+                }
+                if self.poisoned.load(Ordering::Acquire) {
+                    break false;
+                }
+                if spins < BARRIER_SPIN_LIMIT {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else if yields < BARRIER_YIELD_LIMIT {
+                    yields += 1;
+                    std::thread::yield_now();
+                } else {
+                    self.sleeps.fetch_add(1, Ordering::Relaxed);
+                    let mut g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+                    self.sleepers.fetch_add(1, Ordering::Relaxed);
+                    while self.generation.load(Ordering::Acquire) == gen
+                        && !self.poisoned.load(Ordering::Acquire)
+                    {
+                        g = self.wake.wait(g).unwrap_or_else(|e| e.into_inner());
+                    }
+                    self.sleepers.fetch_sub(1, Ordering::Relaxed);
+                    drop(g);
+                    break self.generation.load(Ordering::Acquire) != gen
+                        || !self.poisoned.load(Ordering::Acquire);
+                }
+            };
+            if spins > 0 {
+                self.spins.fetch_add(spins, Ordering::Relaxed);
+            }
+            if yields > 0 {
+                self.yields.fetch_add(yields, Ordering::Relaxed);
+            }
+            crossed && !self.poisoned.load(Ordering::Acquire)
         }
     }
 
     fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
+        // Take and drop the gate so a sleeper past its predicate check
+        // cannot miss the notify, then wake everyone.
+        drop(self.gate.lock().unwrap_or_else(|e| e.into_inner()));
+        self.wake.notify_all();
     }
 }
 
@@ -150,6 +265,24 @@ impl Drop for PoisonOnPanic<'_> {
     }
 }
 
+/// One shard-local commit: a parked fault the classifier proved cannot
+/// escape its commit shard this epoch. `seq_base` is the entry's
+/// pre-reserved policy-event stamp window (global commit order), so the
+/// merged policy stream sorts identically to the sequential fold no
+/// matter which worker runs the entry.
+#[derive(Clone, Copy)]
+struct ShardTask {
+    core: usize,
+    page: VirtPage,
+    write: bool,
+    seq_base: u64,
+}
+
+/// Policy-event stamps reserved per shardable entry. A shard-committed
+/// fault pushes at most one event (minor `MapCount` or fresh-major
+/// `Insert`); the headroom is asserted in debug builds.
+const SEQ_STRIDE: u64 = 4;
+
 /// State shared by all workers for one run.
 struct Shared {
     slots: Vec<Mutex<Slot>>,
@@ -158,10 +291,53 @@ struct Shared {
     ceiling: AtomicU64,
     finished: AtomicBool,
     barrier: PhaseBarrier,
+    /// Whether this epoch runs a concurrent shard-commit round (two
+    /// extra barrier crossings). Written by worker 0 during planning,
+    /// read by everyone after the plan barrier.
+    parallel_round: AtomicBool,
+    /// Epochs that actually committed concurrently (host-side counter).
+    parallel_rounds: AtomicU64,
+    /// Per-worker shard-task queues for the current parallel round, in
+    /// global stamp order (same-shard tasks land on the same worker, so
+    /// per-worker order implies per-shard stamp order).
+    assignments: Vec<Mutex<Vec<ShardTask>>>,
 }
 
-/// The sequential phase-B state: maintenance timers, the rendezvous
-/// counter, and the epoch window. Owned by worker 0.
+/// What a phase-B candidate commits.
+#[derive(Clone, Copy)]
+enum EntryKind {
+    /// Policy scan-timer tick.
+    Scan,
+    /// Periodic PSPT rebuild.
+    Rebuild,
+    /// A parked page fault; `shard` is its commit shard and `shardable`
+    /// the classifier's verdict (only meaningful inside the prefix).
+    Fault {
+        page: VirtPage,
+        write: bool,
+        shard: usize,
+        shardable: bool,
+    },
+    /// A parked offloaded syscall (always reconciliation class: the IKC
+    /// ring and offload engine are shared, order-sensitive resources).
+    Syscall { call: Syscall },
+}
+
+/// One phase-B candidate. Ordering is `(time, rank, core)`: rank orders
+/// simultaneous events deterministically — the scan timer before the
+/// rebuild timer before core entries (a timer due at `t` conceptually
+/// fired while the cores were still en route to `t`).
+#[derive(Clone, Copy)]
+struct Cand {
+    time: Cycles,
+    rank: u8,
+    core: usize,
+    kind: EntryKind,
+}
+
+/// The phase-B state: maintenance timers, the rendezvous counter, the
+/// epoch window, the candidate scratch, and the scaling counters.
+/// Owned by worker 0.
 struct Committer {
     window: Cycles,
     scanning: bool,
@@ -170,32 +346,31 @@ struct Committer {
     rebuild_period: Cycles,
     next_rebuild: Cycles,
     barrier_seq: u64,
-}
-
-/// Candidate ordering for phase B: `(time, rank, core)`. Rank orders
-/// simultaneous events deterministically — the scan timer before the
-/// rebuild timer before core events (a timer due at `t` conceptually
-/// fired while the cores were still en route to `t`).
-type Candidate = (Cycles, u8, usize);
-
-fn consider(best: &mut Option<Candidate>, cand: Candidate) {
-    let replace = match best {
-        Some(b) => cand < *b,
-        None => true,
-    };
-    if replace {
-        *best = Some(cand);
-    }
+    threads: usize,
+    force_sequential: bool,
+    /// Fast-forward is sound only while no maintenance timer is armed
+    /// (a timer firing mid-merged-epoch would fire at a different point
+    /// in the straggler's progress than under the base window).
+    fast_forward: bool,
+    /// Reused per-epoch candidate buffer (sorted commit order).
+    cands: Vec<Cand>,
+    /// Where the reconciliation tail starts in `cands` for the epoch in
+    /// flight (parallel rounds only).
+    tail_start: usize,
+    /// Batch limit to restore after a suppressed-flush parallel round.
+    saved_batch: usize,
+    scaling: EngineScaling,
 }
 
 impl Committer {
-    /// Executes every kernel event and timer strictly below the epoch
-    /// ceiling in stamp order, releases the rendezvous barrier if every
-    /// live core is waiting, and publishes the next ceiling (or the
-    /// finished flag). Runs with every worker parked at the host
-    /// barrier, so it owns all simulated state.
-    fn commit<R: Recorder>(&mut self, vmm: &Vmm<R>, shared: &Shared) {
+    /// Folds rendezvous arrivals, collects and classifies this epoch's
+    /// candidates, and either commits everything inline (sequential
+    /// epochs: no extra barriers) or publishes the shard plan and lets
+    /// every worker commit its disjoint shards. Runs with every worker
+    /// parked at the host barrier, so it owns all simulated state.
+    fn plan_and_commit<R: Recorder>(&mut self, vmm: &Vmm<R>, shared: &Shared) {
         let ceiling = shared.ceiling.load(Ordering::Relaxed);
+        self.scaling.epochs += 1;
 
         // Note this epoch's rendezvous arrivals.
         for slot in &shared.slots {
@@ -205,62 +380,196 @@ impl Committer {
             }
         }
 
-        // Stamp-ordered kernel commits below the ceiling. Each round
-        // either advances a timer or unparks a core, so the loop is
-        // finite; a handled fault may re-park next epoch (refault) but
-        // cannot re-enter this round.
-        loop {
-            let mut best: Option<Candidate> = None;
-            if self.scanning && self.next_scan < ceiling {
-                consider(&mut best, (self.next_scan, 0, 0));
+        // Collect every candidate strictly below the ceiling. Committing
+        // an entry can neither add nor remove candidates within this
+        // phase (an unparked core only resumes next phase A; timers'
+        // later firings are enumerated here), so one collection pass is
+        // equivalent to the old per-round min-scan.
+        self.cands.clear();
+        if self.scanning {
+            let mut t = self.next_scan;
+            while t < ceiling {
+                self.cands.push(Cand {
+                    time: t,
+                    rank: 0,
+                    core: 0,
+                    kind: EntryKind::Scan,
+                });
+                t += self.scan_period;
             }
-            if self.rebuild_period > 0 && self.next_rebuild < ceiling {
-                consider(&mut best, (self.next_rebuild, 1, 0));
+        }
+        if self.rebuild_period > 0 {
+            let mut t = self.next_rebuild;
+            while t < ceiling {
+                self.cands.push(Cand {
+                    time: t,
+                    rank: 1,
+                    core: 0,
+                    kind: EntryKind::Rebuild,
+                });
+                t += self.rebuild_period;
             }
-            for (i, slot) in shared.slots.iter().enumerate() {
-                let s = slot.lock();
-                if matches!(s.status, Status::Fault { .. } | Status::Syscall { .. })
-                    && s.stamp < ceiling
-                {
-                    consider(&mut best, (s.stamp, 2, i));
-                }
+        }
+        for (i, slot) in shared.slots.iter().enumerate() {
+            let s = slot.lock();
+            if s.stamp >= ceiling {
+                continue;
             }
-            let Some((_, rank, i)) = best else { break };
-            match rank {
-                0 => {
+            match s.status {
+                Status::Fault { page, write } => self.cands.push(Cand {
+                    time: s.stamp,
+                    rank: 2,
+                    core: i,
+                    kind: EntryKind::Fault {
+                        page,
+                        write,
+                        shard: 0,
+                        shardable: false,
+                    },
+                }),
+                Status::Syscall { call } => self.cands.push(Cand {
+                    time: s.stamp,
+                    rank: 2,
+                    core: i,
+                    kind: EntryKind::Syscall { call },
+                }),
+                _ => {}
+            }
+        }
+        self.cands
+            .sort_unstable_by_key(|c| (c.time, c.rank, c.core));
+
+        // Conservative classification (DESIGN.md §14): the shardable
+        // prefix ends at the first entry whose effects might escape its
+        // commit shard. Within the prefix, a fault is shard-local iff
+        // the scheme is PSPT (per-block directory shards + sharded PT
+        // locks), the allocator is the fixed-size pool (the buddy pool
+        // is one global resource), and the fault is either minor (block
+        // resident: PTE copy only) or a *fresh* major — no backing copy
+        // to DMA in, and within the epoch's free-block budget so no
+        // eviction can fire. Classification runs at every thread count
+        // so the scaling counters stay thread-invariant.
+        let sharded_scheme = vmm.config().scheme == SchemeChoice::Pspt && !vmm.config().adaptive;
+        let budget = vmm.pool_free_blocks().unwrap_or(0);
+        let mut majors = 0usize;
+        let mut prefix = 0usize;
+        for c in self.cands.iter_mut() {
+            let EntryKind::Fault {
+                page,
+                ref mut shard,
+                ref mut shardable,
+                ..
+            } = c.kind
+            else {
+                break;
+            };
+            if !sharded_scheme {
+                break;
+            }
+            if vmm.block_resident(page) {
+                // Minor: resident-map read + sibling PTE copy, all under
+                // this block's stripe/directory/lock shard.
+                *shard = vmm.commit_shard_of(page);
+                *shardable = true;
+            } else if !vmm.backing_contains(page) && majors < budget {
+                // Fresh major: pool pop (no eviction possible within the
+                // budget — nothing frees frames mid-prefix), map, insert.
+                majors += 1;
+                *shard = vmm.commit_shard_of(page);
+                *shardable = true;
+            } else {
+                break;
+            }
+            prefix += 1;
+        }
+        self.scaling.committed += self.cands.len() as u64;
+        self.scaling.shardable += prefix as u64;
+        self.scaling.reconciled += (self.cands.len() - prefix) as u64;
+
+        // Two extra barrier crossings only pay off when every worker
+        // gets something to do.
+        let go_parallel =
+            !self.force_sequential && self.threads > 1 && prefix >= self.threads.max(2);
+        if go_parallel {
+            let base = vmm.reserve_policy_seqs(prefix as u64 * SEQ_STRIDE);
+            // Suppress threshold flushes for the round: a flush drains
+            // *all* cores' buffers, which must not happen while another
+            // worker is mid-push. Decision-neutral (see the kernel's
+            // batch-limit contract); restored before the tail commits.
+            self.saved_batch = vmm.policy_batch_limit();
+            vmm.set_policy_batch(usize::MAX);
+            for (idx, c) in self.cands[..prefix].iter().enumerate() {
+                let EntryKind::Fault {
+                    page, write, shard, ..
+                } = c.kind
+                else {
+                    unreachable!("prefix holds faults only");
+                };
+                shared.assignments[shard % self.threads]
+                    .lock()
+                    .push(ShardTask {
+                        core: c.core,
+                        page,
+                        write,
+                        seq_base: base + idx as u64 * SEQ_STRIDE,
+                    });
+            }
+            self.tail_start = prefix;
+            shared.parallel_rounds.fetch_add(1, Ordering::Relaxed);
+            shared.parallel_round.store(true, Ordering::Release);
+        } else {
+            shared.parallel_round.store(false, Ordering::Relaxed);
+            self.commit_range(vmm, shared, 0, self.cands.len());
+            self.epilogue(vmm, shared);
+        }
+    }
+
+    /// Parallel rounds only: restores the flush threshold, commits the
+    /// reconciliation tail in stamp order, and closes the epoch.
+    fn commit_tail<R: Recorder>(&mut self, vmm: &Vmm<R>, shared: &Shared) {
+        vmm.set_policy_batch(self.saved_batch);
+        self.commit_range(vmm, shared, self.tail_start, self.cands.len());
+        shared.parallel_round.store(false, Ordering::Relaxed);
+        self.epilogue(vmm, shared);
+    }
+
+    /// Commits `cands[from..to]` in order on this thread — the
+    /// sequential fold over that range.
+    fn commit_range<R: Recorder>(&mut self, vmm: &Vmm<R>, shared: &Shared, from: usize, to: usize) {
+        for idx in from..to {
+            let c = self.cands[idx];
+            match c.kind {
+                EntryKind::Scan => {
                     vmm.scan_tick();
                     self.next_scan += self.scan_period;
                 }
-                1 => {
+                EntryKind::Rebuild => {
                     vmm.rebuild_pspt();
                     self.next_rebuild += self.rebuild_period;
                 }
-                _ => {
-                    let mut s = shared.slots[i].lock();
-                    match s.status {
-                        Status::Fault { page, write } => {
-                            // A commit earlier in this fold (another
-                            // core's fault on the same block, under the
-                            // shared regular table) may have installed
-                            // the mapping since this core's walk failed
-                            // in phase A. Hardware retries the walk on
-                            // fault return — a now-present PTE means no
-                            // fault is ever taken, so re-probe before
-                            // charging one.
-                            if vmm.translate(CoreId(i as u16), page).is_none() {
-                                vmm.handle_fault(CoreId(i as u16), page, write);
-                            }
-                        }
-                        Status::Syscall { call } => {
-                            vmm.offload_syscall(CoreId(i as u16), call);
-                        }
-                        _ => unreachable!("candidate must be parked"),
+                EntryKind::Fault { page, write, .. } => {
+                    // A commit earlier in this fold (another core's fault
+                    // on the same block, under the shared regular table)
+                    // may have installed the mapping since this core's
+                    // walk failed in phase A. Hardware retries the walk
+                    // on fault return — a now-present PTE means no fault
+                    // is ever taken, so re-probe before charging one.
+                    if vmm.translate(CoreId(c.core as u16), page).is_none() {
+                        vmm.handle_fault(CoreId(c.core as u16), page, write);
                     }
-                    s.status = Status::Running;
+                    shared.slots[c.core].lock().status = Status::Running;
+                }
+                EntryKind::Syscall { call } => {
+                    vmm.offload_syscall(CoreId(c.core as u16), call);
+                    shared.slots[c.core].lock().status = Status::Running;
                 }
             }
         }
+    }
 
+    /// Epoch close-out: rendezvous release, finish detection, and the
+    /// next ceiling (with the timer-free fast-forward).
+    fn epilogue<R: Recorder>(&mut self, vmm: &Vmm<R>, shared: &Shared) {
         let mut live = 0usize;
         let mut waiting = 0usize;
         for slot in &shared.slots {
@@ -311,6 +620,7 @@ impl Committer {
                 }
             }
             self.barrier_seq += 1;
+            self.scaling.releases += 1;
             // The batch boundary of the policy-event stream: residual
             // per-core buffers drain under one policy-lock acquisition
             // while the whole machine is synchronized anyway.
@@ -319,28 +629,65 @@ impl Committer {
 
         // Next ceiling: the earliest thing that can happen anywhere —
         // a running core's clock or a still-parked event (its stamp
-        // overshot this ceiling) — plus the cross-core window.
-        let mut min_next = u64::MAX;
+        // overshot this ceiling) — plus the cross-core window. With no
+        // timer armed, a lone straggler more than a window behind the
+        // runner-up fast-forwards to the runner-up's horizon: the
+        // skipped epochs would each have advanced only the straggler
+        // (everyone else sits at or beyond the horizon), committed
+        // nothing of anyone else's, and delivered nothing (posts only
+        // happen at commits the straggler itself triggers, which end
+        // its phase A anyway) — pure no-ops, so merging them cannot
+        // move a byte (§14).
+        let mut m1 = u64::MAX;
+        let mut m2 = u64::MAX;
         for (i, slot) in shared.slots.iter().enumerate() {
             let s = slot.lock();
-            match s.status {
-                Status::Running => min_next = min_next.min(vmm.clocks()[i].now()),
-                Status::Fault { .. } | Status::Syscall { .. } => {
-                    min_next = min_next.min(s.stamp);
-                }
-                Status::Waiting | Status::Done => {}
+            let bound = match s.status {
+                Status::Running => vmm.clocks()[i].now(),
+                Status::Fault { .. } | Status::Syscall { .. } => s.stamp,
+                Status::Waiting | Status::Done => continue,
                 Status::Arrived => unreachable!("arrivals were folded above"),
+            };
+            if bound < m1 {
+                m2 = m1;
+                m1 = bound;
+            } else if bound < m2 {
+                m2 = bound;
             }
         }
-        debug_assert_ne!(min_next, u64::MAX, "a live core must bound the ceiling");
-        shared
-            .ceiling
-            .store(min_next.saturating_add(self.window), Ordering::Release);
+        debug_assert_ne!(m1, u64::MAX, "a live core must bound the ceiling");
+        let base = m1.saturating_add(self.window);
+        let ceiling = if self.fast_forward && m2 > base {
+            self.scaling.fast_forwards += 1;
+            m2
+        } else {
+            base
+        };
+        shared.ceiling.store(ceiling, Ordering::Release);
     }
 }
 
+/// Commits one shard-local task: the same re-probe + handler the
+/// sequential fold runs, with the entry's pre-assigned policy-event
+/// stamp window active.
+fn commit_shard_task<R: Recorder>(vmm: &Vmm<R>, shared: &Shared, t: ShardTask) {
+    let core = CoreId(t.core as u16);
+    vmm.begin_policy_seq_override(core, t.seq_base);
+    if vmm.translate(core, t.page).is_none() {
+        vmm.handle_fault(core, t.page, t.write);
+    }
+    let next = vmm.end_policy_seq_override(core);
+    debug_assert!(
+        next >= t.seq_base && next - t.seq_base <= SEQ_STRIDE,
+        "shard-committed entry overflowed its stamp window"
+    );
+    shared.slots[t.core].lock().status = Status::Running;
+}
+
 /// One worker's loop: advance owned cores to the ceiling (phase A),
-/// rendezvous, let worker 0 commit (phase B), rendezvous, repeat.
+/// rendezvous, let worker 0 plan/commit (phase B) — with two extra
+/// crossings bracketing the concurrent shard round when one is on —
+/// rendezvous, repeat.
 fn worker<R: Recorder, F: Fn(usize) + Sync>(
     id: usize,
     cores: &mut [(usize, CoreRunner)],
@@ -374,10 +721,27 @@ fn worker<R: Recorder, F: Fn(usize) + Sync>(
             return;
         }
         if let Some(c) = committer.as_mut() {
-            c.commit(vmm, shared);
+            c.plan_and_commit(vmm, shared);
         }
         if !shared.barrier.wait() {
             return;
+        }
+        if shared.parallel_round.load(Ordering::Acquire) {
+            {
+                let mut tasks = shared.assignments[id].lock();
+                for t in tasks.drain(..) {
+                    commit_shard_task(vmm, shared, t);
+                }
+            }
+            if !shared.barrier.wait() {
+                return;
+            }
+            if let Some(c) = committer.as_mut() {
+                c.commit_tail(vmm, shared);
+            }
+            if !shared.barrier.wait() {
+                return;
+            }
         }
         if shared.finished.load(Ordering::Acquire) {
             return;
@@ -392,7 +756,18 @@ fn worker<R: Recorder, F: Fn(usize) + Sync>(
 /// barrier counts), or if the trace's core count differs from the
 /// kernel's.
 pub fn run<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) -> RunReport {
-    run_with_worker_hook(vmm, trace, threads, &|_| {})
+    run_with_host_stats(vmm, trace, threads).0
+}
+
+/// [`run`], additionally returning the host-side (thread- and
+/// machine-dependent) scaling counters: barrier wait tiers and the
+/// number of concurrently committed rounds.
+pub fn run_with_host_stats<R: Recorder>(
+    vmm: &Vmm<R>,
+    trace: &Trace,
+    threads: usize,
+) -> (RunReport, HostScaling) {
+    run_core(vmm, trace, threads, &|_| {}, EngineOptions::default())
 }
 
 /// [`run`] with a per-worker, per-epoch hook — a test seam for fault
@@ -405,6 +780,28 @@ pub fn run_with_worker_hook<R: Recorder, F: Fn(usize) + Sync>(
     threads: usize,
     hook: &F,
 ) -> RunReport {
+    run_core(vmm, trace, threads, hook, EngineOptions::default()).0
+}
+
+/// [`run`] with explicit [`EngineOptions`] — the property-test seam for
+/// comparing the sharded commit path against the pure sequential fold.
+#[doc(hidden)]
+pub fn run_with_options<R: Recorder>(
+    vmm: &Vmm<R>,
+    trace: &Trace,
+    threads: usize,
+    opts: EngineOptions,
+) -> (RunReport, HostScaling) {
+    run_core(vmm, trace, threads, &|_| {}, opts)
+}
+
+fn run_core<R: Recorder, F: Fn(usize) + Sync>(
+    vmm: &Vmm<R>,
+    trace: &Trace,
+    threads: usize,
+    hook: &F,
+    opts: EngineOptions,
+) -> (RunReport, HostScaling) {
     assert!(threads > 0, "engine thread count must be >= 1");
     trace.validate().expect("invalid trace");
     let n = trace.cores.len();
@@ -429,15 +826,27 @@ pub fn run_with_worker_hook<R: Recorder, F: Fn(usize) + Sync>(
         ceiling: AtomicU64::new(window),
         finished: AtomicBool::new(n == 0),
         barrier: PhaseBarrier::new(threads),
+        parallel_round: AtomicBool::new(false),
+        parallel_rounds: AtomicU64::new(0),
+        assignments: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
     };
+    let scanning = vmm.wants_periodic_scan();
+    let rebuild_period = vmm.rebuild_period();
     let mut committer = Committer {
         window,
-        scanning: vmm.wants_periodic_scan(),
+        scanning,
         scan_period: vmm.scan_period(),
         next_scan: vmm.scan_period(),
-        rebuild_period: vmm.rebuild_period(),
-        next_rebuild: vmm.rebuild_period(),
+        rebuild_period,
+        next_rebuild: rebuild_period,
         barrier_seq: 0,
+        threads,
+        force_sequential: opts.force_sequential_commit,
+        fast_forward: !scanning && rebuild_period == 0,
+        cands: Vec::new(),
+        tail_start: 0,
+        saved_batch: 0,
+        scaling: EngineScaling::default(),
     };
 
     // Core i belongs to worker i % threads, like the old parallel
@@ -496,7 +905,16 @@ pub fn run_with_worker_hook<R: Recorder, F: Fn(usize) + Sync>(
     let mut all: Vec<(usize, CoreRunner)> = chunks.into_iter().flatten().collect();
     all.sort_by_key(|(i, _)| *i);
     let runners: Vec<CoreRunner> = all.into_iter().map(|(_, r)| r).collect();
-    RunReport::collect(vmm, &runners, &trace.label, &config_label(vmm))
+    let mut report = RunReport::collect(vmm, &runners, &trace.label, &config_label(vmm));
+    report.scaling = committer.scaling;
+    let host = HostScaling {
+        threads,
+        parallel_rounds: shared.parallel_rounds.load(Ordering::Relaxed),
+        barrier_spins: shared.barrier.spins.load(Ordering::Relaxed),
+        barrier_yields: shared.barrier.yields.load(Ordering::Relaxed),
+        barrier_sleeps: shared.barrier.sleeps.load(Ordering::Relaxed),
+    };
+    (report, host)
 }
 
 /// Runs `trace` against `vmm` single-threaded. Kept as the familiar
@@ -510,14 +928,20 @@ pub fn run_deterministic<R: Recorder>(vmm: &Vmm<R>, trace: &Trace) -> RunReport 
 /// selects the available parallelism. The report is byte-identical to
 /// [`run_deterministic`]'s regardless of the count.
 pub fn run_parallel<R: Recorder>(vmm: &Vmm<R>, trace: &Trace, threads: usize) -> RunReport {
-    let threads = if threads == 0 {
+    run(vmm, trace, resolve_threads(threads))
+}
+
+/// Resolves a thread-count request: `0` means "auto" — the host's
+/// available parallelism (what `--threads auto` and
+/// `SimulationBuilder::threads_auto` report in the run header).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4)
     } else {
         threads
-    };
-    run(vmm, trace, threads)
+    }
 }
 
 pub(crate) fn config_label<R: Recorder>(vmm: &Vmm<R>) -> String {
@@ -599,6 +1023,13 @@ mod tests {
         // Plenty of memory: only cold faults.
         assert_eq!(r.per_core[0].page_faults, 64);
         assert_eq!(r.global.evictions, 0);
+        // The scaling counters balance and saw every fault commit.
+        assert!(r.scaling.epochs > 0);
+        assert_eq!(
+            r.scaling.committed,
+            r.scaling.shardable + r.scaling.reconciled
+        );
+        assert!(r.scaling.committed >= 128, "both cores' faults commit");
     }
 
     #[test]
@@ -628,6 +1059,65 @@ mod tests {
     }
 
     #[test]
+    fn sharded_commit_rounds_fire_and_match_the_sequential_fold() {
+        // Ample memory so every fault is shardable (minors + fresh
+        // majors, no backing, no evictions): multi-thread runs must
+        // actually take the concurrent shard-commit path and still
+        // render byte-identically to the forced sequential fold.
+        let t = shared_and_private_trace(8, 4);
+        let mk = || Vmm::new(KernelConfig::new(8, 512).with_policy(PolicyKind::Cmcp { p: 0.5 }));
+        let vmm = mk();
+        let (sharded, host) = super::run_with_options(&vmm, &t, 4, EngineOptions::default());
+        assert!(
+            host.parallel_rounds > 0,
+            "8 cores faulting under ample memory must trigger parallel rounds"
+        );
+        assert!(sharded.scaling.shardable > 0);
+        let vmm = mk();
+        let (reference, ref_host) = super::run_with_options(
+            &vmm,
+            &t,
+            4,
+            EngineOptions {
+                force_sequential_commit: true,
+            },
+        );
+        assert_eq!(ref_host.parallel_rounds, 0, "reference must never shard");
+        assert_eq!(
+            format!("{sharded:?}"),
+            format!("{reference:?}"),
+            "sharded commit must equal the sequential fold byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn fast_forward_engages_without_timers_and_never_with_them() {
+        // One straggler core works through a long private phase while
+        // the other sits far ahead: with no scan timer armed the engine
+        // must fast-forward instead of creeping window-by-window.
+        let mut t = Trace::new(2, "straggle");
+        t.cores[0].ops.push(Op::Stream {
+            start: VirtPage(0),
+            pages: 64,
+            write: false,
+            work_per_page: 8,
+        });
+        t.cores[1].ops.push(Op::Compute(200_000_000));
+        t.cores[1].ops.push(Op::touch(VirtPage(1 << 20), false, 1));
+        let vmm = Vmm::new(KernelConfig::new(2, 256));
+        let r = run_deterministic(&vmm, &t);
+        assert!(
+            r.scaling.fast_forwards > 0,
+            "straggler phases must fast-forward: {:?}",
+            r.scaling
+        );
+        // LRU arms the scan timer, which forbids fast-forwarding.
+        let vmm = Vmm::new(KernelConfig::new(2, 256).with_policy(PolicyKind::Lru));
+        let r = run_deterministic(&vmm, &t);
+        assert_eq!(r.scaling.fast_forwards, 0, "timers disable fast-forward");
+    }
+
+    #[test]
     fn oversubscribed_thread_count_is_clamped() {
         let t = private_sweep_trace(2, 16, 1);
         let vmm = Vmm::new(KernelConfig::new(2, 64));
@@ -642,6 +1132,12 @@ mod tests {
         let t = private_sweep_trace(1, 1, 1);
         let vmm = Vmm::new(KernelConfig::new(1, 4));
         super::run(&vmm, &t, 0);
+    }
+
+    #[test]
+    fn resolve_threads_maps_zero_to_host_parallelism() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
     }
 
     #[test]
@@ -701,6 +1197,8 @@ mod tests {
         assert!(r.per_core[0].page_faults > 64);
         assert!(r.dma_bytes.1 > 0, "dirty sweeps write back");
         assert!(r.global.refaults > 0);
+        // Refaults DMA backing copies in: reconciliation class.
+        assert!(r.scaling.reconciled > 0, "{:?}", r.scaling);
     }
 
     #[test]

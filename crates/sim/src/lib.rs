@@ -10,10 +10,12 @@
 //!   freely to an epoch ceiling and *parks* at kernel entries.
 //! * [`engine`] — the **unified sharded discrete-event engine**: cores
 //!   partitioned over host workers, advancing in epoch windows bounded
-//!   by the minimum cross-core interaction latency, with all kernel
-//!   effects committed sequentially in virtual-time stamp order. One
-//!   code path for every thread count; `(seed, config)` yields a
-//!   byte-identical report whether run on 1 thread or 8.
+//!   by the minimum cross-core interaction latency. Kernel effects
+//!   commit in virtual-time stamp order — shard-local entries
+//!   concurrently on all workers, cross-shard entries in a sequential
+//!   reconciliation pass. One code path for every thread count;
+//!   `(seed, config)` yields a byte-identical report whether run on 1
+//!   thread or 8.
 //! * [`report`] — the merged run report: runtime, per-core Table-1
 //!   counters, DMA/lock occupancy, sharing histogram.
 
@@ -25,6 +27,8 @@ pub mod report;
 pub mod runner;
 pub mod trace;
 
-pub use engine::{run, run_deterministic, run_parallel};
-pub use report::{RunReport, TierReport};
+pub use engine::{
+    resolve_threads, run, run_deterministic, run_parallel, run_with_host_stats, HostScaling,
+};
+pub use report::{EngineScaling, RunReport, TierReport};
 pub use trace::{CoreTrace, Op, Trace};

@@ -16,6 +16,35 @@ pub struct TierReport {
     pub counters: Vec<TierCounters>,
 }
 
+/// Deterministic engine-scaling counters: how phase B decomposed the
+/// run. Every field is a pure function of `(seed, config, tiers,
+/// fault-plan)` — classification runs at every thread count, including
+/// 1, so these are identical no matter how many workers executed the
+/// run (asserted by the byte-identity suite, since `RunReport` derives
+/// `Debug` over this struct). Host-dependent counters (barrier waits,
+/// rounds actually committed concurrently) live in the engine's
+/// `HostScaling` instead and never enter the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineScaling {
+    /// Epochs the engine ran (phase-B invocations).
+    pub epochs: u64,
+    /// Epochs whose ceiling fast-forwarded past the base window
+    /// (timer-free straggler phases merged into one epoch).
+    pub fast_forwards: u64,
+    /// Kernel entries committed across all epochs (faults, syscalls,
+    /// scan ticks, rebuilds).
+    pub committed: u64,
+    /// Entries the classifier proved shard-local (eligible for the
+    /// concurrent commit round).
+    pub shardable: u64,
+    /// Entries in the sequential reconciliation class. Always
+    /// `committed - shardable`; a high share explains flat scaling.
+    pub reconciled: u64,
+    /// Rendezvous-barrier releases (virtual-time barriers, not host
+    /// barriers).
+    pub releases: u64,
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -47,6 +76,8 @@ pub struct RunReport {
     pub breakdown: Option<Breakdown>,
     /// Per-tier backing counters; `None` for the flat single-tier store.
     pub tiers: Option<TierReport>,
+    /// Deterministic phase-B decomposition counters (thread-invariant).
+    pub scaling: EngineScaling,
 }
 
 impl RunReport {
@@ -111,6 +142,7 @@ impl RunReport {
             dma_bytes: (vmm.dma().bytes_in(), vmm.dma().bytes_out()),
             sharing_histogram: vmm.sharing_histogram(),
             breakdown,
+            scaling: EngineScaling::default(),
             tiers: vmm.tier_counters().map(|counters| TierReport {
                 names: vmm
                     .config()

@@ -3,7 +3,7 @@
 use cmcp_arch::{CostModel, FaultPlan, PageSize, TierConfig};
 use cmcp_core::PolicyKind;
 use cmcp_kernel::{KernelConfig, SchemeChoice, Vmm};
-use cmcp_sim::{RunReport, Trace};
+use cmcp_sim::{HostScaling, RunReport, Trace};
 use cmcp_trace::{Event, Recorder, RingTracer};
 use cmcp_workloads::Workload;
 
@@ -166,6 +166,21 @@ impl SimulationBuilder {
         self
     }
 
+    /// Use one engine worker per available host CPU — shorthand for
+    /// `.threads(0)`. The resolved count is reported by
+    /// [`SimulationBuilder::resolved_threads`] (and the CLI run header).
+    pub fn threads_auto(mut self) -> Self {
+        self.threads = 0;
+        self
+    }
+
+    /// The worker count this builder will actually run with: the
+    /// requested count, or the host's available parallelism when
+    /// auto-detection was selected.
+    pub fn resolved_threads(&self) -> usize {
+        cmcp_sim::resolve_threads(self.threads)
+    }
+
     /// Overrides the scan-tick budget (blocks per tick; 0 = auto).
     pub fn scan_budget(mut self, b: usize) -> Self {
         self.scan_budget = b;
@@ -233,6 +248,18 @@ impl SimulationBuilder {
         let (trace, cfg) = self.materialize();
         let vmm = Vmm::new(cfg);
         self.dispatch(&vmm, &trace)
+    }
+
+    /// Like [`SimulationBuilder::run`], additionally returning the
+    /// host-side scaling counters (barrier wait tiers, concurrent
+    /// commit rounds). Those are machine- and thread-count-dependent,
+    /// which is why they ride alongside the byte-stable report instead
+    /// of inside it.
+    pub fn run_with_host_stats(self) -> (RunReport, HostScaling) {
+        let (trace, cfg) = self.materialize();
+        let vmm = Vmm::new(cfg);
+        let threads = cmcp_sim::resolve_threads(self.threads);
+        cmcp_sim::run_with_host_stats(&vmm, &trace, threads)
     }
 
     /// Like [`SimulationBuilder::run`], but records the fault-path event

@@ -56,6 +56,6 @@ pub use cmcp_workloads as workloads;
 pub use cmcp_arch::{CostModel, FaultPlan, FaultRule, FaultSite, PageSize, TierConfig, TierSpec};
 pub use cmcp_core::{CmcpConfig, CmcpPolicy, PolicyKind};
 pub use cmcp_kernel::{KernelConfig, SchemeChoice, TierCounters, Vmm};
-pub use cmcp_sim::{RunReport, TierReport, Trace};
+pub use cmcp_sim::{EngineScaling, HostScaling, RunReport, TierReport, Trace};
 pub use cmcp_trace::{Breakdown, Event, EventKind, NullTracer, Recorder, RingTracer};
 pub use cmcp_workloads::{Workload, WorkloadClass};

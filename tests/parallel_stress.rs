@@ -121,6 +121,41 @@ fn stress_workers_survive_a_one_percent_dma_error_plan() {
 }
 
 #[test]
+fn oversubscribed_workers_finish_fast_and_keep_the_bytes() {
+    // Regression for the PhaseBarrier oversubscription pathology: with
+    // more workers than host CPUs, pure spin-waiting convoyed the
+    // scheduler (every waiter burned a core) and runs timed out. The
+    // spin → yield → condvar-sleep ladder must keep twice-nproc workers
+    // moving — and, as always, must not move a byte of the report.
+    let nproc = std::thread::available_parallelism().map_or(2, |p| p.get());
+    let workers = 2 * nproc;
+    // As many simulated cores as workers, so the engine cannot quietly
+    // clamp the thread count down and dodge the oversubscription.
+    let t = synthetic::shared_hot(workers, 24, 32, 3);
+    let run = |threads: usize| {
+        SimulationBuilder::trace(t.clone())
+            .policy(PolicyKind::Cmcp { p: 0.5 })
+            .memory_ratio(0.5)
+            .threads(threads)
+            .run()
+    };
+    let start = std::time::Instant::now();
+    let oversubscribed = run(workers);
+    let elapsed = start.elapsed();
+    assert_eq!(
+        format!("{oversubscribed:?}"),
+        format!("{:?}", run(1)),
+        "oversubscription changed report bytes"
+    );
+    // Generous even for a loaded single-core CI runner; the pre-fix
+    // pathology was tens of seconds to wedged-forever.
+    assert!(
+        elapsed < std::time::Duration::from_secs(60),
+        "2x-nproc run took {elapsed:?}; barrier waiters are convoying again"
+    );
+}
+
+#[test]
 fn mixed_schemes_survive_stress() {
     let t = synthetic::private_stream(8, 64, 4);
     for scheme in [cmcp::SchemeChoice::Pspt, cmcp::SchemeChoice::Regular] {
