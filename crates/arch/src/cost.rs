@@ -21,6 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::clock::Cycles;
+use crate::numa::NumaConfig;
 use crate::tier::TierConfig;
 use crate::types::PageSize;
 
@@ -113,6 +114,14 @@ pub struct CostModel {
     /// landing tier's latency/bandwidth penalty on top of the PCIe DMA
     /// model above.
     pub tiers: TierConfig,
+
+    /// The NUMA topology (see [`crate::numa`]). The default is the
+    /// paper's single-node machine: one unbounded zero-cost node,
+    /// bit-identical to the pre-NUMA kernel. Multi-node topologies give
+    /// every resident block a home node, charge the inter-node link on
+    /// remote accesses, and (with replication on) keep per-node
+    /// page-table replicas coherent from PSPT's exact mapping sets.
+    pub numa: NumaConfig,
 }
 
 impl Default for CostModel {
@@ -139,6 +148,7 @@ impl Default for CostModel {
             scan_period: 10_530_000,
             ring_hop: 15,
             tiers: TierConfig::flat(),
+            numa: NumaConfig::single(),
         }
     }
 }
@@ -191,11 +201,23 @@ impl CostModel {
     /// A core running ahead inside one window therefore never uses a
     /// translation staler than real hardware would permit.
     ///
+    /// On a multi-node topology the inter-node link is a second
+    /// cross-core channel (replica syncs, remote walks), so the window
+    /// is the global minimum over the IPI path and every node pair.
+    /// [`NumaConfig::check_window`] rejects topologies whose links are
+    /// faster than the IPI window at validation time, so for accepted
+    /// configurations the minimum below never actually shrinks — the
+    /// `min` is defense in depth against an unvalidated cost table.
+    ///
     /// Clamped to at least 1 cycle so a degenerate all-zero cost table
     /// still yields a forward-moving epoch ceiling.
     #[inline]
     pub fn min_cross_core_latency(&self) -> Cycles {
-        (self.ipi_send + self.ipi_handle).max(1)
+        let ipi = self.ipi_send + self.ipi_handle;
+        self.numa
+            .min_cross_latency()
+            .map_or(ipi, |link| ipi.min(link))
+            .max(1)
     }
 
     /// Converts cycles into seconds using the configured frequency.
@@ -214,6 +236,7 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::numa::NodeSpec;
 
     #[test]
     fn default_is_calibrated_to_paper() {
@@ -268,6 +291,37 @@ mod tests {
             ..CostModel::default()
         };
         assert_eq!(zero.min_cross_core_latency(), 1);
+    }
+
+    #[test]
+    fn epoch_window_takes_the_numa_global_minimum() {
+        let mut c = CostModel::default();
+        // Single node: the NUMA layer imposes no bound.
+        assert_eq!(c.min_cross_core_latency(), c.ipi_send + c.ipi_handle);
+        // Links slower than the IPI window leave it untouched.
+        c.numa = NumaConfig::parse("2node").unwrap();
+        assert_eq!(c.min_cross_core_latency(), c.ipi_send + c.ipi_handle);
+        // A (validation-rejected) faster link would shrink the window —
+        // the engine must still never run past the true global minimum.
+        c.numa = NumaConfig {
+            nodes: vec![
+                NodeSpec {
+                    name: "a".to_string(),
+                    capacity_pages: 1,
+                    link_latency: 400,
+                    bytes_per_kcycle: 0,
+                },
+                NodeSpec {
+                    name: "b".to_string(),
+                    capacity_pages: 1,
+                    link_latency: 500,
+                    bytes_per_kcycle: 0,
+                },
+            ],
+            replicate: true,
+        };
+        assert!(c.numa.check_window(c.ipi_send + c.ipi_handle).is_err());
+        assert_eq!(c.min_cross_core_latency(), 900);
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //! * [`tier`] — the backing-tier hierarchy model ([`tier::TierConfig`]):
 //!   ordered HBM/DRAM/NVM/CXL-style tiers with per-tier capacity,
 //!   latency, and bandwidth, plus the map-count demotion ranking.
+//! * [`numa`] — the NUMA topology model ([`numa::NumaConfig`]): multiple
+//!   DRAM nodes with per-node frame budgets and asymmetric link
+//!   latencies, driving the kernel's home-node placement, page-table
+//!   replication, and migration machinery.
 //! * [`resource`] — virtual-time reservation resources (`start =
 //!   max(now, free); free = start + service`) used to model queueing on
 //!   shared hardware (the DMA engine) and software (page-table locks).
@@ -48,6 +52,7 @@ pub mod dma;
 pub mod fault;
 pub mod hash;
 pub mod ikc;
+pub mod numa;
 pub mod resource;
 pub mod ring;
 pub mod tier;
@@ -60,6 +65,7 @@ pub use dma::{CheckedTransfer, DmaModel};
 pub use fault::{FaultInjector, FaultPlan, FaultRule, FaultSite};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ikc::{IkcChannel, IkcMessage};
+pub use numa::{NodeSpec, NumaConfig, MAX_NODES};
 pub use resource::VirtualResource;
 pub use ring::RingModel;
 pub use tier::{TierConfig, TierSpec, MAX_TIERS};

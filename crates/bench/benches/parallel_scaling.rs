@@ -113,8 +113,18 @@ fn write_baseline(trace: &Trace) {
     let speedup_4 = per_thread[0].1 / ms_at(4);
     let speedup_8 = per_thread[0].1 / per_thread.last().unwrap().1;
     // Thread-level speedup needs host CPUs; record how many this
-    // baseline had so readers can interpret the scaling column.
+    // baseline had so readers can interpret the scaling column. On a
+    // host with fewer than 4 CPUs the speedup numbers are noise —
+    // worker threads time-slice one core — so the baseline says
+    // explicitly that the scaling claim is delegated to the CI
+    // scaling job (which *fails*, not skips, on such hosts) instead
+    // of publishing numbers a reader might mistake for a measurement.
     let host_cpus = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let scaling_claim = if host_cpus >= 4 {
+        "measured"
+    } else {
+        "delegated-to-ci"
+    };
     // The phase-B decomposition: deterministic counters (identical at
     // every thread count) plus how many epochs each thread count
     // actually committed concurrently, so a flat speedup column is
@@ -132,6 +142,7 @@ fn write_baseline(trace: &Trace) {
         "{{\n  \"workload\": \"cg n=6144 nnz=16 iters=2\",\n  \"cores\": {CORES},\n  \
          \"policy\": \"cmcp p=0.5\",\n  \"memory_ratio\": 0.75,\n  \
          \"samples\": {BASELINE_SAMPLES},\n  \"host_cpus\": {host_cpus},\n  \
+         \"scaling_claim\": \"{scaling_claim}\",\n  \
          \"byte_identical_reports\": true,\n  \
          \"mean_wall_ms\": {{\n{}\n  }},\n  \
          \"phase_b\": {{\n    \"epochs\": {},\n    \"fast_forwards\": {},\n    \

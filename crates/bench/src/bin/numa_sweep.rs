@@ -1,0 +1,138 @@
+//! NUMA node-count sweep: the Mitosis/numaPTE story grafted onto the
+//! paper's policies. As the topology grows from one node to four, every
+//! minor fault from a node without a local page-table replica pays a
+//! cross-node walk of the home node's master table; with replication
+//! on, that walk is paid once per node (the replica sync) and the rest
+//! are local. The average fault latency gap between replication-off
+//! and replication-on must therefore *grow with the node count* — that
+//! is the acceptance gate this bin enforces, for CMCP and LRU at
+//! least (FIFO rides along for the comparison table).
+//!
+//! The table is in virtual cycles, so the output is deterministic and
+//! `results/BENCH_numa.json` is covered by the goldens-check CI step.
+
+use serde::Serialize;
+
+use cmcp::{NumaConfig, PolicyKind, RunReport, SimulationBuilder, Workload, WorkloadClass};
+use cmcp_bench::{best_p, markdown_table, save_results};
+
+const CORES: usize = 16;
+/// Tight enough that eviction pressure is real (the policies diverge)
+/// while the minor-fault sharing traffic that replication amortizes
+/// still dominates.
+const MEMORY: f64 = 0.425;
+const TOPOLOGIES: [&str; 3] = ["1node", "2node", "4node"];
+
+#[derive(Serialize)]
+struct NumaSweepPoint {
+    topology: String,
+    nodes: usize,
+    policy: String,
+    replicate: bool,
+    runtime_cycles: u64,
+    page_faults: u64,
+    avg_fault_cycles: u64,
+    replica_syncs: u64,
+    replica_invalidations: u64,
+    page_migrations: u64,
+    remote_spills: u64,
+}
+
+fn run(policy: PolicyKind, topology: &str, replicate: bool) -> RunReport {
+    let w = Workload::Cg(WorkloadClass::B);
+    SimulationBuilder::workload(w)
+        .cores(CORES)
+        .policy(policy)
+        .numa(NumaConfig::parse(topology).expect("preset parses"))
+        .numa_replication(replicate)
+        .memory_ratio(MEMORY)
+        .run()
+}
+
+/// Average fault latency in cycles (the paper's per-fault unit).
+fn avg_fault_cycles(r: &RunReport) -> u64 {
+    let faults: u64 = r.per_core.iter().map(|c| c.page_faults).sum();
+    let cycles: u64 = r.per_core.iter().map(|c| c.fault_cycles).sum();
+    cycles / faults.max(1)
+}
+
+fn main() {
+    let w = Workload::Cg(WorkloadClass::B);
+    let policies: [(&str, PolicyKind); 3] = [
+        ("cmcp", PolicyKind::Cmcp { p: best_p(w) }),
+        ("fifo", PolicyKind::Fifo),
+        ("lru", PolicyKind::Lru),
+    ];
+    println!(
+        "# numa_sweep — replication-on vs -off fault latency by node count (cg.B, {CORES} cores)\n"
+    );
+    let headers: Vec<String> = std::iter::once("policy".to_string())
+        .chain(TOPOLOGIES.iter().flat_map(|t| {
+            let n = t.trim_end_matches("node").to_string();
+            [format!("{n}n on"), format!("{n}n off"), format!("{n}n gap")]
+        }))
+        .collect();
+    let mut results = Vec::new();
+    let mut rows = Vec::new();
+    let mut gate_ok = true;
+    for (label, policy) in policies {
+        let mut row = vec![label.to_string()];
+        let mut prev_gap: Option<u64> = None;
+        for topology in TOPOLOGIES {
+            let nodes = NumaConfig::parse(topology).unwrap().len();
+            let mut lat = [0u64; 2];
+            for (i, replicate) in [true, false].into_iter().enumerate() {
+                let r = run(policy, topology, replicate);
+                lat[i] = avg_fault_cycles(&r);
+                let (syncs, invs, migs, spills) = match &r.numa {
+                    Some(n) => (
+                        n.replica_syncs,
+                        n.replica_invalidations,
+                        n.page_migrations,
+                        n.remote_spills,
+                    ),
+                    None => (0, 0, 0, 0),
+                };
+                results.push(NumaSweepPoint {
+                    topology: topology.to_string(),
+                    nodes,
+                    policy: label.to_string(),
+                    replicate,
+                    runtime_cycles: r.runtime_cycles,
+                    page_faults: r.per_core.iter().map(|c| c.page_faults).sum(),
+                    avg_fault_cycles: lat[i],
+                    replica_syncs: syncs,
+                    replica_invalidations: invs,
+                    page_migrations: migs,
+                    remote_spills: spills,
+                });
+            }
+            // Replication can only remove remote walks, never add them,
+            // so the off-minus-on gap is non-negative by construction.
+            let gap = lat[1].saturating_sub(lat[0]);
+            row.push(format!("{}", lat[0]));
+            row.push(format!("{}", lat[1]));
+            row.push(format!("{gap}"));
+            // The gate: for CMCP and LRU the replication gap must grow
+            // strictly with the node count (1 node → 0 by identity).
+            if let Some(prev) = prev_gap {
+                if (label == "cmcp" || label == "lru") && gap <= prev {
+                    gate_ok = false;
+                    eprintln!(
+                        "FAIL: {label} replication gap did not grow at {topology}: \
+                         {gap} <= {prev} cycles/fault"
+                    );
+                }
+            }
+            prev_gap = Some(gap);
+        }
+        rows.push(row);
+    }
+    println!("{}", markdown_table(&headers, &rows));
+    println!("Columns: avg fault cycles with replication on / off, and the off-on gap.");
+    println!("Gate: the gap grows with node count for CMCP and LRU.");
+    save_results("BENCH_numa", &results);
+    if !gate_ok {
+        std::process::exit(1);
+    }
+}

@@ -10,8 +10,8 @@
 use std::process::ExitCode;
 
 use cmcp::{
-    FaultPlan, PageSize, PolicyKind, SchemeChoice, SimulationBuilder, TierConfig, Workload,
-    WorkloadClass,
+    CostModel, FaultPlan, NumaConfig, PageSize, PolicyKind, SchemeChoice, SimulationBuilder,
+    TierConfig, Workload, WorkloadClass,
 };
 
 const USAGE: &str = "\
@@ -51,6 +51,20 @@ OPTIONS:
                          last tier; latency in cycles; bandwidth in
                          bytes/kcycle), or a preset: flat | 2tier |
                          4tier        (default: flat)
+    --numa <SPEC>        NUMA topology: name:capacity@latency/bandwidth
+                         nodes joined by `;` (capacity in 4 kB pages —
+                         node DRAM budgets, scaled to the device size;
+                         latency in cycles per link crossing; bandwidth
+                         in bytes/kcycle for migrations), or a preset:
+                         1node | 2node | 4node    (default: 1node, the
+                         single zero-cost node — byte-identical to the
+                         pre-NUMA simulator). Multi-node runs replicate
+                         page tables per node and report the
+                         replica-coherence traffic
+    --numa-no-replication
+                         disable page-table replication: every minor
+                         fault from a non-home node walks the home
+                         node's master table remotely instead
     --threads <N|auto>   host worker threads, >= 1 (default: 1), or
                          `auto` to use every available host CPU; the
                          report is byte-identical at every count — more
@@ -80,6 +94,8 @@ struct Args {
     page_size: PageSize,
     adaptive: bool,
     tiers: TierConfig,
+    numa: NumaConfig,
+    numa_replication: bool,
     memory: Option<f64>,
     threads: usize,
     rebuild_ms: u64,
@@ -168,6 +184,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         page_size: PageSize::K4,
         adaptive: false,
         tiers: TierConfig::flat(),
+        numa: NumaConfig::single(),
+        numa_replication: true,
         memory: None,
         threads: 1,
         rebuild_ms: 0,
@@ -234,6 +252,8 @@ fn parse_args() -> Result<Option<Args>, String> {
                 }
             }
             "--tiers" => args.tiers = TierConfig::parse(&value("--tiers")?)?,
+            "--numa" => args.numa = NumaConfig::parse(&value("--numa")?)?,
+            "--numa-no-replication" => args.numa_replication = false,
             "--memory" => {
                 let m: f64 = value("--memory")?
                     .parse()
@@ -275,6 +295,17 @@ fn parse_args() -> Result<Option<Args>, String> {
             other => return Err(format!("unknown flag '{other}' (see --help)")),
         }
     }
+    // Config-time validation, so a bad combination dies with a clean
+    // CLI error instead of a kernel panic: the topology's fastest link
+    // must not undercut the engine's IPI-derived epoch window, and
+    // adaptive page sizes are not supported on multi-node topologies.
+    let cost = CostModel::default();
+    args.numa.check_window(cost.ipi_send + cost.ipi_handle)?;
+    if args.adaptive && !args.numa.is_single() {
+        return Err(
+            "--page-size adaptive is not supported with a multi-node --numa topology".into(),
+        );
+    }
     Ok(Some(args))
 }
 
@@ -296,6 +327,8 @@ fn main() -> ExitCode {
         .policy(args.policy)
         .page_size(args.page_size)
         .tiers(args.tiers)
+        .numa(args.numa)
+        .numa_replication(args.numa_replication)
         .memory_ratio(memory)
         .threads(args.threads)
         .pspt_rebuild_period(args.rebuild_ms * 1_053_000);
@@ -422,6 +455,38 @@ fn main() -> ExitCode {
                 entries.push(("tiers".to_string(), serde_json::json!(rows)));
             }
         }
+        // Appended only for multi-node topologies, for the same reason:
+        // single-node JSON (and the committed goldens) keeps its exact
+        // pre-NUMA shape.
+        if let Some(n) = &report.numa {
+            let nodes: Vec<serde_json::Value> = n
+                .nodes
+                .iter()
+                .zip(n.capacity_blocks.iter().zip(n.used_blocks.iter()))
+                .map(|(name, (cap, used))| {
+                    serde_json::json!({
+                        "name": name,
+                        "capacity_blocks": cap,
+                        "used_blocks": used,
+                    })
+                })
+                .collect();
+            if let serde_json::Value::Object(entries) = &mut value {
+                entries.push((
+                    "numa".to_string(),
+                    serde_json::json!({
+                        "replicate": n.replicate,
+                        "nodes": nodes,
+                        "replica_syncs": n.replica_syncs,
+                        "replica_invalidations": n.replica_invalidations,
+                        "page_migrations": n.page_migrations,
+                        "remote_spills": n.remote_spills,
+                        "replica_sync_cycles": n.replica_sync_cycles,
+                        "migration_cycles": n.migration_cycles,
+                    }),
+                ));
+            }
+        }
         println!(
             "{}",
             serde_json::to_string_pretty(&value).expect("serializable report")
@@ -467,6 +532,24 @@ fn main() -> ExitCode {
                     "    {:>6}: {:>8} pages resident, {} stores, {} loads, {} demoted in, {} promoted in",
                     name, c.used_pages, c.stores, c.loads, c.demoted_in, c.promoted_in
                 );
+            }
+        }
+        if let Some(n) = &report.numa {
+            println!(
+                "  numa ({} nodes, replication {}): {} replica syncs, {} invalidations, {} migrations, {} remote spills",
+                n.nodes.len(),
+                if n.replicate { "on" } else { "off" },
+                n.replica_syncs,
+                n.replica_invalidations,
+                n.page_migrations,
+                n.remote_spills
+            );
+            for (name, (cap, used)) in n
+                .nodes
+                .iter()
+                .zip(n.capacity_blocks.iter().zip(n.used_blocks.iter()))
+            {
+                println!("    {name:>6}: {used:>8} / {cap} blocks resident");
             }
         }
         if report.global.block_splits > 0 {

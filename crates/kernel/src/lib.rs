@@ -10,6 +10,10 @@
 //!   engine.
 //! * [`stats`] — per-core counters matching the paper's Table 1 (page
 //!   faults, remote TLB invalidations) plus cycle breakdowns.
+//! * [`numa`] — per-node accounting for multi-node topologies: home-node
+//!   placement, page-table replica sets, and per-node frame budgets
+//!   (never constructed for single-node runs, which stay bit-identical
+//!   to the pre-NUMA kernel).
 //! * [`offload`] — host-offloaded system calls over the IKC channel
 //!   (paper §2.1: "heavy system calls are shipped to and executed on
 //!   the host").
@@ -30,6 +34,7 @@ pub mod backing;
 pub mod buddy;
 pub mod config;
 pub mod frames;
+pub mod numa;
 pub mod offload;
 pub mod stats;
 pub mod vmm;
@@ -38,6 +43,7 @@ pub use backing::{BackingStore, TierCounters, TieredStore};
 pub use buddy::BuddyPool;
 pub use config::{KernelConfig, SchemeChoice};
 pub use frames::FramePool;
+pub use numa::{BlockNuma, NumaBooks};
 pub use offload::{OffloadEngine, Syscall};
 pub use stats::{CoreStats, CoreStatsSnapshot, GlobalStats, GlobalStatsSnapshot};
 pub use vmm::{FaultKind, Vmm};

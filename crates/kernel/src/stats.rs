@@ -59,6 +59,18 @@ pub struct CoreStats {
     /// tier below the host DRAM. A component of `fault_cycles`; zero in
     /// flat single-tier runs.
     pub tier_penalty_cycles: AtomicU64,
+    /// Cycles this core spent on page-table replica traffic — syncing a
+    /// node's replica on its first fault, invalidating replica-holding
+    /// nodes on eviction, or walking a remote node's table when
+    /// replication is off. A component of `fault_cycles`; zero in
+    /// single-node runs. Deliberately **not** part of
+    /// [`CoreStatsSnapshot`] (which is serialized into committed golden
+    /// reports); surfaced through the separate NUMA report section.
+    pub replica_sync_cycles: AtomicU64,
+    /// Cycles this core spent migrating blocks between home nodes. A
+    /// component of `fault_cycles`; zero in single-node runs. Not part
+    /// of [`CoreStatsSnapshot`] — see `replica_sync_cycles`.
+    pub migration_cycles: AtomicU64,
 }
 
 impl CoreStats {
@@ -160,6 +172,22 @@ pub struct GlobalStats {
     /// Oversized victims split one granularity level under pressure
     /// instead of being evicted whole (adaptive page-size mode).
     pub block_splits: AtomicU64,
+    /// Page-table replica syncs: a node's first faulting core pulled a
+    /// local replica of a block's mapping (replication on only). Not in
+    /// [`GlobalStatsSnapshot`] (serialized into committed goldens);
+    /// surfaced through the NUMA report section.
+    pub replica_syncs: AtomicU64,
+    /// Replica invalidations: eviction told a replica-holding node to
+    /// drop its entry (or, replication off, updated the home node's
+    /// master table remotely). Not in [`GlobalStatsSnapshot`].
+    pub replica_invalidations: AtomicU64,
+    /// Blocks whose home node migrated toward their map-count-weighted
+    /// access center. Not in [`GlobalStatsSnapshot`].
+    pub page_migrations: AtomicU64,
+    /// First-touch allocations that could not land on the faulting
+    /// core's node (its DRAM share was full) and spilled to another
+    /// node. Not in [`GlobalStatsSnapshot`].
+    pub remote_spills: AtomicU64,
 }
 
 impl GlobalStats {

@@ -42,6 +42,7 @@ use crate::backing::{TierCounters, TieredStore};
 use crate::buddy::BuddyPool;
 use crate::config::{KernelConfig, SchemeChoice};
 use crate::frames::FramePool;
+use crate::numa::{BlockNuma, NumaBooks};
 use crate::offload::{OffloadEngine, Syscall};
 use crate::stats::{owner_add, CoreStats, GlobalStats};
 
@@ -205,6 +206,10 @@ pub struct Vmm<R: Recorder = NullTracer> {
     core_stats: Vec<CoreStats>,
     global: GlobalStats,
     offload: OffloadEngine,
+    /// NUMA ledger — home nodes, replica sets, per-node budgets. `None`
+    /// for single-node topologies, which leaves every NUMA branch cold
+    /// and the run bit-identical to the pre-NUMA kernel.
+    numa: Option<NumaBooks>,
     /// Compiled fault plan; `None` leaves every fault-injection branch
     /// cold and the run bit-identical to a plan-free build.
     injector: Option<FaultInjector>,
@@ -248,6 +253,23 @@ impl<R: Recorder> Vmm<R> {
     pub fn with_tracer(cfg: KernelConfig, tracer: R) -> Vmm<R> {
         assert!(cfg.cores > 0, "need at least one core");
         assert!(cfg.device_blocks > 0, "need at least one device block");
+        if let Err(e) = cfg.cost.numa.validate() {
+            panic!("invalid NUMA topology: {e}");
+        }
+        // The engine derives its determinism window once at build; a
+        // cross-node link faster than the IPI window would silently
+        // shrink it, so the combination is rejected loudly up front.
+        if let Err(e) = cfg
+            .cost
+            .numa
+            .check_window(cfg.cost.ipi_send + cfg.cost.ipi_handle)
+        {
+            panic!("{e}");
+        }
+        assert!(
+            cfg.cost.numa.is_single() || !cfg.adaptive,
+            "adaptive page sizes are not supported on multi-node NUMA topologies"
+        );
         let scheme = match cfg.scheme {
             SchemeChoice::Regular => SchemeObj::Regular(RegularTables::new(cfg.cores)),
             SchemeChoice::Pspt => SchemeObj::Pspt(Pspt::new(cfg.cores)),
@@ -291,6 +313,8 @@ impl<R: Recorder> Vmm<R> {
             core_stats: (0..cfg.cores).map(|_| CoreStats::default()).collect(),
             global: GlobalStats::default(),
             offload: OffloadEngine::new(&cfg.cost, cfg.cores),
+            numa: (!cfg.cost.numa.is_single())
+                .then(|| NumaBooks::new(cfg.cost.numa.clone(), cfg.cores, cfg.device_blocks)),
             injector: cfg.fault_plan.as_ref().map(FaultInjector::new),
             offload_calls: AtomicU64::new(0),
             offload_dead: AtomicBool::new(false),
@@ -599,6 +623,29 @@ impl<R: Recorder> Vmm<R> {
         self.backing.tier_counters()
     }
 
+    /// The NUMA ledger; `None` for single-node topologies.
+    pub fn numa_books(&self) -> Option<&NumaBooks> {
+        self.numa.as_ref()
+    }
+
+    /// The `(home node, replica mask)` of a resident block on a
+    /// multi-node run. Test-oracle hook.
+    pub fn numa_block_state(&self, head: VirtPage) -> Option<BlockNuma> {
+        self.numa.as_ref()?.block_state(head)
+    }
+
+    /// Bitmask of nodes with at least one core currently mapping
+    /// `head`. Test-oracle hook for the replica-subset invariant;
+    /// always 0 on single-node runs.
+    pub fn mapping_node_mask(&self, head: VirtPage) -> u8 {
+        let Some(books) = &self.numa else { return 0 };
+        let mut mask = 0u8;
+        for c in with_scheme!(self, s => s.mapping_cores(head)).iter() {
+            mask |= 1 << books.node_of(c.index());
+        }
+        mask
+    }
+
     /// Backing-store invariant audit: panics on span overlap, per-tier
     /// book drift, or a bounded tier over capacity. Test-oracle hook.
     pub fn backing_audit(&self) {
@@ -813,6 +860,16 @@ impl<R: Recorder> Vmm<R> {
                     }
                 }
             }
+        }
+        // The rebuild's global shootdown tore down every PTE, so every
+        // node-local replica is gone with it: clear the masks and count
+        // the drops (the maintenance hyperthreads' own time is free,
+        // like the scan timer's).
+        if let Some(books) = &self.numa {
+            let dropped = books.on_rebuild();
+            self.global
+                .replica_invalidations
+                .fetch_add(dropped, Relaxed);
         }
         self.global.rebuilds.fetch_add(1, Relaxed);
         if R::ENABLED {
@@ -1051,6 +1108,7 @@ impl<R: Recorder> Vmm<R> {
                 rank,
             );
         }
+        self.numa_on_evict(requester, victim);
         drop(shard);
         policy.on_evict(victim);
         self.global.evictions.fetch_add(1, Relaxed);
@@ -1079,6 +1137,122 @@ impl<R: Recorder> Vmm<R> {
                 pen,
                 tier as u64,
             );
+        }
+    }
+
+    /// Charges `core` one cross-node page-table crossing of `cycles` —
+    /// a replica sync or remote master walk (`op` 0) or a replica
+    /// invalidation (`op` 1) reaching `node` — with the paired
+    /// exact-cost event. Zero charges are silent, like every other
+    /// conditional cost layer.
+    fn charge_replica(&self, core: CoreId, cycles: Cycles, op: u64, node: u8) {
+        if cycles == 0 {
+            return;
+        }
+        let clock = &self.clocks[core.index()];
+        clock.advance(cycles);
+        owner_add(&self.core_stats[core.index()].replica_sync_cycles, cycles);
+        if R::ENABLED {
+            self.tracer.record(
+                core.0,
+                clock.now(),
+                EventKind::ReplicaSync,
+                cycles,
+                (op << 8) | u64::from(node),
+            );
+        }
+    }
+
+    /// NUMA bookkeeping for a major fault: places `head` on a home node
+    /// (spilling — one link crossing — when the faulting core's node is
+    /// full). Caller holds the block's stripe lock, so the books stay
+    /// consistent with the resident map. No-op on single-node runs.
+    fn numa_on_insert(&self, core: CoreId, head: VirtPage) {
+        let Some(books) = &self.numa else { return };
+        if let Some(home) = books.on_insert(core.index(), head) {
+            self.global.remote_spills.fetch_add(1, Relaxed);
+            let cost = books
+                .config
+                .cross_latency(books.node_of(core.index()) as usize, home as usize);
+            self.charge_replica(core, cost, 0, home);
+        }
+    }
+
+    /// NUMA bookkeeping for a minor fault: replica sync (replication
+    /// on, first fault from a new node) or remote master walk
+    /// (replication off, every remote fault), then the home-migration
+    /// check against the block's current mapping-node histogram — the
+    /// CMCP map-count-weighted access center. Caller holds the block's
+    /// stripe lock. No-op on single-node runs.
+    fn numa_on_map(&self, core: CoreId, head: VirtPage) {
+        let Some(books) = &self.numa else { return };
+        let nodes = books.config.len();
+        let mut counts = [0u32; cmcp_arch::MAX_NODES];
+        let mappers = with_scheme!(self, s => s.mapping_cores(head));
+        for c in mappers.iter() {
+            counts[books.node_of(c.index()) as usize] += 1;
+        }
+        let d = books.on_map(core.index(), head, &counts[..nodes]);
+        if let Some(home) = d.sync_with {
+            if d.counted_sync {
+                self.global.replica_syncs.fetch_add(1, Relaxed);
+            }
+            let cost = books
+                .config
+                .cross_latency(books.node_of(core.index()) as usize, home as usize);
+            self.charge_replica(core, cost, 0, home);
+        }
+        if let Some((from, to)) = d.migrate {
+            self.global.page_migrations.fetch_add(1, Relaxed);
+            let pen = books
+                .config
+                .xfer_penalty(from as usize, to as usize, self.block_bytes());
+            if pen > 0 {
+                let clock = &self.clocks[core.index()];
+                clock.advance(pen);
+                owner_add(&self.core_stats[core.index()].migration_cycles, pen);
+                if R::ENABLED {
+                    self.tracer.record(
+                        core.0,
+                        clock.now(),
+                        EventKind::Migration,
+                        pen,
+                        (u64::from(from) << 8) | u64::from(to),
+                    );
+                }
+            }
+        }
+    }
+
+    /// NUMA bookkeeping for an eviction: releases the victim's budget
+    /// and tears down the page-table state. With replication *on* the
+    /// per-node replica clears piggyback on the TLB-shootdown IPIs the
+    /// eviction already sends to every mapping core — the clear runs
+    /// inside the shootdown handler on the remote node and the ack
+    /// barrier the evictor already waits on orders it before frame
+    /// reuse, so replicas cost counters, not extra critical-path
+    /// cycles. With replication *off* there is nothing on the remote
+    /// nodes for a handler to clear; the evictor itself must write the
+    /// single master table before handing the frame out, and when the
+    /// home is remote that is one synchronous link crossing. Caller
+    /// holds the victim's stripe lock. No-op on single-node runs.
+    fn numa_on_evict(&self, requester: CoreId, victim: VirtPage) {
+        let Some(books) = &self.numa else { return };
+        let Some(ent) = books.on_evict(victim) else {
+            return;
+        };
+        let req_node = books.node_of(requester.index());
+        if books.config.replicate {
+            let dropped = u64::from(ent.mask.count_ones());
+            self.global
+                .replica_invalidations
+                .fetch_add(dropped, Relaxed);
+        } else if ent.home != req_node {
+            self.global.replica_invalidations.fetch_add(1, Relaxed);
+            let cost = books
+                .config
+                .cross_latency(req_node as usize, ent.home as usize);
+            self.charge_replica(requester, cost, 1, ent.home);
         }
     }
 
@@ -1227,6 +1401,7 @@ impl<R: Recorder> Vmm<R> {
                                 map_count,
                             },
                         );
+                        self.numa_on_map(core, head);
                         break FaultKind::MinorCopy;
                     }
                     Ok(MapOutcome::Fresh) => {
@@ -1241,6 +1416,7 @@ impl<R: Recorder> Vmm<R> {
                                 map_count: 1,
                             },
                         );
+                        self.numa_on_map(core, head);
                         break FaultKind::MinorCopy;
                     }
                     Err(_) => break FaultKind::Spurious,
@@ -1354,6 +1530,7 @@ impl<R: Recorder> Vmm<R> {
             // Mutated under the stripe lock only — see the eviction path.
             let len = &self.resident_len[shard_idx];
             len.store(len.load(Relaxed) + 1, Relaxed);
+            self.numa_on_insert(core, head);
             self.push_policy_event(
                 core,
                 PolicyEvent::Insert {

@@ -448,8 +448,14 @@ impl Committer {
         // resident: PTE copy only) or a *fresh* major — no backing copy
         // to DMA in, and within the epoch's free-block budget so no
         // eviction can fire. Classification runs at every thread count
-        // so the scaling counters stay thread-invariant.
-        let sharded_scheme = vmm.config().scheme == SchemeChoice::Pspt && !vmm.config().adaptive;
+        // so the scaling counters stay thread-invariant. Multi-node
+        // NUMA runs are never shardable: every commit's home/spill and
+        // replica decisions read the shared per-node books, so they all
+        // take the sequential reconciliation tail (deterministic at any
+        // thread count by construction — DESIGN.md §15).
+        let sharded_scheme = vmm.config().scheme == SchemeChoice::Pspt
+            && !vmm.config().adaptive
+            && vmm.config().cost.numa.is_single();
         let budget = vmm.pool_free_blocks().unwrap_or(0);
         let mut majors = 0usize;
         let mut prefix = 0usize;

@@ -30,5 +30,5 @@ pub mod trace;
 pub use engine::{
     resolve_threads, run, run_deterministic, run_parallel, run_with_host_stats, HostScaling,
 };
-pub use report::{EngineScaling, RunReport, TierReport};
+pub use report::{EngineScaling, NumaReport, RunReport, TierReport};
 pub use trace::{CoreTrace, Op, Trace};

@@ -1,5 +1,7 @@
 //! The merged run report: everything the experiment harness prints.
 
+use std::sync::atomic::Ordering::Relaxed;
+
 use cmcp_arch::{Cycles, TlbStats};
 use cmcp_kernel::{CoreStatsSnapshot, GlobalStatsSnapshot, TierCounters, Vmm};
 use cmcp_trace::{Breakdown, CoreTotals, Recorder};
@@ -14,6 +16,40 @@ pub struct TierReport {
     pub names: Vec<String>,
     /// Occupancy and traffic counters, parallel to `names`.
     pub counters: Vec<TierCounters>,
+}
+
+/// Multi-node NUMA roll-up: the topology in force, per-node DRAM
+/// budgets and occupancy, and the replica-coherence counters. The
+/// underlying counters live in dedicated atomics — **not** in the
+/// serialized snapshot structs — so single-node reports (and the
+/// committed goldens built from them) are byte-identical to the
+/// pre-NUMA code; this struct exists only when the topology is
+/// multi-node.
+#[derive(Debug, Clone, Default)]
+pub struct NumaReport {
+    /// Node names from the topology spec, in index order.
+    pub nodes: Vec<String>,
+    /// Whether page-table replication was on.
+    pub replicate: bool,
+    /// Per-node DRAM budgets in blocks (sums to the device block
+    /// count).
+    pub capacity_blocks: Vec<u64>,
+    /// Per-node blocks in use at run end, parallel to `nodes`.
+    pub used_blocks: Vec<u64>,
+    /// Replica syncs (replication on: first fault from a new node).
+    pub replica_syncs: u64,
+    /// Replica invalidations at eviction / rebuild teardown.
+    pub replica_invalidations: u64,
+    /// Home-node migrations toward the map-count-weighted access
+    /// center.
+    pub page_migrations: u64,
+    /// First-touch allocations that spilled to a remote node.
+    pub remote_spills: u64,
+    /// Total cycles all cores spent on replica traffic (syncs,
+    /// invalidations, remote master walks).
+    pub replica_sync_cycles: u64,
+    /// Total cycles all cores spent migrating block homes.
+    pub migration_cycles: u64,
 }
 
 /// Deterministic engine-scaling counters: how phase B decomposed the
@@ -76,6 +112,8 @@ pub struct RunReport {
     pub breakdown: Option<Breakdown>,
     /// Per-tier backing counters; `None` for the flat single-tier store.
     pub tiers: Option<TierReport>,
+    /// NUMA topology roll-up; `None` for single-node runs.
+    pub numa: Option<NumaReport>,
     /// Deterministic phase-B decomposition counters (thread-invariant).
     pub scaling: EngineScaling,
 }
@@ -107,13 +145,20 @@ impl RunReport {
         let breakdown = if R::ENABLED {
             let events = vmm.tracer().events();
             let dropped = vmm.tracer().dropped();
+            // The NUMA cycle counters live in dedicated atomics rather
+            // than the serialized snapshots (golden-stability), so the
+            // totals read them off the live stats alongside the
+            // snapshot fields.
             let totals: Vec<CoreTotals> = per_core
                 .iter()
-                .map(|c| CoreTotals {
+                .zip(vmm.core_stats())
+                .map(|(c, live)| CoreTotals {
                     page_faults: c.page_faults,
                     fault_cycles: c.fault_cycles,
                     dma_wait_cycles: c.dma_wait_cycles,
                     tier_penalty_cycles: c.tier_penalty_cycles,
+                    replica_sync_cycles: live.replica_sync_cycles.load(Relaxed),
+                    migration_cycles: live.migration_cycles.load(Relaxed),
                     shootdown_cycles: c.shootdown_cycles,
                     lock_wait_cycles: c.lock_wait_cycles,
                     shard_lock_acquires: c.shard_lock_acquires,
@@ -152,6 +197,29 @@ impl RunReport {
                     .map(|t| t.name.clone())
                     .collect(),
                 counters,
+            }),
+            numa: vmm.numa_books().map(|books| {
+                let g = vmm.global_stats();
+                NumaReport {
+                    nodes: books.config.nodes.iter().map(|n| n.name.clone()).collect(),
+                    replicate: books.config.replicate,
+                    capacity_blocks: books.capacity().to_vec(),
+                    used_blocks: books.used(),
+                    replica_syncs: g.replica_syncs.load(Relaxed),
+                    replica_invalidations: g.replica_invalidations.load(Relaxed),
+                    page_migrations: g.page_migrations.load(Relaxed),
+                    remote_spills: g.remote_spills.load(Relaxed),
+                    replica_sync_cycles: vmm
+                        .core_stats()
+                        .iter()
+                        .map(|c| c.replica_sync_cycles.load(Relaxed))
+                        .sum(),
+                    migration_cycles: vmm
+                        .core_stats()
+                        .iter()
+                        .map(|c| c.migration_cycles.load(Relaxed))
+                        .sum(),
+                }
             }),
             per_core,
         }

@@ -41,6 +41,12 @@ pub struct CoreTotals {
     pub retry_backoff_cycles: u64,
     /// Frames this core moved to the quarantine list.
     pub quarantines: u64,
+    /// Cycles charged keeping page-table replicas coherent (syncs on
+    /// faults, invalidations on evictions; zero on single-node runs).
+    pub replica_sync_cycles: u64,
+    /// Cycles charged migrating blocks between home nodes (zero on
+    /// single-node runs).
+    pub migration_cycles: u64,
 }
 
 /// One core's traced cycle decomposition.
@@ -88,6 +94,12 @@ pub struct CoreBreakdown {
     pub retry_backoff_cycles: u64,
     /// Frames quarantined (`Quarantine` count; zero cycles).
     pub quarantines: u64,
+    /// ... of which fault cycles: page-table replica coherence
+    /// (`ReplicaSync` payload sum; zero on single-node runs).
+    pub replica_sync_cycles: u64,
+    /// ... of which fault cycles: home-node page migrations
+    /// (`Migration` payload sum; zero on single-node runs).
+    pub migration_cycles: u64,
 }
 
 /// A whole run's traced decomposition.
@@ -142,6 +154,8 @@ impl Breakdown {
                     row.retry_backoff_cycles += e.a;
                 }
                 EventKind::Quarantine => row.quarantines += 1,
+                EventKind::ReplicaSync => row.replica_sync_cycles += e.a,
+                EventKind::Migration => row.migration_cycles += e.a,
                 EventKind::LockRelease
                 | EventKind::VictimSelect
                 | EventKind::DmaEnqueue
@@ -155,7 +169,9 @@ impl Breakdown {
                 + row.dma_wait_cycles
                 + row.tier_penalty_cycles
                 + row.policy_scan_cycles
-                + row.retry_backoff_cycles;
+                + row.retry_backoff_cycles
+                + row.replica_sync_cycles
+                + row.migration_cycles;
             row.other_cycles = row.fault_cycles.saturating_sub(components);
         }
         Breakdown {
@@ -208,6 +224,12 @@ impl Breakdown {
                     t.retry_backoff_cycles,
                 ),
                 ("quarantines", row.quarantines, t.quarantines),
+                (
+                    "replica_sync_cycles",
+                    row.replica_sync_cycles,
+                    t.replica_sync_cycles,
+                ),
+                ("migration_cycles", row.migration_cycles, t.migration_cycles),
             ];
             for (name, traced, counted) in checks {
                 if traced != counted {
@@ -422,6 +444,52 @@ mod tests {
             .validate(&wrong)
             .unwrap_err();
         assert!(err.contains("tier_penalty_cycles"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn replica_and_migration_charges_are_fault_components() {
+        let events = [
+            e(0, EventKind::FaultStart, 7, 0),
+            e(0, EventKind::ReplicaSync, 3200, 1), // sync node 1
+            e(0, EventKind::ReplicaSync, 3200, (1 << 8) | 2), // invalidate node 2
+            e(0, EventKind::Migration, 4200, 1), // home 0 → 1 ((from<<8)|to)
+            e(0, EventKind::FaultEnd, 0, 20_000),
+        ];
+        let b = Breakdown::from_events(&events, 1, 0);
+        let row = &b.per_core[0];
+        assert_eq!(row.replica_sync_cycles, 6400);
+        assert_eq!(row.migration_cycles, 4200);
+        assert_eq!(row.other_cycles, 20_000 - 6400 - 4200);
+        let totals = [CoreTotals {
+            page_faults: 1,
+            fault_cycles: 20_000,
+            replica_sync_cycles: 6400,
+            migration_cycles: 4200,
+            ..CoreTotals::default()
+        }];
+        assert!(b.validate_against(&totals).unwrap().validated);
+        // Either counter mismatching is caught.
+        for (field, wrong) in [
+            (
+                "replica_sync_cycles",
+                CoreTotals {
+                    replica_sync_cycles: 6401,
+                    ..totals[0]
+                },
+            ),
+            (
+                "migration_cycles",
+                CoreTotals {
+                    migration_cycles: 0,
+                    ..totals[0]
+                },
+            ),
+        ] {
+            let err = Breakdown::from_events(&events, 1, 0)
+                .validate(&[wrong])
+                .unwrap_err();
+            assert!(err.contains(field), "unexpected: {err}");
+        }
     }
 
     #[test]

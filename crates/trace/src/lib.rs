@@ -119,6 +119,20 @@ pub enum EventKind {
     /// `tier_penalty_cycles` increment), `b` = tier index. Never emitted
     /// by flat single-tier runs (tier 0 is free there).
     TierPenalty = 17,
+    /// A page-table replica was brought in sync (fault path: a node's
+    /// first mapping core pulled a replica) or invalidated (eviction
+    /// path: a replica-holding node was told to drop the entry).
+    /// `a` = cycles charged to the acting core (the exact
+    /// `replica_sync_cycles` increment), `b` = `(op << 8) | node` where
+    /// op is 0 for a sync and 1 for an invalidation. Never emitted by
+    /// single-node runs.
+    ReplicaSync = 18,
+    /// A block's home node migrated toward its CMCP map-count-weighted
+    /// access center. `a` = cycles charged to the faulting core (the
+    /// exact `migration_cycles` increment: inter-node link latency plus
+    /// the bandwidth term), `b` = `(from_node << 8) | to_node`. Never
+    /// emitted by single-node runs.
+    Migration = 19,
 }
 
 impl EventKind {
@@ -143,6 +157,8 @@ impl EventKind {
             EventKind::Retry => "retry",
             EventKind::Quarantine => "quarantine",
             EventKind::TierPenalty => "tier_penalty",
+            EventKind::ReplicaSync => "replica_sync",
+            EventKind::Migration => "migration",
         }
     }
 
@@ -166,6 +182,8 @@ impl EventKind {
             15 => EventKind::Retry,
             16 => EventKind::Quarantine,
             17 => EventKind::TierPenalty,
+            18 => EventKind::ReplicaSync,
+            19 => EventKind::Migration,
             _ => return None,
         })
     }

@@ -1,6 +1,6 @@
 //! The high-level simulation builder: one experiment, one call chain.
 
-use cmcp_arch::{CostModel, FaultPlan, PageSize, TierConfig};
+use cmcp_arch::{CostModel, FaultPlan, NumaConfig, PageSize, TierConfig};
 use cmcp_core::PolicyKind;
 use cmcp_kernel::{KernelConfig, SchemeChoice, Vmm};
 use cmcp_sim::{HostScaling, RunReport, Trace};
@@ -133,6 +133,23 @@ impl SimulationBuilder {
     /// `"2tier"`/`"4tier"` presets.
     pub fn tiers(mut self, t: TierConfig) -> Self {
         self.cost.tiers = t;
+        self
+    }
+
+    /// NUMA topology (default: the single zero-cost node, byte-identical
+    /// to the pre-NUMA kernel). See [`NumaConfig::parse`] for the spec
+    /// language and the `"2node"`/`"4node"` presets.
+    pub fn numa(mut self, n: NumaConfig) -> Self {
+        self.cost.numa = n;
+        self
+    }
+
+    /// Toggles page-table replication on the configured NUMA topology
+    /// (default: on). With replication off, every minor fault from a
+    /// non-home node walks the home node's master table remotely — the
+    /// recurring cost the `numa_sweep` bench measures.
+    pub fn numa_replication(mut self, on: bool) -> Self {
+        self.cost.numa.replicate = on;
         self
     }
 

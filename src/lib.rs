@@ -53,9 +53,12 @@ pub use cmcp_sim as sim;
 pub use cmcp_trace as trace;
 pub use cmcp_workloads as workloads;
 
-pub use cmcp_arch::{CostModel, FaultPlan, FaultRule, FaultSite, PageSize, TierConfig, TierSpec};
+pub use cmcp_arch::{
+    CostModel, FaultPlan, FaultRule, FaultSite, NodeSpec, NumaConfig, PageSize, TierConfig,
+    TierSpec,
+};
 pub use cmcp_core::{CmcpConfig, CmcpPolicy, PolicyKind};
 pub use cmcp_kernel::{KernelConfig, SchemeChoice, TierCounters, Vmm};
-pub use cmcp_sim::{EngineScaling, HostScaling, RunReport, TierReport, Trace};
+pub use cmcp_sim::{EngineScaling, HostScaling, NumaReport, RunReport, TierReport, Trace};
 pub use cmcp_trace::{Breakdown, Event, EventKind, NullTracer, Recorder, RingTracer};
 pub use cmcp_workloads::{Workload, WorkloadClass};

@@ -1,9 +1,12 @@
-//! Property tests for the backing-tier subsystem: the `--tiers` spec
-//! grammar round-trips through `Display`, and random store/load action
-//! sequences against the span-based tiered store keep its resident set
-//! equal to a flat `BTreeMap` oracle — demotion cascades, promotions,
-//! and span trimming may move pages *between* tiers, but never create,
-//! drop, or duplicate one.
+//! Property tests for the backing-tier and NUMA spec subsystems: the
+//! `--tiers` and `--numa` grammars round-trip through `Display`, parse
+//! is total (diagnostic or validated config, never a panic), malformed
+//! topologies (duplicate names, zero capacity shares, u64 byte-total
+//! overflow) are rejected at validation time, and random store/load
+//! action sequences against the span-based tiered store keep its
+//! resident set equal to a flat `BTreeMap` oracle — demotion cascades,
+//! promotions, and span trimming may move pages *between* tiers, but
+//! never create, drop, or duplicate one.
 
 use std::collections::BTreeSet;
 
@@ -11,7 +14,7 @@ use proptest::prelude::*;
 
 use cmcp::arch::VirtPage;
 use cmcp::kernel::TieredStore;
-use cmcp::{TierConfig, TierSpec};
+use cmcp::{NodeSpec, NumaConfig, TierConfig, TierSpec};
 
 /// Name pool covering the grammar's whole alphabet class, including
 /// digits, `_`, `-`, and mixed case. Uniqueness comes from indexing.
@@ -146,6 +149,127 @@ proptest! {
                 "page {} residency disagrees with the oracle",
                 p
             );
+        }
+    }
+}
+
+/// Random *valid* NUMA topologies: 1–8 nodes, unique names from the
+/// shared pool, non-zero capacity shares, and bandwidths that include
+/// zero (the spec's "no size-proportional migration term" value).
+fn numa_config_strategy() -> impl Strategy<Value = NumaConfig> {
+    (
+        0usize..NAMES.len(),
+        prop::collection::vec(
+            (1u64..1_000_000, 0u64..100_000, 0u64..50_000),
+            1..NAMES.len() + 1,
+        ),
+    )
+        .prop_map(|(name0, specs)| NumaConfig {
+            nodes: specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (cap, latency, bw))| NodeSpec {
+                    name: NAMES[(name0 + i) % NAMES.len()].to_string(),
+                    capacity_pages: cap,
+                    link_latency: latency,
+                    bytes_per_kcycle: bw,
+                })
+                .collect(),
+            replicate: true,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Valid topologies round-trip `Display` → `parse` exactly.
+    #[test]
+    fn numa_spec_parse_display_round_trips(cfg in numa_config_strategy()) {
+        cfg.validate().expect("strategy builds valid configs");
+        let spec = cfg.to_string();
+        let back = NumaConfig::parse(&spec)
+            .unwrap_or_else(|e| panic!("`{spec}` failed to re-parse: {e}"));
+        prop_assert_eq!(&back, &cfg);
+        prop_assert_eq!(back.to_string(), spec);
+    }
+
+    /// `NumaConfig::parse` never panics on arbitrary input — it either
+    /// yields a config that validates and round-trips, or a diagnostic.
+    #[test]
+    fn numa_spec_parse_total(bytes in prop::collection::vec(0u8..128, 0..64)) {
+        let s: String = bytes.into_iter().map(char::from).collect();
+        if let Ok(cfg) = NumaConfig::parse(&s) {
+            cfg.validate().expect("parse only returns validated configs");
+            prop_assert_eq!(NumaConfig::parse(&cfg.to_string()).unwrap(), cfg);
+        }
+    }
+
+    /// Zero-bandwidth links are legal and never divide by zero: the
+    /// migration penalty degrades to the bare link latency, and the
+    /// window probe stays well defined for every node pair.
+    #[test]
+    fn numa_zero_bandwidth_never_panics(
+        cfg in numa_config_strategy(),
+        bytes in 0u64..1 << 32,
+    ) {
+        let mut cfg = cfg;
+        for n in &mut cfg.nodes {
+            n.bytes_per_kcycle = 0;
+        }
+        for from in 0..cfg.len() {
+            for to in 0..cfg.len() {
+                prop_assert_eq!(
+                    cfg.xfer_penalty(from, to, bytes),
+                    cfg.cross_latency(from, to),
+                    "zero bandwidth must reduce the penalty to the link latency"
+                );
+            }
+        }
+        prop_assert_eq!(cfg.min_cross_latency().is_some(), !cfg.is_single());
+    }
+
+    /// Capacity weights whose 4 kB byte total overflows `u64` are
+    /// rejected at validation time, not wrapped downstream.
+    #[test]
+    fn numa_capacity_overflow_rejected(
+        cfg in numa_config_strategy(),
+        huge in (u64::MAX / 4096 + 1)..u64::MAX,
+    ) {
+        let mut cfg = cfg;
+        if cfg.is_single() {
+            // validate() only audits capacities on multi-node topologies.
+            return Ok(());
+        }
+        cfg.nodes[0].capacity_pages = huge;
+        let err = cfg.validate().expect_err("overflowing byte total must be rejected");
+        prop_assert!(err.contains("overflow"), "diagnostic names the overflow: {}", err);
+        prop_assert!(NumaConfig::parse(&cfg.to_string()).is_err());
+    }
+
+    /// Duplicate node names are rejected, both on a built config and
+    /// through the spec grammar.
+    #[test]
+    fn numa_duplicate_names_rejected(cfg in numa_config_strategy()) {
+        let mut cfg = cfg;
+        if cfg.is_single() {
+            return Ok(());
+        }
+        cfg.nodes[1].name = cfg.nodes[0].name.clone();
+        let err = cfg.validate().expect_err("duplicate names must be rejected");
+        prop_assert!(err.contains("duplicate"), "diagnostic names the duplicate: {}", err);
+        prop_assert!(NumaConfig::parse(&cfg.to_string()).is_err());
+    }
+
+    /// Largest-remainder block apportionment is exact: one part per
+    /// node, parts sum to the budget, and no part is zero when the
+    /// budget covers every node.
+    #[test]
+    fn numa_split_blocks_conserves(cfg in numa_config_strategy(), blocks in 0usize..100_000) {
+        let parts = cfg.split_blocks(blocks);
+        prop_assert_eq!(parts.len(), cfg.len());
+        prop_assert_eq!(parts.iter().sum::<usize>(), blocks);
+        if blocks >= cfg.len() {
+            prop_assert!(parts.iter().all(|&p| p > 0), "every node gets a share");
         }
     }
 }
